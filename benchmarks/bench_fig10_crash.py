@@ -1,0 +1,72 @@
+"""Figure 10 — the "succeed-or-crash" micro-benchmark around OrbitDB-5.
+
+Each run gives every mode the same resource budget (the checker's working
+memory for explored-interleaving ledgers / caches / seen-sets) and explores
+until the bug reproduces (success) or the budget is exhausted (crash) — the
+simulator's analogue of the paper's machines running out of resources.
+
+Expected shape: ER-pi succeeds on every run; DFS and Rand crash (the paper
+saw one lucky DFS success; our DFS is deterministic, so its outcome is the
+same every run — noted in EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.bench.harness import hunt, record_scenario
+from repro.bench.reporting import format_table
+from repro.bugs import scenario
+from repro.core.resources import ResourceMeter
+
+RUNS = 5
+#: Working-memory budget per run.  ER-pi reproduces OrbitDB-5 after well
+#: under 1K replays; exhaustive baselines blow through this while still
+#: thousands of interleavings away from the bug.
+BUDGET_BYTES = 500_000
+#: Baselines get an unbounded cap: the stop condition is the budget.
+UNBOUNDED_CAP = 10**9
+
+
+def run_once(mode: str, seed: int):
+    recorded = record_scenario(scenario("OrbitDB-5"))
+    meter = ResourceMeter(budget_bytes=BUDGET_BYTES)
+    return hunt(recorded, mode, cap=UNBOUNDED_CAP, seed=seed, meter=meter)
+
+
+def test_fig10_succeed_or_crash(benchmark):
+    def run_all():
+        table = []
+        outcomes = {}
+        for run_index in range(RUNS):
+            row = [f"run {run_index + 1}"]
+            for mode in ("erpi", "dfs", "rand"):
+                result = run_once(mode, seed=run_index)
+                if result.found:
+                    cell = f"ok ({result.explored})"
+                elif result.crashed:
+                    cell = f"CRASH ({result.explored})"
+                else:
+                    cell = "cap"
+                outcomes[(run_index, mode)] = result
+                row.append(cell)
+            table.append(row)
+        return table, outcomes
+
+    table, outcomes = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    print("=== Figure 10: succeed-or-crash micro-benchmark (OrbitDB-5) ===")
+    print(f"(budget {BUDGET_BYTES:,} bytes of checker working memory per run)")
+    print(format_table(["run", "erpi", "dfs", "rand"], table))
+
+    for run_index in range(RUNS):
+        assert outcomes[(run_index, "erpi")].found
+        assert not outcomes[(run_index, "erpi")].crashed
+        assert outcomes[(run_index, "dfs")].crashed
+        assert outcomes[(run_index, "rand")].crashed
+
+
+@pytest.mark.parametrize("mode", ["erpi", "dfs", "rand"])
+def test_budgeted_run_cost(benchmark, mode):
+    result = benchmark.pedantic(
+        lambda: run_once(mode, seed=0), rounds=1, iterations=1
+    )
+    assert result.found or result.crashed

@@ -1,0 +1,53 @@
+"""Figure 8a — number of interleavings required to reproduce each bug
+(ER-pi / DFS / Rand, log10 scale, 10K cap, ↑ = not reproduced), plus the
+paper's section-6.3 aggregate pruning/speedup ratios.
+"""
+
+import pytest
+
+from benchmarks.conftest import CAP, PAPER_CAPPED
+from repro.bench.harness import hunt, record_scenario
+from repro.bench.reporting import aggregate_ratios, format_fig8a_row
+from repro.bugs import scenario, scenario_names
+
+
+def test_fig8a_shape_and_print(benchmark, sweep):
+    benchmark.pedantic(aggregate_ratios, args=(sweep,), rounds=1, iterations=1)
+    print()
+    print("=== Figure 8a: interleavings to reproduce (cap 10,000; CAP↑ = not reproduced) ===")
+    for bug, results in sweep.items():
+        print(format_fig8a_row(bug, results))
+
+    # Shape assertions against the paper:
+    for bug, results in sweep.items():
+        assert results["erpi"].found, f"ER-pi must reproduce {bug}"
+        for mode in ("dfs", "rand"):
+            expected_capped = (bug, mode) in PAPER_CAPPED
+            assert results[mode].found != expected_capped, (
+                f"{bug}/{mode}: paper says "
+                f"{'capped' if expected_capped else 'found'}, got "
+                f"{'found' if results[mode].found else 'capped'}"
+            )
+
+    # DFS outperforms Rand except ReplicaDB-2 (paper section 6.3).
+    rdb2 = sweep["ReplicaDB-2"]
+    assert rdb2["rand"].explored < rdb2["dfs"].explored
+
+    ratios = aggregate_ratios(sweep)
+    print()
+    print("=== Aggregate (paper section 6.3) ===")
+    print(ratios.summary())
+    assert ratios.interleavings_vs_dfs > 2.0
+    assert ratios.interleavings_vs_rand > 2.0
+
+
+@pytest.mark.parametrize("mode", ["erpi", "dfs", "rand"])
+def test_hunt_cost_per_mode(benchmark, mode):
+    """Benchmark one representative hunt per mode (Roshi-2)."""
+
+    def run():
+        recorded = record_scenario(scenario("Roshi-2"))
+        return hunt(recorded, mode, cap=CAP)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.found

@@ -1,0 +1,40 @@
+"""Figure 8b — time required to reproduce each bug (log10 seconds; ↑ = cap
+reached without reproduction).
+
+Absolute numbers are simulator-scale (milliseconds, not the paper's
+machine-days); the claims under test are relative: ER-pi's reproduction time
+beats the baselines on the bugs all modes find, and Rand pays extra time for
+its shuffle-and-cache composer.
+"""
+
+import pytest
+
+from repro.bench.reporting import aggregate_ratios, format_fig8b_row
+
+
+def test_fig8b_print_and_relative_shape(benchmark, sweep):
+    benchmark.pedantic(aggregate_ratios, args=(sweep,), rounds=1, iterations=1)
+    print()
+    print("=== Figure 8b: time to reproduce (seconds; ↑ = capped) ===")
+    for bug, results in sweep.items():
+        print(format_fig8b_row(bug, results))
+
+    ratios = aggregate_ratios(sweep)
+    print()
+    print(ratios.summary())
+    # ER-pi is faster than both baselines on (geometric) average.
+    assert ratios.time_vs_dfs > 1.0
+    assert ratios.time_vs_rand > 1.0
+
+    # Where both baselines reproduce a bug after a similar number of
+    # interleavings, Rand's shuffle overhead shows up in the time column
+    # (paper: "for all bugs, Rand took the most time").
+    for bug, results in sweep.items():
+        erpi = results["erpi"]
+        for mode in ("dfs", "rand"):
+            baseline = results[mode]
+            if baseline.found and baseline.explored >= erpi.explored * 10:
+                assert baseline.elapsed_s >= erpi.elapsed_s, (
+                    f"{bug}: {mode} explored {baseline.explored} vs "
+                    f"{erpi.explored} but was faster"
+                )

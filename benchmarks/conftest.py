@@ -1,0 +1,41 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+The full three-mode hunt sweep (every bug x {ER-pi, DFS, Rand} at the 10K
+cap) feeds Figures 8a, 8b and the aggregate ratios; it is computed once per
+benchmark session and shared.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import hunt, record_scenario
+from repro.bugs import all_scenarios
+
+#: The paper's exploration cap.
+CAP = 10_000
+
+#: Which (bug, mode) cells the paper reports as NOT reproduced within the cap
+#: (the ↑ bars of Figure 8a).
+PAPER_CAPPED = {
+    ("Roshi-3", "dfs"),
+    ("Roshi-3", "rand"),
+    ("OrbitDB-4", "dfs"),
+    ("OrbitDB-4", "rand"),
+    ("OrbitDB-5", "dfs"),
+    ("OrbitDB-5", "rand"),
+    ("Yorkie-2", "rand"),
+}
+
+
+@pytest.fixture(scope="session")
+def sweep():
+    """{bug name: {mode: ExplorationResult}} for the full Figure-8 sweep."""
+    results = {}
+    for scenario in all_scenarios():
+        per_mode = {}
+        for mode in ("erpi", "dfs", "rand"):
+            recorded = record_scenario(scenario)
+            per_mode[mode] = hunt(recorded, mode, cap=CAP)
+        results[scenario.name] = per_mode
+    return results

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Hunting a real reported bug with the three exploration modes.
+
+Reproduces OrbitDB issue #557 ("repo folder keeps getting locked", bug
+OrbitDB-5): the workload records 24 events, and the bug only manifests when
+the sync that delivers a relayed write lands inside the store's close/open
+maintenance window.  ER-pi's grouping + neighbourhood-first enumeration finds
+it within a hundred replays; exhaustive DFS and random sampling are still
+empty-handed at the 10,000-interleaving cap.
+
+Run:  python examples/bug_hunt.py
+"""
+
+from repro.bench.harness import hunt, record_scenario
+from repro.bugs import scenario
+
+
+def main() -> None:
+    sc = scenario("OrbitDB-5")
+    print(f"scenario: {sc.name} (issue #{sc.issue}) — {sc.description}")
+    print(f"workload events: {sc.expected_events}")
+    print()
+
+    for mode in ("erpi", "dfs", "rand"):
+        recorded = record_scenario(sc)
+        result = hunt(recorded, mode, cap=10_000)
+        if result.found:
+            print(
+                f"{mode:5s}: reproduced after {result.explored:>6} "
+                f"interleavings in {result.elapsed_s:.2f}s"
+            )
+        else:
+            print(
+                f"{mode:5s}: NOT reproduced within the 10,000 cap "
+                f"({result.elapsed_s:.2f}s)"
+            )
+        if result.found and mode == "erpi":
+            violating = result.violating
+            failed = violating.failed_ops[0]
+            print(f"       error: {failed.error}")
+            print("       violating interleaving (maintenance window hit):")
+            for event in violating.interleaving:
+                marker = " <-- " if event.event_id in ("e11", "e12", "e13", "e14") else "     "
+                print(f"       {marker}{event.describe()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""A collaborative to-do app, two ways (misconceptions #4 and #3).
+
+Part 1 — sequential IDs: each device creates to-do items with ``max id + 1``.
+Two devices creating items concurrently mint the same id and one item is
+silently lost after sync (misconception #4; the AMC-recommended fix uses
+collision-free ids).
+
+Part 2 — list moves: reordering a to-do implemented as delete + re-insert
+duplicates the item when two devices move it concurrently (misconception #3);
+the library's winner-designating move does not.
+
+Run:  python examples/collaborative_todo.py
+"""
+
+from repro.core import ErPi, assert_no_duplicates, assert_predicate, is_settled
+from repro.net import Cluster
+from repro.rdl import CRDTLibrary
+
+
+def make_cluster() -> Cluster:
+    cluster = Cluster()
+    for device in ("phone", "laptop"):
+        cluster.add_replica(device, CRDTLibrary(device))
+    return cluster
+
+
+def sequential_ids() -> None:
+    print("=== Part 1: sequential to-do ids (misconception #4) ===")
+    cluster = make_cluster()
+    erpi = ErPi(cluster)
+    erpi.start()
+
+    phone, laptop = cluster.rdl("phone"), cluster.rdl("laptop")
+    phone.todo_create("todos", "buy milk")        # id 1
+    cluster.sync("phone", "laptop")
+    laptop.todo_create("todos", "walk the dog")   # id 2 (saw item 1)
+    cluster.sync("laptop", "phone")
+    phone.todo_create("todos", "pay rent")        # id 3 (saw items 1, 2)
+    cluster.sync("phone", "laptop")
+
+    def no_lost_todos(outcome) -> bool:
+        if not is_settled(outcome, ["phone", "laptop"]):
+            return True
+        creates = sum(
+            1 for res in outcome.event_results
+            if res.event.op_name == "todo_create" and res.ok
+        )
+        return len(outcome.states["phone"].get("todos", {})) >= creates
+
+    report = erpi.end(
+        assertions=[
+            assert_predicate(
+                no_lost_todos, "a to-do vanished: sequential ids clashed"
+            )
+        ]
+    )
+    print(f"replayed {report.explored} interleavings; "
+          f"violations: {len(report.violations)}")
+    if report.violated:
+        index, message = report.violations[0]
+        print(f"  {message}")
+        print(f"  surviving todos: {report.outcomes[index].states['phone']['todos']}")
+    print()
+
+
+def list_moves() -> None:
+    print("=== Part 2: moving items (misconception #3) ===")
+    for safe, label in ((False, "naive delete+insert move"),
+                        (True, "winner-designating move")):
+        cluster = make_cluster()
+        erpi = ErPi(cluster)
+        erpi.start()
+        phone, laptop = cluster.rdl("phone"), cluster.rdl("laptop")
+        for title in ("milk", "dog", "rent"):
+            phone.list_append("todo-order", title)
+        cluster.sync("phone", "laptop")
+        phone.list_move("todo-order", 0, 2, safe=safe)
+        cluster.sync("phone", "laptop")
+        laptop.list_move("todo-order", 0, 1, safe=safe)
+        cluster.sync("laptop", "phone")
+
+        def items(outcome):
+            return list(outcome.states["phone"].get("todo-order", ()))
+
+        report = erpi.end(
+            assertions=[assert_no_duplicates(items, label="to-do list")]
+        )
+        verdict = (
+            f"{len(report.violations)} duplicating interleavings"
+            if report.violated
+            else "no duplication in any interleaving"
+        )
+        print(f"{label}: replayed {report.explored}; {verdict}")
+    print()
+
+
+if __name__ == "__main__":
+    sequential_ids()
+    list_moves()

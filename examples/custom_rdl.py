@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Bring your own library: testing a custom RDL with ER-pi.
+
+ER-pi is not tied to the five paper subjects.  Any replicated data library
+can be put under the interleaving microscope by implementing the five-method
+host protocol (`sync_payload`, `apply_sync`, `checkpoint`, `restore`,
+`value`).  This example writes a tiny custom library from scratch — a
+replicated game leaderboard that keeps each player's best score — wires it
+into a cluster, and lets ER-pi audit a workload.
+
+The library is correct (max() is a semilattice join); the *application*
+around it is not: it awards a "champion" badge by reading the leaderboard
+at an arbitrary moment.  ER-pi shows the badge can go to the wrong player.
+
+Run:  python examples/custom_rdl.py
+"""
+
+import copy
+
+from repro.core import ErPi, StableReadAcrossInterleavings
+from repro.net import Cluster
+
+
+class Leaderboard:
+    """A custom RDL: per-player best scores, merged by max()."""
+
+    def __init__(self, replica_id: str) -> None:
+        self.replica_id = replica_id
+        self._scores = {}
+
+    # ----- the library's operation surface (what apps call) ---------------
+
+    def submit(self, player: str, score: int) -> int:
+        """Record a score; returns the player's best so far."""
+        self._scores[player] = max(score, self._scores.get(player, 0))
+        return self._scores[player]
+
+    def best(self, player: str) -> int:
+        return self._scores.get(player, 0)
+
+    def champion(self) -> str:
+        """The current top player (ties resolved alphabetically)."""
+        if not self._scores:
+            return "<nobody>"
+        return min(
+            self._scores, key=lambda player: (-self._scores[player], player)
+        )
+
+    # ----- the ER-pi host protocol ----------------------------------------
+
+    def sync_payload(self, target_replica_id: str):
+        return dict(self._scores)
+
+    def apply_sync(self, payload, from_replica_id: str) -> None:
+        for player, score in payload.items():
+            self._scores[player] = max(score, self._scores.get(player, 0))
+
+    def checkpoint(self):
+        return copy.deepcopy(self._scores)
+
+    def restore(self, snapshot) -> None:
+        self._scores = copy.deepcopy(snapshot)
+
+    def value(self):
+        return dict(self._scores)
+
+
+def main() -> None:
+    cluster = Cluster()
+    for region in ("eu", "us"):
+        cluster.add_replica(region, Leaderboard(region))
+
+    # `champion`/`best` are this library's query methods: tell the recorder
+    # to classify them as READ events (what the app observed).
+    erpi = ErPi(cluster, read_methods=["champion", "best"])
+    erpi.start()
+
+    eu = cluster.rdl("eu")
+    us = cluster.rdl("us")
+    eu.submit("ana", 90)            # e1
+    cluster.sync("eu", "us")        # e2, e3
+    us.submit("ben", 120)           # e4  ben takes the lead
+    cluster.sync("us", "eu")        # e5, e6
+    badge_holder = eu.champion()    # e7  the app awards the badge NOW
+    print(f"recording run awarded the badge to: {badge_holder}")
+
+    report = erpi.end(
+        cross_checks=[StableReadAcrossInterleavings("e7")]
+    )
+    print()
+    print(report.summary())
+    if report.cross_violations:
+        winners = {
+            outcome.reads().get("e7")
+            for outcome in report.outcomes
+            if outcome.reads().get("e7") is not None
+        }
+        print()
+        print(f"the badge depends on sync timing — possible champions: {sorted(winners)}")
+        print("fix: award badges only after a coordinated end-of-season sync.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""A streaming-feed app on Roshi (the paper's Subject 1).
+
+Two ingestion nodes index track-play events into a replicated LWW
+time-series set.  The app pages through ``select`` assuming the response is
+ordered newest-first — true of the fixed library, but the buggy release
+(issue #40) leaks the node-local arrival order, so the rendered feed depends
+on which interleaving delivered the syncs.
+
+ER-pi replays the interleavings against both library builds and reports the
+difference.
+
+Run:  python examples/timeseries_roshi.py
+"""
+
+from repro.core import ErPi, assert_predicate
+from repro.net import Cluster
+from repro.rdl import RoshiReplica
+
+NEWEST_FIRST = ["play:outro", "play:chorus", "play:intro"]
+
+
+def run(defects: set, label: str) -> None:
+    cluster = Cluster()
+    for node in ("ingest-1", "ingest-2"):
+        cluster.add_replica(node, RoshiReplica(node, defects=set(defects)))
+
+    erpi = ErPi(cluster)
+    erpi.start()
+
+    one, two = cluster.rdl("ingest-1"), cluster.rdl("ingest-2")
+    one.insert("feed:user9", "play:intro", 100.0)       # e1
+    two.insert("feed:user9", "play:chorus", 200.0)      # e2
+    cluster.sync("ingest-2", "ingest-1")                # e3, e4
+    two.insert("feed:user9", "play:outro", 300.0)       # e5
+    cluster.sync("ingest-2", "ingest-1")                # e6, e7
+    feed = one.select("feed:user9", 0, 10)              # e8 READ
+    print(f"  recording run rendered: {feed}")
+
+    def complete_feeds_are_newest_first(outcome) -> bool:
+        feed = outcome.reads().get("e8")
+        if feed is None or set(feed) != set(NEWEST_FIRST):
+            return True  # partial feed: delivery incomplete, nothing to rank
+        return list(feed) == NEWEST_FIRST
+
+    report = erpi.end(
+        assertions=[
+            assert_predicate(
+                complete_feeds_are_newest_first,
+                "a fully-delivered feed rendered out of timestamp order",
+            )
+        ]
+    )
+    if report.violated:
+        print(
+            f"  {label}: BROKEN — {len(report.violations)} interleavings "
+            "render a complete feed out of order, e.g."
+        )
+        index, _ = report.violations[0]
+        print(f"    {report.outcomes[index].reads()['e8']}")
+    else:
+        print(
+            f"  {label}: every fully-delivered feed renders newest-first "
+            f"({report.explored} interleavings replayed)"
+        )
+    print()
+
+
+def main() -> None:
+    print("=== buggy release (issue #40: select leaks arrival order) ===")
+    run({"unordered_select"}, "buggy library")
+    print("=== fixed release (select orders by descending timestamp) ===")
+    run(set(), "fixed library")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: the evaluation environment is offline and lacks the
+``wheel`` package, so ``pip install -e .`` must use the setup.py code path."""
+
+from setuptools import setup
+
+setup()

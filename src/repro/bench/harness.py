@@ -1,0 +1,127 @@
+"""Benchmark harness: record a bug scenario once, then hunt it with each
+exploration mode (ER-pi / DFS / Rand) under the paper's 10K cap.
+
+This is the engine behind Figures 8a, 8b, 9 and 10 and Table 1.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bugs.registry import BugScenario
+from repro.core.events import Event
+from repro.core.explorers import (
+    DEFAULT_CAP,
+    DFSExplorer,
+    ERPiExplorer,
+    Explorer,
+    ExplorationResult,
+    RandomExplorer,
+)
+from repro.core.pruning import (
+    EventIndependencePruner,
+    FailedOpsPruner,
+    Pruner,
+    ReplicaSpecificPruner,
+)
+from repro.core.replay import ReplayEngine
+from repro.core.resources import ResourceMeter
+from repro.net.cluster import Cluster
+from repro.proxy.recorder import EventRecorder
+
+MODES = ("erpi", "dfs", "rand")
+
+
+@dataclass
+class RecordedScenario:
+    """A scenario after its recording run: ready to replay."""
+
+    scenario: BugScenario
+    cluster: Cluster
+    engine: ReplayEngine
+    events: Tuple[Event, ...]
+
+    @property
+    def event_count(self) -> int:
+        return len(self.events)
+
+
+def record_scenario(scenario: BugScenario, fixed: bool = False) -> RecordedScenario:
+    """Build the cluster, checkpoint it, and record the happy-path run.
+
+    ``fixed=True`` installs the repaired library (defects removed) so
+    regression tests can verify the invariants hold under *every* explored
+    interleaving once the bug is fixed."""
+    cluster = scenario.build_cluster(fixed=fixed)
+    engine = ReplayEngine(cluster)
+    engine.checkpoint()
+    recorder = EventRecorder(cluster)
+    recorder.start()
+    scenario.workload(cluster)
+    events = tuple(recorder.stop())
+    if len(events) != scenario.expected_events:
+        raise AssertionError(
+            f"{scenario.name}: workload recorded {len(events)} events, "
+            f"Table 1 says {scenario.expected_events}"
+        )
+    return RecordedScenario(scenario, cluster, engine, events)
+
+
+def scenario_pruners(scenario: BugScenario) -> List[Pruner]:
+    pruners: List[Pruner] = []
+    if scenario.replica_scope:
+        pruners.append(ReplicaSpecificPruner(scenario.replica_scope))
+    for events in scenario.independence_constraints():
+        pruners.append(EventIndependencePruner(events))
+    for predecessors, successors in scenario.failed_ops_constraints():
+        pruners.append(FailedOpsPruner(predecessors, successors))
+    return pruners
+
+
+def make_explorer(
+    recorded: RecordedScenario,
+    mode: str,
+    seed: int = 0,
+    meter: Optional[ResourceMeter] = None,
+) -> Explorer:
+    scenario = recorded.scenario
+    if mode == "erpi":
+        return ERPiExplorer(
+            recorded.events,
+            meter=meter,
+            spec_groups=scenario.spec_groups(),
+            pruners=scenario_pruners(scenario),
+        )
+    if mode == "dfs":
+        return DFSExplorer(recorded.events, meter=meter)
+    if mode == "rand":
+        return RandomExplorer(recorded.events, meter=meter, seed=seed)
+    raise ValueError(f"unknown exploration mode {mode!r}")
+
+
+def hunt(
+    recorded: RecordedScenario,
+    mode: str,
+    cap: int = DEFAULT_CAP,
+    seed: int = 0,
+    meter: Optional[ResourceMeter] = None,
+) -> ExplorationResult:
+    """Explore until the scenario's invariant breaks (bug reproduced)."""
+    explorer = make_explorer(recorded, mode, seed=seed, meter=meter)
+    assertions = recorded.scenario.make_assertions()
+    return explorer.explore(recorded.engine, assertions, cap=cap)
+
+
+def hunt_all_modes(
+    scenario: BugScenario,
+    cap: int = DEFAULT_CAP,
+    seed: int = 0,
+) -> Dict[str, ExplorationResult]:
+    """One Figure-8 row: the same recorded scenario hunted by every mode."""
+    results: Dict[str, ExplorationResult] = {}
+    for mode in MODES:
+        recorded = record_scenario(scenario)
+        results[mode] = hunt(recorded, mode, cap=cap, seed=seed)
+    return results

@@ -1,0 +1,113 @@
+"""Result formatting for the benchmark harness: the rows/series the paper's
+tables and figures report."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.explorers import ExplorationResult
+
+
+def log10_or_cap(value: float) -> float:
+    """The paper plots counts/times in log10; zero-guard for fast runs."""
+    return math.log10(max(value, 1e-9))
+
+
+def format_fig8a_row(bug: str, results: Mapping[str, ExplorationResult]) -> str:
+    """One group of Figure 8a bars: interleavings to reproduce (log10)."""
+    cells = []
+    for mode in ("erpi", "dfs", "rand"):
+        result = results[mode]
+        if result.found:
+            cells.append(f"{mode}={result.explored:>6d} (10^{log10_or_cap(result.explored):.2f})")
+        else:
+            cells.append(f"{mode}=  CAP↑")
+    return f"{bug:12s} " + "  ".join(cells)
+
+
+def format_fig8b_row(bug: str, results: Mapping[str, ExplorationResult]) -> str:
+    """One group of Figure 8b bars: time to reproduce (log10 seconds)."""
+    cells = []
+    for mode in ("erpi", "dfs", "rand"):
+        result = results[mode]
+        marker = "" if result.found else "↑"
+        cells.append(f"{mode}={result.elapsed_s:>8.3f}s{marker}")
+    return f"{bug:12s} " + "  ".join(cells)
+
+
+@dataclass
+class AggregateRatios:
+    """The paper's section-6.3 aggregate claims.
+
+    "Compared to DFS and Rand, ER-pi prunes ~5.6x and ~7.4x interleavings to
+    replay on average, thus reducing the time to reproduce a bug by ~2.78x
+    and ~4.38x respectively."  Ratios are computed over bugs all three modes
+    reproduced; capped runs enter as the cap (a lower bound, as in the
+    paper's plots).
+    """
+
+    interleavings_vs_dfs: float
+    interleavings_vs_rand: float
+    time_vs_dfs: float
+    time_vs_rand: float
+
+    def summary(self) -> str:
+        return (
+            f"ER-pi explores {self.interleavings_vs_dfs:.1f}x fewer interleavings "
+            f"than DFS and {self.interleavings_vs_rand:.1f}x fewer than Rand; "
+            f"time to reproduce improves {self.time_vs_dfs:.2f}x and "
+            f"{self.time_vs_rand:.2f}x respectively "
+            f"(paper: ~5.6x / ~7.4x and ~2.78x / ~4.38x)"
+        )
+
+
+def aggregate_ratios(
+    per_bug: Mapping[str, Mapping[str, ExplorationResult]],
+) -> AggregateRatios:
+    """Geometric-mean ratios of baseline cost over ER-pi cost."""
+
+    def cost(result: ExplorationResult) -> Tuple[float, float]:
+        return (max(result.explored, 1), max(result.elapsed_s, 1e-6))
+
+    il_dfs: List[float] = []
+    il_rand: List[float] = []
+    t_dfs: List[float] = []
+    t_rand: List[float] = []
+    for results in per_bug.values():
+        erpi_il, erpi_t = cost(results["erpi"])
+        dfs_il, dfs_t = cost(results["dfs"])
+        rand_il, rand_t = cost(results["rand"])
+        il_dfs.append(dfs_il / erpi_il)
+        il_rand.append(rand_il / erpi_il)
+        t_dfs.append(dfs_t / erpi_t)
+        t_rand.append(rand_t / erpi_t)
+
+    def gmean(values: Sequence[float]) -> float:
+        return math.exp(sum(math.log(v) for v in values) / len(values))
+
+    return AggregateRatios(
+        interleavings_vs_dfs=gmean(il_dfs),
+        interleavings_vs_rand=gmean(il_rand),
+        time_vs_dfs=gmean(t_dfs),
+        time_vs_rand=gmean(t_rand),
+    )
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """A plain fixed-width text table (benchmark stdout)."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[index]) for index, header in enumerate(headers)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in materialised:
+        lines.append(
+            "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Parameterised workload generators for scalability and ablation benches.
+
+The Table-1 scenarios are hand-crafted; these generators build synthetic
+workloads of arbitrary size over the CRDT-collection subject so benches can
+sweep the number of events (the Figure-10 micro-benchmark scales the
+OrbitDB-5 shape; :func:`divergence_workload` scales a Roshi-2-like shape).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.events import Event
+from repro.net.cluster import Cluster
+from repro.rdl.crdts_lib import CRDTLibrary
+from repro.rdl.roshi import RoshiReplica
+
+
+def crdt_cluster(replica_ids: Tuple[str, ...] = ("A", "B"), defects: frozenset = frozenset()) -> Cluster:
+    cluster = Cluster()
+    for rid in replica_ids:
+        cluster.add_replica(rid, CRDTLibrary(rid, defects=set(defects)))
+    return cluster
+
+
+def set_workload(
+    cluster: Cluster,
+    updates_per_replica: int = 2,
+    sync_rounds: int = 1,
+    seed: int = 0,
+) -> None:
+    """Adds/removes on a replicated OR-set plus pairwise syncs.
+
+    Event count: ``len(replicas) * updates_per_replica`` updates plus
+    ``sync_rounds * len(replicas) * (len(replicas)-1) * 2`` sync events.
+    """
+    rng = random.Random(seed)
+    ids = cluster.replica_ids()
+    for round_index in range(updates_per_replica):
+        for rid in ids:
+            item = f"item-{rid}-{round_index}"
+            cluster.rdl(rid).set_add("s", item)
+    for _ in range(sync_rounds):
+        for sender in ids:
+            for receiver in ids:
+                if sender != receiver:
+                    cluster.sync(sender, receiver)
+    # A final read anchors read-stability detectors.
+    cluster.rdl(ids[0]).set_value("s")
+
+
+def divergence_workload(cluster: Cluster, pairs: int = 1, noise: int = 0) -> None:
+    """A Roshi-2-shaped workload: same-timestamp add/delete conflicts first,
+    benign trailing traffic after.
+
+    ``pairs`` conflict sections sit at the *front* of the recording (6 events
+    each: insert, sync pair, delete, sync pair); ``noise`` appends benign
+    insert+sync sections (6 events each) at the end.  Event count:
+    ``6*pairs + 6*noise + 1``.  Because the divergence trigger lives in the
+    front, growing ``noise`` pushes it further beyond a tail-first explorer's
+    horizon without changing the bug.
+    """
+    a_id, b_id = cluster.replica_ids()[:2]
+    a = cluster.rdl(a_id)
+    b = cluster.rdl(b_id)
+    for index in range(pairs):
+        timestamp = float(index + 1)
+        a.insert("k", f"x{index}", timestamp)
+        cluster.sync(a_id, b_id)
+        b.delete("k", f"x{index}", timestamp)
+        cluster.sync(b_id, a_id)
+    for index in range(noise):
+        timestamp = 100.0 + index
+        a.insert("k", f"benign{index}", timestamp)
+        cluster.sync(a_id, b_id)
+        b.insert("k", f"extra{index}", timestamp + 0.5)
+        cluster.sync(b_id, a_id)
+    a.select("k")
+
+
+def roshi_cluster(
+    replica_ids: Tuple[str, ...] = ("A", "B"), defects: frozenset = frozenset()
+) -> Cluster:
+    cluster = Cluster()
+    for rid in replica_ids:
+        cluster.add_replica(rid, RoshiReplica(rid, defects=set(defects)))
+    return cluster

@@ -1,0 +1,277 @@
+"""Table-1 bug scenarios for Subject 2 (OrbitDB)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.bugs.registry import BugScenario, register
+from repro.core.assertions import (
+    assert_convergence_when_settled,
+    assert_no_failed_op_matching,
+)
+from repro.core.replay import Assertion
+from repro.net.cluster import Cluster
+from repro.rdl.orbitdb import OrbitDBStore
+
+
+def _build(
+    defect_by_replica: dict,
+    replicas: Tuple[str, ...] = ("A", "B"),
+    identity_by_replica: dict = None,
+) -> Cluster:
+    cluster = Cluster()
+    for rid in replicas:
+        identity = (identity_by_replica or {}).get(rid, rid)
+        store = OrbitDBStore(
+            rid, defects=defect_by_replica.get(rid, set()), identity=identity
+        )
+        cluster.add_replica(rid, store)
+    # Shared-store setup: every node accepts every node's writes (the store's
+    # base access controller, configured at creation time — not recorded).
+    for rid in replicas:
+        store = cluster.rdl(rid)
+        for other in replicas:
+            identity = (identity_by_replica or {}).get(other, other)
+            store.grant_access(identity)
+    return cluster
+
+
+@register
+class OrbitDB1(BugScenario):
+    """Issue #513 — the ordering tie-breaker stops at (clock, identity), so
+    two entries written under the *same identity* (one user, two devices)
+    with equal Lamport time keep replica-local arrival order: the log order
+    differs between replicas forever.
+    """
+
+    name = "OrbitDB-1"
+    issue = 513
+    subject = "OrbitDB"
+    expected_events = 12
+    status = "open"
+    reason = "-"
+    description = "equal (clock, identity) entries ordered by arrival"
+
+    def build_cluster(self, fixed: bool = False) -> Cluster:
+        defects = set() if fixed else {"undefined_tiebreak"}
+        return _build(
+            {"A": set(defects), "B": set(defects)},
+            identity_by_replica={"A": "user", "B": "user"},
+        )
+
+    def fixed_defects(self) -> frozenset:
+        return frozenset({"undefined_tiebreak"})
+
+    def workload(self, cluster: Cluster) -> None:
+        a = cluster.rdl("A")
+        b = cluster.rdl("B")
+        a.append("p1")                 # e1  clock 1
+        cluster.sync("A", "B")         # e2, e3
+        b.append("q1")                 # e4  clock 2 (recorded: after sync)
+        cluster.sync("B", "A")         # e5, e6
+        a.append("p2")                 # e7  clock 3
+        cluster.sync("A", "B")         # e8, e9
+        b.append("q2")                 # e10 clock 4 (ties with p2 when moved before e9)
+        cluster.sync("B", "A")         # e11, e12
+
+    def make_assertions(self) -> List[Assertion]:
+        return [assert_convergence_when_settled(["A", "B"])]
+
+
+@register
+class OrbitDB2(BugScenario):
+    """Issue #512 — a Lamport clock set far into the future halts progress:
+    once the poisoned entry syncs in, every later local append exceeds the
+    store's max-clock bound and fails.
+    """
+
+    name = "OrbitDB-2"
+    issue = 512
+    subject = "OrbitDB"
+    expected_events = 8
+    status = "open"
+    reason = "-"
+    description = "far-future Lamport clock halts local appends"
+
+    FUTURE = 2_000_000
+
+    def build_cluster(self, fixed: bool = False) -> Cluster:
+        defects = set() if fixed else {"clock_future_halt"}
+        return _build({"A": set(defects), "B": set(defects)})
+
+    def fixed_defects(self) -> frozenset:
+        return frozenset({"clock_future_halt"})
+
+    def workload(self, cluster: Cluster) -> None:
+        a = cluster.rdl("A")
+        b = cluster.rdl("B")
+        a.append("x")                              # e1
+        a.append("y")                              # e2
+        b.inject_future_entry("evil", self.FUTURE)  # e3
+        cluster.sync("B", "A")                     # e4, e5
+        cluster.sync("A", "B")                     # e6, e7
+        a.clock_time()                             # e8 READ
+
+    def failed_ops_constraints(self):
+        # Discovered while replaying: once the poisoned payload has been
+        # executed at A (e5), every later local append fails, so the doomed
+        # appends' relative order is immaterial (Algorithm 4).
+        return [(("e5",), ("e1", "e2"))]
+
+    def make_assertions(self) -> List[Assertion]:
+        return [assert_no_failed_op_matching("progress halted")]
+
+
+@register
+class OrbitDB3(BugScenario):
+    """Issue #1153 — "could not append entry although write access is
+    granted": a synced entry whose writer's grant has not reached the
+    receiving replica yet is rejected instead of being admitted by the grant
+    travelling in the same payload / arriving later.
+    """
+
+    name = "OrbitDB-3"
+    issue = 1153
+    subject = "OrbitDB"
+    expected_events = 15
+    status = "closed"
+    reason = "misuse"
+    description = "entry rejected when it overtakes its access grant"
+
+    def build_cluster(self, fixed: bool = False) -> Cluster:
+        defects = set() if fixed else {"unchecked_append"}
+        return _build(
+            {"A": set(defects), "B": set(defects), "C": set(defects)},
+            replicas=("A", "B", "C"),
+        )
+
+    def fixed_defects(self) -> frozenset:
+        return frozenset({"unchecked_append"})
+
+    def workload(self, cluster: Cluster) -> None:
+        a = cluster.rdl("A")
+        b = cluster.rdl("B")
+        c = cluster.rdl("C")
+        a.grant_access("deploy-key")               # e1
+        cluster.sync("A", "C")                     # e2, e3   grant reaches C
+        c.append("c1", identity="deploy-key")      # e4       (grouped with e3)
+        b.append("b1")                             # e5
+        cluster.sync("B", "A")                     # e6, e7
+        cluster.sync("B", "C")                     # e8, e9
+        cluster.sync("A", "B")                     # e10, e11  grant reaches B
+        cluster.sync("C", "B")                     # e12, e13  c1 reaches B
+        cluster.sync("C", "A")                     # e14, e15  c1 reaches A
+
+    def spec_groups(self) -> List[Tuple[str, str]]:
+        # The deploy pipeline appends right after its grant confirmation.
+        return [("e3", "e4")]
+
+    def make_assertions(self) -> List[Assertion]:
+        return [assert_no_failed_op_matching("although write access is granted")]
+
+
+@register
+class OrbitDB4(BugScenario):
+    """Issue #583 — "head hash didn't match the contents": appends do not
+    refresh the cached head set (only flush does), so a sync payload built
+    inside an append/flush window ships stale heads and the receiver rejects
+    it.
+
+    The deploy-key append that opens the window is itself gated on a
+    three-hop grant relay (D -> C -> B -> A), so a uniformly random
+    interleaving almost never reaches the window with the append alive, and
+    the window sits well before DFS's tail horizon.  Uses 4 replicas to give
+    the relay its length (the paper's own workloads are unavailable; see
+    EXPERIMENTS.md).
+    """
+
+    name = "OrbitDB-4"
+    issue = 583
+    subject = "OrbitDB"
+    expected_events = 18
+    status = "closed"
+    reason = "misconception"
+    description = "sync payload ships stale heads after an un-flushed append"
+
+    def build_cluster(self, fixed: bool = False) -> Cluster:
+        defects = {} if fixed else {"A": {"torn_head"}}
+        return _build(defects, replicas=("A", "B", "C", "D"))
+
+    def fixed_defects(self) -> frozenset:
+        return frozenset({"torn_head"})
+
+    def workload(self, cluster: Cluster) -> None:
+        a = cluster.rdl("A")
+        b = cluster.rdl("B")
+        c = cluster.rdl("C")
+        d = cluster.rdl("D")
+        d.grant_access("deploy-key")               # e1
+        cluster.sync("D", "C")                     # e2, e3
+        cluster.sync("C", "B")                     # e4, e5
+        cluster.sync("B", "A")                     # e6, e7   grant lands at A
+        a.append("x1", identity="deploy-key")      # e8
+        a.flush()                                  # e9
+        cluster.sync("A", "C")                     # e10, e11  torn candidate
+        b.append("b1")                             # e12
+        cluster.sync("B", "C")                     # e13, e14
+        c.append("c1")                             # e15
+        cluster.sync("C", "B")                     # e16, e17
+        b.entries()                                # e18 READ
+
+    def make_assertions(self) -> List[Assertion]:
+        return [assert_no_failed_op_matching("head hash")]
+
+
+@register
+class OrbitDB5(BugScenario):
+    """Issue #557 — "repo folder keeps getting locked": a sync applied while
+    the store is closed takes the repo folder lock to persist the new
+    entries and never releases it; the next open fails.
+
+    The lock is only taken when the payload carries *new* entries, which
+    requires the three-hop relay D -> C -> B -> A to have delivered d1 to B
+    first — the long chain that starves random exploration; the close/open
+    pair sits early, out of DFS's reach.
+    """
+
+    name = "OrbitDB-5"
+    issue = 557
+    subject = "OrbitDB"
+    expected_events = 24
+    status = "closed"
+    reason = "misconception"
+    description = "sync into a closed store leaks the repo folder lock"
+
+    def build_cluster(self, fixed: bool = False) -> Cluster:
+        defects = {} if fixed else {"A": {"lock_leak"}}
+        return _build(defects, replicas=("A", "B", "C", "D", "E"))
+
+    def fixed_defects(self) -> frozenset:
+        return frozenset({"lock_leak"})
+
+    def workload(self, cluster: Cluster) -> None:
+        a = cluster.rdl("A")
+        b = cluster.rdl("B")
+        e = cluster.rdl("E")
+        # The only write that is ever *new* to A travels the four-hop relay
+        # E -> D -> C -> B -> A; the close/open maintenance pair sits right
+        # after the delivering sync.  A leak needs that sync displaced into
+        # the maintenance window with the whole relay intact ahead of it.
+        a.append("a1")                             # e1
+        cluster.sync("A", "B")                     # e2, e3
+        e.append("x1")                             # e4
+        cluster.sync("E", "D")                     # e5, e6
+        cluster.sync("D", "C")                     # e7, e8
+        cluster.sync("C", "B")                     # e9, e10
+        cluster.sync("B", "A")                     # e11, e12  x1 reaches open A
+        a.close_store()                            # e13       maintenance restart
+        a.open_store()                             # e14
+        a.append("a2")                             # e15
+        cluster.sync("A", "B")                     # e16, e17
+        cluster.sync("A", "C")                     # e18, e19
+        cluster.sync("A", "D")                     # e20, e21
+        cluster.sync("A", "E")                     # e22, e23
+        b.entries()                                # e24 READ
+
+    def make_assertions(self) -> List[Assertion]:
+        return [assert_no_failed_op_matching("locked")]

@@ -1,0 +1,210 @@
+"""Table-1 bug scenarios for Subject 1 (Roshi).
+
+Event ids in spec_groups/constraints refer to the deterministic ``e1..eN``
+numbering the recorder assigns to the workload calls, in order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.bugs.registry import BugScenario, register
+from repro.core.assertions import (
+    FirstValueStability,
+    assert_convergence_when_settled,
+    assert_predicate,
+)
+from repro.core.replay import Assertion, InterleavingOutcome
+from repro.net.cluster import Cluster
+from repro.rdl.roshi import RoshiReplica
+
+KEY = "events"
+
+
+def _build(defects: set, replicas: Tuple[str, ...] = ("A", "B")) -> Cluster:
+    cluster = Cluster()
+    for rid in replicas:
+        cluster.add_replica(rid, RoshiReplica(rid, defects=set(defects)))
+    return cluster
+
+
+@register
+class Roshi1(BugScenario):
+    """Issue #18 — incorrect ``deleted`` field in the delete response.
+
+    The buggy library reports ``deleted`` from whether the request *wrote*
+    anything rather than from the post-conflict-resolution outcome.  The
+    workload deletes at timestamp 20 — legitimate at record time, but in
+    interleavings where the delete lands after B's re-add at timestamp 30
+    synced in, the delete loses LWW yet the response still claims success.
+    The app pairs each delete with an immediate score check (grouped), so the
+    invariant compares the response flag against the actual state.
+    """
+
+    name = "Roshi-1"
+    issue = 18
+    subject = "Roshi"
+    expected_events = 9
+    status = "closed"
+    reason = "misconception"
+    description = "delete response's 'deleted' field contradicts the CRDT outcome"
+
+    def build_cluster(self, fixed: bool = False) -> Cluster:
+        return _build(set() if fixed else {"wrong_deleted_field"})
+
+    def fixed_defects(self) -> frozenset:
+        return frozenset({"wrong_deleted_field"})
+
+    def workload(self, cluster: Cluster) -> None:
+        a = cluster.rdl("A")
+        b = cluster.rdl("B")
+        a.insert(KEY, "x", 10.0)       # e1
+        cluster.sync("A", "B")         # e2, e3
+        b.insert(KEY, "x", 30.0)       # e4
+        a.delete(KEY, "x", 20.0)       # e5  (grouped with e6)
+        a.score(KEY, "x")              # e6  READ: actual presence right now
+        cluster.sync("B", "A")         # e7, e8
+        a.select(KEY)                  # e9  READ
+
+    def spec_groups(self) -> List[Tuple[str, str]]:
+        return [("e5", "e6")]
+
+    def make_assertions(self) -> List[Assertion]:
+        def flag_matches_state(outcome: InterleavingOutcome) -> bool:
+            flag: Optional[bool] = None
+            score = "unset"
+            for res in outcome.event_results:
+                if res.event.op_name == "delete" and res.ok:
+                    flag = res.result
+                if res.event.event_id == "e6" and res.ok:
+                    score = res.result
+            if flag is None or score == "unset":
+                return True  # delete or probe did not run: vacuous
+            return flag == (score is None)
+
+        return [
+            assert_predicate(
+                flag_matches_state,
+                "delete response claimed deletion but the member survived LWW "
+                "(Roshi issue #18)",
+            )
+        ]
+
+
+@register
+class Roshi2(BugScenario):
+    """Issue #11 — CRDT semantics violated when add and delete carry the
+    same timestamp: without a fixed bias the winner is arrival order, so
+    replicas that observed different orders diverge forever.
+    """
+
+    name = "Roshi-2"
+    issue = 11
+    subject = "Roshi"
+    expected_events = 10
+    status = "closed"
+    reason = "RDL issue"
+    description = "equal-timestamp add/delete resolved by arrival order"
+
+    def build_cluster(self, fixed: bool = False) -> Cluster:
+        return _build(set() if fixed else {"no_tie_break"})
+
+    def fixed_defects(self) -> frozenset:
+        return frozenset({"no_tie_break"})
+
+    def workload(self, cluster: Cluster) -> None:
+        a = cluster.rdl("A")
+        b = cluster.rdl("B")
+        a.insert(KEY, "x", 5.0)        # e1
+        cluster.sync("A", "B")         # e2, e3
+        b.delete(KEY, "x", 5.0)        # e4  same timestamp!
+        cluster.sync("B", "A")         # e5, e6
+        a.insert(KEY, "y", 7.0)        # e7
+        cluster.sync("A", "B")         # e8, e9
+        b.select(KEY)                  # e10 READ
+
+    def make_assertions(self) -> List[Assertion]:
+        return [assert_convergence_when_settled(["A", "B"])]
+
+
+@register
+class Roshi3(BugScenario):
+    """Issue #40 — select responses follow Go-map (arrival) order instead of
+    descending timestamp.
+
+    The workload's recorded run delivers members to A in exactly descending
+    timestamp order, so arrival order coincides with the documented order and
+    nothing looks wrong.  The invariant only fires on a *complete* read (all
+    six members visible at A — which requires the whole sync relay, including
+    the two-hop B->C->A path for m6, to have completed), so random exploration
+    almost never reaches a violating interleaving, and reordering the early
+    delivery events is beyond DFS's tail-first horizon.
+    """
+
+    name = "Roshi-3"
+    issue = 40
+    subject = "Roshi"
+    expected_events = 21
+    status = "closed"
+    reason = "misconception"
+    description = "select order is arrival order, not timestamp order"
+
+    replica_scope = "A"
+
+    MEMBERS = ("m1", "m2", "m3", "m4", "m5", "m6")
+
+    def independence_constraints(self):
+        # Discovered while replaying: the initial B and C inserts (e2, e3)
+        # touch different members on different replicas; with no sync between
+        # them their order is immaterial (Algorithm 3, developer-supplied).
+        return [("e2", "e3")]
+
+    def build_cluster(self, fixed: bool = False) -> Cluster:
+        defects = set() if fixed else {"unordered_select"}
+        return _build(defects, replicas=("A", "B", "C", "D", "E"))
+
+    def fixed_defects(self) -> frozenset:
+        return frozenset({"unordered_select"})
+
+    def workload(self, cluster: Cluster) -> None:
+        a = cluster.rdl("A")
+        b = cluster.rdl("B")
+        c = cluster.rdl("C")
+        e = cluster.rdl("E")
+        # A's only inbound channel is C -> A; payloads deliver newest-first,
+        # so the recorded arrival order at A matches the documented select
+        # order.  The last member (m6) lives on the edge node E, whose only
+        # path to A is the three-hop E -> D -> C -> A relay — the
+        # completeness gate that keeps random exploration out.
+        a.insert(KEY, "m1", 60.0)      # e1
+        b.insert(KEY, "m2", 50.0)      # e2
+        c.insert(KEY, "m3", 40.0)      # e3
+        cluster.sync("B", "C")         # e4, e5    m2 joins C
+        cluster.sync("C", "A")         # e6, e7    m2, m3 arrive (desc)
+        b.insert(KEY, "m4", 30.0)      # e8
+        cluster.sync("B", "C")         # e9, e10   m4 joins C
+        c.insert(KEY, "m5", 20.0)      # e11
+        e.insert(KEY, "m6", 10.0)      # e12
+        cluster.sync("E", "D")         # e13, e14  relay hop 1
+        cluster.sync("D", "C")         # e15, e16  relay hop 2: m6 joins C
+        cluster.sync("C", "A")         # e17, e18  m4, m5, m6 arrive (desc)
+        cluster.sync("A", "B")         # e19, e20  outbound (no effect on A)
+        a.select(KEY, 0, 10)           # e21 READ
+
+    def make_assertions(self) -> List[Assertion]:
+        expected = list(self.MEMBERS)
+
+        def complete_reads_are_ordered(outcome: InterleavingOutcome) -> bool:
+            reads = outcome.reads()
+            result = reads.get("e21")
+            if result is None or set(result) != set(expected):
+                return True  # incomplete visibility: vacuous
+            return list(result) == expected
+
+        return [
+            assert_predicate(
+                complete_reads_are_ordered,
+                "select returned all members but not in descending timestamp "
+                "order (Roshi issue #40)",
+            )
+        ]

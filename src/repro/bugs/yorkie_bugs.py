@@ -1,0 +1,168 @@
+"""Table-1 bug scenarios for Subject 4 (Yorkie)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.bugs.registry import BugScenario, register
+from repro.core.assertions import assert_convergence_when_settled, assert_predicate
+from repro.core.replay import Assertion, InterleavingOutcome
+from repro.net.cluster import Cluster
+from repro.rdl.yorkie import YorkieDocument
+
+
+def _build(defects: set, replicas: Tuple[str, ...] = ("A", "B")) -> Cluster:
+    cluster = Cluster()
+    for rid in replicas:
+        cluster.add_replica(rid, YorkieDocument(rid, defects=set(defects)))
+    return cluster
+
+
+@register
+class Yorkie1(BugScenario):
+    """Issue #676 — the document doesn't converge when using Array.MoveAfter:
+    concurrent moves of the same element are applied in arrival order with no
+    conflict resolution, so replicas that saw the moves in different orders
+    disagree on the array forever.
+    """
+
+    name = "Yorkie-1"
+    issue = 676
+    subject = "Yorkie"
+    expected_events = 17
+    status = "open"
+    reason = "-"
+    description = "concurrent Array.MoveAfter applied in arrival order"
+
+    def build_cluster(self, fixed: bool = False) -> Cluster:
+        return _build(set() if fixed else {"nonconvergent_move"})
+
+    def fixed_defects(self) -> frozenset:
+        return frozenset({"nonconvergent_move"})
+
+    def workload(self, cluster: Cluster) -> None:
+        a = cluster.rdl("A")
+        b = cluster.rdl("B")
+        a.set(["items"], ["t1", "t2", "t3", "t4"])   # e1
+        cluster.sync("A", "B")                       # e2, e3
+        b.array_append(["items"], "t5")              # e4
+        cluster.sync("B", "A")                       # e5, e6
+        cluster.sync("A", "B")                       # e7, e8
+        a.move_after(["items"], 0, 2)                # e9  move t1 after t3
+        cluster.sync("A", "B")                       # e10, e11
+        b.move_after(["items"], 0, 3)                # e12 (recorded: saw A's move)
+        cluster.sync("B", "A")                       # e13, e14
+        cluster.sync("A", "B")                       # e15, e16
+        a.array_value(["items"])                     # e17 READ
+
+    def make_assertions(self) -> List[Assertion]:
+        return [assert_convergence_when_settled(["A", "B"])]
+
+
+@register
+class Yorkie2(BugScenario):
+    """Issue #663 — the set operation mishandles nested object values:
+    writing an object onto an existing object replaces the whole subtree
+    (LWW) instead of merging per key, so a concurrent nested write on a peer
+    is silently clobbered.
+
+    The invariant only fires when the observation is trustworthy: the final
+    config read must also see the two relay markers (proof that both
+    two-hop relay chains completed), which keeps the violating fraction
+    below random exploration's reach while the concurrency trigger itself
+    sits in the last few events — inside DFS's tail horizon.
+    """
+
+    name = "Yorkie-2"
+    issue = 663
+    subject = "Yorkie"
+    expected_events = 22
+    status = "closed"
+    reason = "misconception"
+    description = "set with a nested object value clobbers sibling keys"
+
+    def build_cluster(self, fixed: bool = False) -> Cluster:
+        defects = set() if fixed else {"shallow_set"}
+        return _build(defects, replicas=("A", "B", "C", "D"))
+
+    def fixed_defects(self) -> frozenset:
+        return frozenset({"shallow_set"})
+
+    def workload(self, cluster: Cluster) -> None:
+        a = cluster.rdl("A")
+        b = cluster.rdl("B")
+        c = cluster.rdl("C")
+        d = cluster.rdl("D")
+        # The shared config originates at C and reaches A through the
+        # C -> B -> A relay; A's nested update requires it to exist (strict
+        # Document.Update).  The audit marker that certifies the observation
+        # travels the three-hop D -> C -> B -> A relay.  The concurrency
+        # window between B's nested write and the delivery of A's sits at
+        # the tail of the workload, inside DFS's horizon.
+        c.set(["cfg"], {"base": 1})                  # e1
+        cluster.sync("C", "B")                       # e2, e3
+        cluster.sync("B", "A")                       # e4, e5
+        a.update(["cfg", "y"], 2)                    # e6   nested write #1
+        d.set(["audit"], "ok")                       # e7
+        cluster.sync("D", "C")                       # e8, e9
+        cluster.sync("C", "B")                       # e10, e11
+        cluster.sync("B", "A")                       # e12, e13  audit lands
+        a.get(["audit"])                             # e14 READ
+        cluster.sync("A", "B")                       # e15, e16  y reaches B
+        b.update(["cfg", "z"], 3)                    # e17  nested write #2
+        cluster.sync("B", "A")                       # e18, e19
+        a.get(["cfg"])                               # e20 READ
+        cluster.sync("A", "B")                       # e21, e22
+
+    def make_assertions(self) -> List[Assertion]:
+        def nested_writes_survive(outcome: InterleavingOutcome) -> bool:
+            succeeded = {
+                res.event.event_id
+                for res in outcome.event_results
+                if res.ok and res.event.op_name == "update"
+            }
+            if {"e6", "e17"} - succeeded:
+                return True  # a nested write never ran: vacuous
+            state = outcome.states.get("A", {})
+            if state.get("audit") != "ok":
+                return True  # audit relay incomplete: observation untrusted
+            final_cfg = state.get("cfg", {})
+            if not isinstance(final_cfg, dict):
+                return True
+            has_y = "y" in final_cfg
+            has_z = "z" in final_cfg
+            if (has_y and not has_z and self._z_reached_a(outcome)) or (
+                has_z and not has_y
+            ):
+                return False  # one nested write erased the other
+            return True
+
+        return [
+            assert_predicate(
+                nested_writes_survive,
+                "concurrent nested write clobbered a sibling key "
+                "(Yorkie issue #663)",
+            )
+        ]
+
+    @staticmethod
+    def _z_reached_a(outcome: InterleavingOutcome) -> bool:
+        """True iff some B->A sync request was issued after B's z-write and
+        its execution delivered at A (so z's absence at A is a real loss)."""
+        z_position = None
+        for index, res in enumerate(outcome.event_results):
+            if res.event.event_id == "e17":
+                z_position = index
+        if z_position is None:
+            return False
+        pending = []
+        for index, res in enumerate(outcome.event_results):
+            event = res.event
+            if event.is_sync and event.channel == ("B", "A"):
+                if event.event_id.startswith("e") and event.kind.value == "sync_req":
+                    pending.append(index)
+                elif pending:
+                    req_index = pending.pop(0)
+                    if req_index > z_position:
+                        return True
+        return False

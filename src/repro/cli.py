@@ -1,0 +1,288 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``bugs``                       — list the Table-1 bug scenarios.
+* ``hunt <bug>``                 — hunt one bug with a chosen mode.
+* ``table1`` / ``table2``        — regenerate the paper's tables.
+* ``fig8a``                      — the full three-mode sweep (slow).
+* ``motivating``                 — the town-reports pruning arithmetic.
+* ``fuzz``                       — fuzz the CRDT-collection subject.
+* ``profile <bug>``              — resource-profile a bug workload.
+* ``export <bug> <file>``        — dump a session as a Datalog program.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+
+def _cmd_bugs(args: argparse.Namespace) -> int:
+    from repro.bench.reporting import format_table
+    from repro.bugs import all_scenarios
+
+    rows = [
+        [sc.name, sc.issue, sc.expected_events, sc.status, sc.reason, sc.description]
+        for sc in all_scenarios()
+    ]
+    print(
+        format_table(
+            ["Bug", "Issue#", "#Events", "Status", "Reason", "Description"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_hunt(args: argparse.Namespace) -> int:
+    from repro.bench.harness import hunt, record_scenario
+    from repro.bugs import scenario
+
+    sc = scenario(args.bug)
+    recorded = record_scenario(sc)
+    print(
+        f"{sc.name} (issue #{sc.issue}): {sc.expected_events} events recorded; "
+        f"hunting with {args.mode} (cap {args.cap:,})..."
+    )
+    result = hunt(recorded, args.mode, cap=args.cap, seed=args.seed)
+    if result.found:
+        print(
+            f"reproduced after {result.explored:,} interleavings "
+            f"in {result.elapsed_s:.2f}s"
+        )
+        print(f"violation: {result.violating.violations[0]}")
+        if args.show_interleaving:
+            for event in result.violating.interleaving:
+                print(f"  {event.describe()}")
+        return 0
+    print(f"NOT reproduced within {result.explored:,} interleavings")
+    return 1
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.bench.harness import hunt, record_scenario
+    from repro.bench.reporting import format_table
+    from repro.bugs import all_scenarios
+
+    rows = []
+    for sc in all_scenarios():
+        result = hunt(record_scenario(sc), "erpi", cap=args.cap)
+        rows.append(
+            [
+                sc.name,
+                sc.issue,
+                sc.expected_events,
+                sc.status,
+                sc.reason,
+                result.explored if result.found else "CAP",
+            ]
+        )
+    print(
+        format_table(
+            ["BugName", "Issue#", "#Events", "Status", "Reason", "ER-pi replays"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.misconceptions import compute_matrix, format_matrix, matches_paper
+
+    results = compute_matrix(cap=args.cap)
+    print(format_matrix(results))
+    mismatches = matches_paper(results)
+    if mismatches:
+        print("\ncells disagreeing with the paper:")
+        for mismatch in mismatches:
+            print(f"  {mismatch}")
+        return 1
+    print("\nmatches the paper's Table 2")
+    return 0
+
+
+def _cmd_fig8a(args: argparse.Namespace) -> int:
+    from repro.bench.harness import hunt, record_scenario
+    from repro.bench.reporting import aggregate_ratios, format_fig8a_row
+    from repro.bugs import all_scenarios
+
+    per_bug = {}
+    for sc in all_scenarios():
+        results = {}
+        for mode in ("erpi", "dfs", "rand"):
+            results[mode] = hunt(record_scenario(sc), mode, cap=args.cap)
+        per_bug[sc.name] = results
+        print(format_fig8a_row(sc.name, results))
+    print()
+    print(aggregate_ratios(per_bug).summary())
+    return 0
+
+
+def _cmd_motivating(args: argparse.Namespace) -> int:
+    from repro.core import ErPi, GroupConstraint, assert_read_equals
+    from repro.net import Cluster
+    from repro.rdl import CRDTLibrary
+
+    cluster = Cluster()
+    for rid in ("A", "B"):
+        cluster.add_replica(rid, CRDTLibrary(rid))
+    erpi = ErPi(cluster, replica_scope="A", read_scoped=True)
+    erpi.start()
+    a, b = cluster.rdl("A"), cluster.rdl("B")
+    a.set_add("problems", "otb")
+    cluster.sync("A", "B")
+    b.set_add("problems", "ph")
+    cluster.sync("B", "A")
+    b.set_remove("problems", "otb")
+    cluster.sync("B", "A")
+    a.set_value("problems")
+    erpi.add_constraint(
+        GroupConstraint(pairs=(("e1", "e2"), ("e4", "e5"), ("e7", "e8")))
+    )
+    report = erpi.end(assertions=[assert_read_equals("e10", frozenset({"ph"}))])
+    print(report.summary())
+    return 0 if report.violated else 1
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.core.fuzzing import WorkloadFuzzer
+    from repro.net import Cluster
+    from repro.rdl import CRDTLibrary
+
+    defects = set(args.defect or [])
+
+    def factory() -> Cluster:
+        cluster = Cluster()
+        for rid in ("A", "B"):
+            cluster.add_replica(rid, CRDTLibrary(rid, defects=set(defects)))
+        return cluster
+
+    fuzzer = WorkloadFuzzer(factory, seed=args.seed)
+    report = fuzzer.run(
+        runs=args.runs, ops_per_run=args.ops, cap_per_run=args.cap
+    )
+    print(report.summary())
+    for finding in report.findings[: args.show]:
+        print(f"  {finding.describe()}")
+    return 1 if report.findings else 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.bugs import scenario
+    from repro.core import ErPi
+
+    sc = scenario(args.bug)
+    cluster = sc.build_cluster()
+    erpi = ErPi(cluster, persist=True)
+    erpi.start()
+    sc.workload(cluster)
+    for pair in sc.spec_groups():
+        from repro.core.constraints import GroupConstraint
+
+        erpi.add_constraint(GroupConstraint(pairs=(tuple(pair),)))
+    report = erpi.end(assertions=sc.make_assertions(), cap=args.cap)
+    text = erpi.export_datalog(args.output)
+    print(
+        f"exported {report.explored} explored interleavings "
+        f"({len(text.encode()):,} bytes of Datalog) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.bugs import scenario
+    from repro.core.profiling import ResourceProfiler
+
+    sc = scenario(args.bug)
+    cluster = sc.build_cluster()
+    profiler = ResourceProfiler(
+        cluster, spec_groups=sc.spec_groups()
+    )
+    profiler.start()
+    sc.workload(cluster)
+    report = profiler.end(cap=args.cap)
+    print(f"profiling {sc.name} across {report.replayed} interleavings:")
+    print(report.summary())
+    print("\nslowest interleavings:")
+    for profile in report.worst("duration_s", top=3):
+        print(
+            f"  #{profile.index}: {profile.duration_s * 1e3:.2f} ms, "
+            f"{profile.failed_ops} failed ops, {profile.state_bytes} B state"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ER-pi: exhaustive interleaving replay (Middleware 2025 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("bugs", help="list the Table-1 bug scenarios")
+
+    hunt = sub.add_parser("hunt", help="hunt one bug scenario")
+    hunt.add_argument("bug", help="scenario name, e.g. Roshi-2")
+    hunt.add_argument("--mode", choices=("erpi", "dfs", "rand"), default="erpi")
+    hunt.add_argument("--cap", type=int, default=10_000)
+    hunt.add_argument("--seed", type=int, default=0)
+    hunt.add_argument("--show-interleaving", action="store_true")
+
+    table1 = sub.add_parser("table1", help="regenerate Table 1")
+    table1.add_argument("--cap", type=int, default=10_000)
+
+    table2 = sub.add_parser("table2", help="regenerate Table 2")
+    table2.add_argument("--cap", type=int, default=600)
+
+    fig8a = sub.add_parser("fig8a", help="the full Figure-8a sweep (slow)")
+    fig8a.add_argument("--cap", type=int, default=10_000)
+
+    sub.add_parser("motivating", help="the town-reports motivating example")
+
+    fuzz = sub.add_parser("fuzz", help="fuzz the CRDT-collection subject")
+    fuzz.add_argument("--runs", type=int, default=10)
+    fuzz.add_argument("--ops", type=int, default=5)
+    fuzz.add_argument("--cap", type=int, default=200)
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--show", type=int, default=3)
+    fuzz.add_argument(
+        "--defect",
+        action="append",
+        help="seed a library defect flag (repeatable), e.g. no_conflict_resolution",
+    )
+
+    profile = sub.add_parser("profile", help="resource-profile a bug workload")
+    profile.add_argument("bug")
+    profile.add_argument("--cap", type=int, default=300)
+
+    export = sub.add_parser(
+        "export", help="export a bug workload's session as a Datalog program"
+    )
+    export.add_argument("bug")
+    export.add_argument("output")
+    export.add_argument("--cap", type=int, default=200)
+
+    return parser
+
+
+_COMMANDS = {
+    "bugs": _cmd_bugs,
+    "hunt": _cmd_hunt,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "fig8a": _cmd_fig8a,
+    "motivating": _cmd_motivating,
+    "fuzz": _cmd_fuzz,
+    "profile": _cmd_profile,
+    "export": _cmd_export,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

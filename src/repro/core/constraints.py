@@ -1,0 +1,150 @@
+"""Developer-provided pruning constraints (paper sections 4.5 and 5.2).
+
+ER-pi periodically checks a *constraints directory* for JSON files; each
+file contributes constraints that parameterise the runtime pruning
+algorithms (event independence, failed ops) or add explicit groups.  The
+same constraint objects can also be handed to the session programmatically.
+
+JSON shapes::
+
+    {"type": "group", "pairs": [["e3", "e4"], ["e7", "e8"]]}
+    {"type": "independence", "events": ["e2", "e5", "e6"]}
+    {"type": "failed_ops", "predecessors": ["e1"], "successors": ["e4", "e5"]}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ConstraintError
+from repro.core.pruning import (
+    EventIndependencePruner,
+    FailedOpsPruner,
+    Pruner,
+)
+
+
+@dataclass(frozen=True)
+class GroupConstraint:
+    """Explicit event pairs to fuse during Algorithm-1 grouping."""
+
+    pairs: Tuple[Tuple[str, str], ...]
+
+
+@dataclass(frozen=True)
+class IndependenceConstraint:
+    """Events declared mutually independent (Algorithm 3)."""
+
+    events: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class FailedOpsConstraint:
+    """Predecessors that doom the successors (Algorithm 4)."""
+
+    predecessors: Tuple[str, ...]
+    successors: Tuple[str, ...]
+
+
+Constraint = object  # union of the three dataclasses above
+
+
+def parse_constraint(raw: Dict) -> Constraint:
+    """Validate and convert one JSON object into a constraint."""
+    ctype = raw.get("type")
+    if ctype == "group":
+        pairs = raw.get("pairs")
+        if not isinstance(pairs, list) or not pairs:
+            raise ConstraintError("group constraint needs a non-empty 'pairs' list")
+        out: List[Tuple[str, str]] = []
+        for pair in pairs:
+            if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+                raise ConstraintError(f"malformed group pair {pair!r}")
+            out.append((str(pair[0]), str(pair[1])))
+        return GroupConstraint(pairs=tuple(out))
+    if ctype == "independence":
+        events = raw.get("events")
+        if not isinstance(events, list) or len(events) < 2:
+            raise ConstraintError("independence constraint needs >= 2 events")
+        return IndependenceConstraint(events=tuple(str(e) for e in events))
+    if ctype == "failed_ops":
+        preds = raw.get("predecessors")
+        succs = raw.get("successors")
+        if not preds or not succs:
+            raise ConstraintError("failed_ops needs predecessors and successors")
+        return FailedOpsConstraint(
+            predecessors=tuple(str(e) for e in preds),
+            successors=tuple(str(e) for e in succs),
+        )
+    raise ConstraintError(f"unknown constraint type {ctype!r}")
+
+
+def load_constraints_dir(directory: str) -> List[Constraint]:
+    """Read every ``*.json`` file in ``directory`` (sorted for determinism).
+
+    Each file holds either one constraint object or a list of them.
+    """
+    constraints: List[Constraint] = []
+    if not os.path.isdir(directory):
+        return constraints
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(directory, name)
+        with open(path) as handle:
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise ConstraintError(f"invalid JSON in {path}: {exc}") from exc
+        items = payload if isinstance(payload, list) else [payload]
+        for raw in items:
+            constraints.append(parse_constraint(raw))
+    return constraints
+
+
+def spec_groups_from(constraints: Sequence[Constraint]) -> List[Tuple[str, str]]:
+    pairs: List[Tuple[str, str]] = []
+    for constraint in constraints:
+        if isinstance(constraint, GroupConstraint):
+            pairs.extend(constraint.pairs)
+    return pairs
+
+
+def suggest_update_sync_groups(events) -> Optional[GroupConstraint]:
+    """Propose Algorithm-1 developer groups pairing each update with the sync
+    request that immediately follows it from the same replica.
+
+    This automates the motivating example's hand-written pairing of ``ev_X``
+    with ``sync(ev_X)``: an update directly followed by "ship my state"
+    almost always belongs to one logical action, so permuting the pair apart
+    only wastes replays.  Returns None when no such pair exists.
+    """
+    from repro.core.events import EventKind
+
+    pairs: List[Tuple[str, str]] = []
+    for current, following in zip(events, events[1:]):
+        if (
+            current.kind == EventKind.UPDATE
+            and following.kind == EventKind.SYNC_REQ
+            and following.from_replica == current.replica_id
+        ):
+            pairs.append((current.event_id, following.event_id))
+    if not pairs:
+        return None
+    return GroupConstraint(pairs=tuple(pairs))
+
+
+def pruners_from(constraints: Sequence[Constraint]) -> List[Pruner]:
+    """Instantiate the runtime pruners the constraints call for."""
+    pruners: List[Pruner] = []
+    for constraint in constraints:
+        if isinstance(constraint, IndependenceConstraint):
+            pruners.append(EventIndependencePruner(constraint.events))
+        elif isinstance(constraint, FailedOpsConstraint):
+            pruners.append(
+                FailedOpsPruner(constraint.predecessors, constraint.successors)
+            )
+    return pruners

@@ -1,0 +1,23 @@
+"""Exceptions raised by the ER-pi core."""
+
+
+class ErPiError(Exception):
+    """Base class for ER-pi failures."""
+
+
+class RecordingError(ErPiError):
+    """Event capture failed (misuse of start/end, unknown replica, ...)."""
+
+
+class ReplayError(ErPiError):
+    """An interleaving could not be replayed (engine-level failure, distinct
+    from an op that merely failed inside the RDL — those are data)."""
+
+
+class ConstraintError(ErPiError):
+    """A developer-provided pruning constraint is malformed."""
+
+
+class ResourceExhausted(ErPiError):
+    """A simulated resource budget was exceeded (the "crash" of the paper's
+    succeed-or-crash micro-benchmark, Figure 10)."""

@@ -1,0 +1,205 @@
+"""Exploration strategies: ER-pi, DFS and Random (paper section 6.3).
+
+All three modes replay interleavings one by one against the same
+:class:`~repro.core.replay.ReplayEngine` and stop on the first assertion
+violation (bug reproduced), on the exploration cap (the paper terminates at
+10,000 interleavings), or on resource exhaustion (Figure 10):
+
+* :class:`DFSExplorer` — exhaustive lexicographic DFS over the **raw** event
+  permutations, exactly the paper's baseline: no grouping, no pruning, the
+  interleaving tree explored by backtracking, every explored path remembered
+  in the checker ledger.
+* :class:`RandomExplorer` — composes each interleaving by shuffling the raw
+  events, caching composed interleavings to avoid repetition (and paying for
+  re-shuffles once most of the space is cached).
+* :class:`ERPiExplorer` — ER-pi: Algorithm-1 grouping up front, minimal-change
+  (SJT) enumeration over units, and the applicable post-generation pruners
+  filtering equivalent interleavings before they are ever replayed.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ResourceExhausted
+from repro.core.events import Event
+from repro.core.interleavings import (
+    GroupingResult,
+    Interleaving,
+    flatten,
+    group_events,
+    interleaving_stream,
+)
+from repro.core.pruning.base import Pruner, PrunerPipeline
+from repro.core.replay import Assertion, InterleavingOutcome, ReplayEngine
+from repro.core.resources import ResourceMeter, interleaving_footprint
+
+#: The paper's exploration cap.
+DEFAULT_CAP = 10_000
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of one exploration run (one bar of Figure 8a/8b)."""
+
+    mode: str
+    found: bool
+    explored: int
+    elapsed_s: float
+    crashed: bool = False
+    crash_reason: Optional[str] = None
+    violating: Optional[InterleavingOutcome] = None
+    pruning_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def capped(self) -> bool:
+        return not self.found and not self.crashed
+
+
+class Explorer(abc.ABC):
+    """Shared explore loop; subclasses provide the candidate stream."""
+
+    mode = "explorer"
+
+    def __init__(self, events: Sequence[Event], meter: Optional[ResourceMeter] = None) -> None:
+        self.events: Tuple[Event, ...] = tuple(events)
+        self.meter = meter or ResourceMeter()
+
+    @abc.abstractmethod
+    def candidates(self) -> Iterator[Interleaving]:
+        """A lazy stream of interleavings to replay, in exploration order."""
+
+    def explore(
+        self,
+        engine: ReplayEngine,
+        assertions: Sequence[Assertion],
+        cap: int = DEFAULT_CAP,
+        stop_on_violation: bool = True,
+    ) -> ExplorationResult:
+        started = time.perf_counter()
+        explored = 0
+        violating: Optional[InterleavingOutcome] = None
+        crashed = False
+        crash_reason: Optional[str] = None
+        try:
+            for interleaving in self.candidates():
+                if explored >= cap:
+                    break
+                outcome = engine.replay(interleaving, assertions)
+                explored += 1
+                if outcome.violated:
+                    violating = outcome
+                    if stop_on_violation:
+                        break
+        except ResourceExhausted as exc:
+            crashed = True
+            crash_reason = str(exc)
+        elapsed = time.perf_counter() - started
+        return ExplorationResult(
+            mode=self.mode,
+            found=violating is not None,
+            explored=explored,
+            elapsed_s=elapsed,
+            crashed=crashed,
+            crash_reason=crash_reason,
+            violating=violating,
+            pruning_stats=self._pruning_stats(),
+        )
+
+    def _pruning_stats(self) -> Dict[str, int]:
+        return {}
+
+
+class DFSExplorer(Explorer):
+    """Lexicographic DFS over raw-event permutations (no reduction)."""
+
+    mode = "dfs"
+
+    def candidates(self) -> Iterator[Interleaving]:
+        units = tuple((event,) for event in self.events)
+        for interleaving in interleaving_stream(units, order="lexicographic"):
+            # The checker server persists every explored interleaving.
+            self.meter.charge("dfs_ledger", interleaving_footprint(len(self.events)))
+            yield interleaving
+
+
+class RandomExplorer(Explorer):
+    """Shuffle-and-cache exploration (the paper's Rand mode)."""
+
+    mode = "rand"
+
+    def __init__(
+        self,
+        events: Sequence[Event],
+        meter: Optional[ResourceMeter] = None,
+        seed: int = 0,
+        max_reshuffles: int = 1_000,
+    ) -> None:
+        super().__init__(events, meter)
+        self.seed = seed
+        self.max_reshuffles = max_reshuffles
+        self.reshuffles = 0
+
+    def candidates(self) -> Iterator[Interleaving]:
+        rng = random.Random(self.seed)
+        cache: set = set()
+        order = list(self.events)
+        while True:
+            attempts = 0
+            while True:
+                rng.shuffle(order)
+                key = tuple(event.event_id for event in order)
+                if key not in cache:
+                    break
+                attempts += 1
+                self.reshuffles += 1
+                # Re-shuffling is not free: the composer burns time (visible
+                # in Figure 8b) and scratch space finding a fresh ordering.
+                self.meter.charge("rand_reshuffle", 8)
+                if attempts >= self.max_reshuffles:
+                    return  # space effectively exhausted for this seed
+            cache.add(key)
+            self.meter.charge("rand_cache", interleaving_footprint(len(self.events)))
+            yield tuple(order)
+
+
+class ERPiExplorer(Explorer):
+    """ER-pi: grouping + minimal-change enumeration + pruning pipeline."""
+
+    mode = "erpi"
+
+    def __init__(
+        self,
+        events: Sequence[Event],
+        meter: Optional[ResourceMeter] = None,
+        spec_groups: Optional[Sequence[Tuple[str, str]]] = None,
+        pruners: Optional[Iterable[Pruner]] = None,
+        order: str = "relocation",
+    ) -> None:
+        super().__init__(events, meter)
+        self.spec_groups = tuple(spec_groups or ())
+        self.pipeline = PrunerPipeline(pruners or [])
+        self.order = order
+        self.grouping: GroupingResult = group_events(self.events, self.spec_groups)
+
+    def candidates(self) -> Iterator[Interleaving]:
+        self.pipeline.reset()
+        for interleaving in interleaving_stream(self.grouping.units, order=self.order):
+            if self.pipeline.is_redundant(interleaving):
+                # Pruned: never replayed, but the seen-set entry costs memory.
+                self.meter.charge("erpi_seen", 16)
+                continue
+            self.meter.charge("erpi_seen", interleaving_footprint(len(self.events)))
+            yield interleaving
+
+    def _pruning_stats(self) -> Dict[str, int]:
+        stats: Dict[str, int] = {
+            "event_grouping": self.grouping.raw_space - self.grouping.grouped_space
+        }
+        for name, pstats in self.pipeline.stats().items():
+            stats[name] = pstats.pruned
+        return stats

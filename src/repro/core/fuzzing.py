@@ -1,0 +1,238 @@
+"""Workload fuzzing on top of exhaustive replay (paper §8 future work).
+
+The paper plans to extend ER-pi "for tasks such as resource profiling and
+fuzzing".  This module provides the fuzzing half: instead of replaying one
+developer-written workload, a :class:`WorkloadFuzzer` *generates* random
+workloads from an operation pool, records each one through the normal
+proxying pipeline, and hands it to the ER-pi explorer.  Every generated
+workload thus gets the full interleaving treatment — the fuzzer searches
+the workload space while ER-pi searches the schedule space.
+
+Default invariants are generic and double-layered: per interleaving,
+settled replicas must converge; across the interleavings of one workload,
+every settled interleaving that also *preserves per-replica program order*
+must produce the same final states — a library that loses updates can leave
+replicas agreeing on the wrong state, and only the cross-interleaving
+comparison exposes that.  (Interleavings that reorder one replica's own ops
+are still replayed and checked per-interleaving, but excluded from the
+stability digest: an app removing an element it just added is genuinely
+order-dependent even on a perfect library.)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.assertions import (
+    _freeze,
+    assert_convergence_when_settled,
+    is_settled,
+)
+from repro.core.explorers import ERPiExplorer
+from repro.core.replay import Assertion, InterleavingOutcome, ReplayEngine
+from repro.net.cluster import Cluster
+from repro.proxy.recorder import EventRecorder
+
+#: An operation generator: (cluster, rng) -> None, performing one app call.
+OpGenerator = Callable[[Cluster, random.Random], None]
+
+
+@dataclass
+class FuzzFinding:
+    """One violating (workload, interleaving) pair."""
+
+    run_index: int
+    events: Tuple[Any, ...]
+    violations: List[str]
+    interleaving_ids: Tuple[str, ...]
+
+    def describe(self) -> str:
+        ops = ", ".join(event.describe() for event in self.events)
+        return f"run {self.run_index}: [{ops}] -> {self.violations[0]}"
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate result of a fuzzing campaign."""
+
+    runs: int
+    total_interleavings: int
+    findings: List[FuzzFinding] = field(default_factory=list)
+
+    @property
+    def violating_runs(self) -> int:
+        return len({finding.run_index for finding in self.findings})
+
+    def summary(self) -> str:
+        return (
+            f"{self.runs} fuzzed workloads, {self.total_interleavings} "
+            f"interleavings replayed, {self.violating_runs} workloads with "
+            f"violations ({len(self.findings)} violating interleavings)"
+        )
+
+
+def crdt_library_op_pool() -> List[OpGenerator]:
+    """A default (monotone) op pool for the CRDT-collection subject."""
+
+    items = ["alpha", "beta", "gamma", "delta"]
+
+    def set_add(cluster: Cluster, rng: random.Random) -> None:
+        replica = rng.choice(cluster.replica_ids())
+        cluster.rdl(replica).set_add("fuzz-set", rng.choice(items))
+
+    def set_remove(cluster: Cluster, rng: random.Random) -> None:
+        replica = rng.choice(cluster.replica_ids())
+        cluster.rdl(replica).set_remove("fuzz-set", rng.choice(items))
+
+    def counter_increment(cluster: Cluster, rng: random.Random) -> None:
+        replica = rng.choice(cluster.replica_ids())
+        cluster.rdl(replica).counter_increment("fuzz-counter", rng.randint(1, 3))
+
+    def flag_enable(cluster: Cluster, rng: random.Random) -> None:
+        replica = rng.choice(cluster.replica_ids())
+        cluster.rdl(replica).flag_enable("fuzz-flag")
+
+    def sync(cluster: Cluster, rng: random.Random) -> None:
+        ids = cluster.replica_ids()
+        sender = rng.choice(ids)
+        receiver = rng.choice([rid for rid in ids if rid != sender])
+        cluster.sync(sender, receiver)
+
+    # Syncs are weighted up so workloads are usually connected enough for
+    # the settledness gate to fire.  The default pool is *monotone* on
+    # purpose: LWW registers (winner depends on stamp, i.e. on the
+    # interleaving) and observed-remove deletes (effect depends on which
+    # concurrent adds the remover had seen) are legitimately
+    # order-dependent even on a perfect library, so they would trip the
+    # cross-interleaving stability check with false positives.  Pass a
+    # custom pool (e.g. including ``set_remove``) together with
+    # workload-specific assertions to fuzz non-monotone surfaces.
+    return [set_add, counter_increment, flag_enable, sync, sync]
+
+
+class WorkloadFuzzer:
+    """Generate-record-explore fuzzing loop."""
+
+    def __init__(
+        self,
+        cluster_factory: Callable[[], Cluster],
+        op_pool: Optional[Sequence[OpGenerator]] = None,
+        assertion_factory: Optional[Callable[[], List[Assertion]]] = None,
+        seed: int = 0,
+        cross_check_stability: bool = True,
+    ) -> None:
+        if op_pool is not None and not list(op_pool):
+            raise ValueError("op pool must not be empty")
+        self.cluster_factory = cluster_factory
+        self.op_pool = list(op_pool) if op_pool is not None else crdt_library_op_pool()
+        self.assertion_factory = assertion_factory or (
+            lambda: [assert_convergence_when_settled()]
+        )
+        self.cross_check_stability = cross_check_stability
+        self.seed = seed
+
+    def _generate(self, cluster: Cluster, rng: random.Random, ops: int) -> None:
+        for _ in range(ops):
+            generator = rng.choice(self.op_pool)
+            try:
+                generator(cluster, rng)
+            except Exception:
+                # An op that is invalid in the current state (e.g. removing
+                # from an empty set on a strict structure) is simply skipped:
+                # the fuzzer cares about recorded, executable workloads.
+                continue
+        # End every workload with one full exchange so the settledness gate
+        # has a chance to fire.
+        ids = cluster.replica_ids()
+        for sender in ids:
+            for receiver in ids:
+                if sender != receiver:
+                    cluster.sync(sender, receiver)
+
+    def run(
+        self,
+        runs: int = 10,
+        ops_per_run: int = 5,
+        cap_per_run: int = 200,
+    ) -> FuzzReport:
+        """Fuzz ``runs`` workloads; explore up to ``cap_per_run`` interleavings
+        of each; collect every violation."""
+        report = FuzzReport(runs=runs, total_interleavings=0)
+        for run_index in range(runs):
+            rng = random.Random((self.seed, run_index).__hash__())
+            cluster = self.cluster_factory()
+            engine = ReplayEngine(cluster)
+            engine.checkpoint()
+            recorder = EventRecorder(cluster)
+            recorder.start()
+            self._generate(cluster, rng, ops_per_run)
+            events = tuple(recorder.stop())
+            if not events:
+                continue
+            explorer = ERPiExplorer(events)
+            assertions = self.assertion_factory()
+            replica_ids = cluster.replica_ids()
+            recorded_order: Dict[str, List[str]] = {}
+            for event in events:
+                if not event.is_sync:
+                    recorded_order.setdefault(event.replica_id, []).append(
+                        event.event_id
+                    )
+
+            def preserves_program_order(interleaving) -> bool:
+                """Each replica's own updates/reads stay in recorded order.
+
+                Sync events move freely (delivery timing is the
+                nondeterminism under test); reordering a replica's own
+                updates against each other produces a different *program*,
+                which may legitimately compute a different state.
+                """
+                per_replica: Dict[str, List[str]] = {}
+                for event in interleaving:
+                    if not event.is_sync:
+                        per_replica.setdefault(event.replica_id, []).append(
+                            event.event_id
+                        )
+                return per_replica == recorded_order
+            explored = 0
+            violations: List[str] = []
+            violating_ids: List[str] = []
+            settled_reference: Optional[Tuple[Any, Tuple[str, ...]]] = None
+            for interleaving in explorer.candidates():
+                if explored >= cap_per_run:
+                    break
+                outcome = engine.replay(interleaving, assertions)
+                explored += 1
+                if outcome.violated:
+                    violations.extend(outcome.violations)
+                    violating_ids = [e.event_id for e in interleaving]
+                    break
+                if (
+                    self.cross_check_stability
+                    and is_settled(outcome, replica_ids)
+                    and preserves_program_order(interleaving)
+                ):
+                    digest = _freeze(outcome.states)
+                    ids = tuple(e.event_id for e in interleaving)
+                    if settled_reference is None:
+                        settled_reference = (digest, ids)
+                    elif settled_reference[0] != digest:
+                        violations.append(
+                            "settled interleavings disagree on the final "
+                            f"states: {ids} vs {settled_reference[1]}"
+                        )
+                        violating_ids = list(ids)
+                        break
+            report.total_interleavings += explored
+            if violations:
+                report.findings.append(
+                    FuzzFinding(
+                        run_index=run_index,
+                        events=events,
+                        violations=violations,
+                        interleaving_ids=tuple(violating_ids),
+                    )
+                )
+        return report

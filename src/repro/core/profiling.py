@@ -1,0 +1,171 @@
+"""Resource profiling across interleavings (paper §8 future work).
+
+The same exhaustive-replay machinery that checks invariants can *measure*:
+how long does each interleaving take, how many library operations fail, how
+much replicated state accumulates, how chatty is the wire?  A
+:class:`ResourceProfiler` replays every surviving interleaving of a recorded
+workload and reports the distribution — worst-case interleavings included,
+which single-schedule profiling by definition misses.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.explorers import ERPiExplorer
+from repro.core.interleavings import Interleaving
+from repro.core.pruning.base import Pruner
+from repro.core.replay import InterleavingOutcome, ReplayEngine
+from repro.net.cluster import Cluster
+from repro.proxy.recorder import EventRecorder
+
+
+def _state_footprint(value: Any) -> int:
+    """A rough, deterministic byte estimate of an observable state."""
+    if isinstance(value, dict):
+        return 32 + sum(
+            _state_footprint(k) + _state_footprint(v) for k, v in value.items()
+        )
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return 24 + sum(_state_footprint(item) for item in value)
+    if isinstance(value, str):
+        return 40 + len(value)
+    if isinstance(value, (int, float, bool)) or value is None:
+        return 24
+    return sys.getsizeof(value)
+
+
+@dataclass
+class InterleavingProfile:
+    """Resource measurements for one replayed interleaving."""
+
+    index: int
+    duration_s: float
+    failed_ops: int
+    messages_sent: int
+    messages_dropped: int
+    state_bytes: int
+    event_ids: Tuple[str, ...]
+
+
+@dataclass
+class Percentiles:
+    minimum: float
+    median: float
+    p95: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Percentiles":
+        if not values:
+            return cls(0.0, 0.0, 0.0, 0.0)
+        ordered = sorted(values)
+
+        def pick(fraction: float) -> float:
+            position = min(int(fraction * (len(ordered) - 1)), len(ordered) - 1)
+            return ordered[position]
+
+        return cls(ordered[0], pick(0.5), pick(0.95), ordered[-1])
+
+
+@dataclass
+class ProfileReport:
+    """Distribution of resource usage across interleavings."""
+
+    profiles: List[InterleavingProfile] = field(default_factory=list)
+
+    @property
+    def replayed(self) -> int:
+        return len(self.profiles)
+
+    def duration(self) -> Percentiles:
+        return Percentiles.of([p.duration_s for p in self.profiles])
+
+    def state_bytes(self) -> Percentiles:
+        return Percentiles.of([float(p.state_bytes) for p in self.profiles])
+
+    def failed_ops(self) -> Percentiles:
+        return Percentiles.of([float(p.failed_ops) for p in self.profiles])
+
+    def messages(self) -> Percentiles:
+        return Percentiles.of([float(p.messages_sent) for p in self.profiles])
+
+    def worst(self, metric: str = "duration_s", top: int = 3) -> List[InterleavingProfile]:
+        """The ``top`` most expensive interleavings by ``metric``."""
+        return sorted(
+            self.profiles, key=lambda p: getattr(p, metric), reverse=True
+        )[:top]
+
+    def summary(self) -> str:
+        duration = self.duration()
+        state = self.state_bytes()
+        failed = self.failed_ops()
+        return "\n".join(
+            [
+                f"interleavings profiled: {self.replayed}",
+                (
+                    f"replay time   min {duration.minimum * 1e3:.2f} ms  "
+                    f"median {duration.median * 1e3:.2f} ms  "
+                    f"p95 {duration.p95 * 1e3:.2f} ms  "
+                    f"max {duration.maximum * 1e3:.2f} ms"
+                ),
+                (
+                    f"state size    min {state.minimum:.0f} B  "
+                    f"median {state.median:.0f} B  max {state.maximum:.0f} B"
+                ),
+                f"failed ops    median {failed.median:.0f}  max {failed.maximum:.0f}",
+            ]
+        )
+
+
+class ResourceProfiler:
+    """Replay every (pruned) interleaving of a recorded workload, measuring."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        pruners: Optional[Sequence[Pruner]] = None,
+        spec_groups: Optional[Sequence[Tuple[str, str]]] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.pruners = list(pruners or [])
+        self.spec_groups = list(spec_groups or [])
+        self._engine = ReplayEngine(cluster)
+        self._recorder: Optional[EventRecorder] = None
+
+    def start(self) -> None:
+        self._engine.checkpoint()
+        self._recorder = EventRecorder(self.cluster)
+        self._recorder.start()
+
+    def end(self, cap: int = 500) -> ProfileReport:
+        if self._recorder is None:
+            raise RuntimeError("profiler was not started")
+        events = tuple(self._recorder.stop())
+        self._recorder = None
+        explorer = ERPiExplorer(
+            events, spec_groups=self.spec_groups, pruners=self.pruners
+        )
+        report = ProfileReport()
+        transport = self.cluster.transport
+        for index, interleaving in enumerate(explorer.candidates()):
+            if index >= cap:
+                break
+            sent_before = transport.sent_count
+            dropped_before = transport.dropped_count
+            outcome = self._engine.replay(interleaving)
+            report.profiles.append(
+                InterleavingProfile(
+                    index=index,
+                    duration_s=outcome.duration_s,
+                    failed_ops=len(outcome.failed_ops),
+                    messages_sent=transport.sent_count - sent_before,
+                    messages_dropped=transport.dropped_count - dropped_before,
+                    state_bytes=_state_footprint(outcome.states),
+                    event_ids=tuple(e.event_id for e in interleaving),
+                )
+            )
+        self._engine.restore()
+        return report

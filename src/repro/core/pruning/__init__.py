@@ -1,0 +1,24 @@
+"""ER-pi's four pruning algorithms (paper section 3)."""
+
+from repro.core.pruning.base import Pruner, PrunerPipeline, PruneStats
+from repro.core.pruning.failed_ops import FailedOpsPruner
+from repro.core.pruning.grouping import EventGroupPruner
+from repro.core.pruning.independence import EventIndependencePruner, default_interference
+from repro.core.pruning.replica_specific import (
+    ReadScopedPruner,
+    ReplicaSpecificPruner,
+    observation_signature,
+)
+
+__all__ = [
+    "EventGroupPruner",
+    "EventIndependencePruner",
+    "FailedOpsPruner",
+    "PruneStats",
+    "Pruner",
+    "PrunerPipeline",
+    "ReadScopedPruner",
+    "ReplicaSpecificPruner",
+    "default_interference",
+    "observation_signature",
+]

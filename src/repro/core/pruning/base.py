@@ -1,0 +1,98 @@
+"""Common machinery for ER-pi's post-generation pruning algorithms.
+
+Each pruner assigns every interleaving a *canonical class key*; interleavings
+with equal keys are guaranteed to be equivalent for the property under test,
+so ER-pi replays exactly one representative per class (the paper's "merge
+k interleavings into a single one").
+
+Two usage styles:
+
+* batch — ``apply(interleavings)`` dedupes a list, keep-first;
+* streaming — an explorer keeps a per-pruner seen-set and calls
+  :meth:`Pruner.is_redundant` on each candidate before replaying it, which is
+  what makes pruning usable on search spaces too large to materialise.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.interleavings import Interleaving
+
+
+@dataclass
+class PruneStats:
+    """Bookkeeping for one pruner (feeds the Figure-9 benchmark)."""
+
+    name: str
+    examined: int = 0
+    pruned: int = 0
+
+    @property
+    def kept(self) -> int:
+        return self.examined - self.pruned
+
+
+class Pruner(abc.ABC):
+    """One pruning algorithm: a canonical-class-key function plus stats."""
+
+    name: str = "pruner"
+
+    def __init__(self) -> None:
+        self._seen: Set[Hashable] = set()
+        self.stats = PruneStats(name=self.name)
+
+    @abc.abstractmethod
+    def key(self, interleaving: Interleaving) -> Hashable:
+        """The equivalence-class key of ``interleaving`` for this pruner."""
+
+    def is_redundant(self, interleaving: Interleaving) -> bool:
+        """Streaming check: True iff an equivalent interleaving was seen.
+
+        Records the key as a side effect, so call it at most once per
+        candidate.
+        """
+        self.stats.examined += 1
+        class_key = self.key(interleaving)
+        if class_key in self._seen:
+            self.stats.pruned += 1
+            return True
+        self._seen.add(class_key)
+        return False
+
+    def reset(self) -> None:
+        self._seen.clear()
+        self.stats = PruneStats(name=self.name)
+
+    def apply(self, interleavings: Sequence[Interleaving]) -> List[Interleaving]:
+        """Batch dedupe, keep-first.  Uses a fresh seen-set."""
+        self.reset()
+        return [il for il in interleavings if not self.is_redundant(il)]
+
+
+class PrunerPipeline:
+    """A set of pruners applied jointly: an interleaving is redundant when
+    *any* pruner has already seen its class (greedy union of equivalences)."""
+
+    def __init__(self, pruners: Iterable[Pruner]) -> None:
+        self.pruners: List[Pruner] = list(pruners)
+
+    def is_redundant(self, interleaving: Interleaving) -> bool:
+        # Evaluate every pruner so each one's seen-set and stats stay
+        # complete; redundancy is the OR across pruners.
+        verdicts = [pruner.is_redundant(interleaving) for pruner in self.pruners]
+        return any(verdicts)
+
+    def apply(self, interleavings: Sequence[Interleaving]) -> List[Interleaving]:
+        for pruner in self.pruners:
+            pruner.reset()
+        return [il for il in interleavings if not self.is_redundant(il)]
+
+    def reset(self) -> None:
+        for pruner in self.pruners:
+            pruner.reset()
+
+    def stats(self) -> Dict[str, PruneStats]:
+        return {pruner.name: pruner.stats for pruner in self.pruners}

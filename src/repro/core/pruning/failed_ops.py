@@ -1,0 +1,62 @@
+"""Algorithm 4 — Failed-Ops Pruning.
+
+Some replicated data structures reject updates whose preconditions no longer
+hold (add an existing set element, remove a missing one — paper Figure 6).
+If, in an interleaving, every declared *predecessor* event executes before
+every declared *successor* event, then all the successors fail, and
+interleavings that differ only in the relative order of those doomed
+successors are equivalent.
+
+Canonical key: when the all-predecessors-before-all-successors condition
+holds (with the predecessors' relative order fixed, per the paper's
+``p' < p'' => s' < s''`` clause being about preserving relative positions),
+the successors are sorted into their positions; otherwise the interleaving
+is its own class.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Iterable, Sequence, Tuple
+
+from repro.core.errors import ConstraintError
+from repro.core.interleavings import Interleaving
+from repro.core.pruning.base import Pruner
+
+
+class FailedOpsPruner(Pruner):
+    """Keep one representative per doomed-successor-order class."""
+
+    name = "failed_ops"
+
+    def __init__(
+        self,
+        predecessor_ids: Iterable[str],
+        successor_ids: Iterable[str],
+    ) -> None:
+        super().__init__()
+        self.predecessor_ids = frozenset(predecessor_ids)
+        self.successor_ids = frozenset(successor_ids)
+        if not self.predecessor_ids or not self.successor_ids:
+            raise ConstraintError("failed-ops needs predecessors and successors")
+        if self.predecessor_ids & self.successor_ids:
+            raise ConstraintError("an event cannot be both predecessor and successor")
+
+    def key(self, interleaving: Interleaving) -> Hashable:
+        ids = [event.event_id for event in interleaving]
+        pred_positions = [
+            index for index, eid in enumerate(ids) if eid in self.predecessor_ids
+        ]
+        succ_positions = [
+            index for index, eid in enumerate(ids) if eid in self.successor_ids
+        ]
+        if not pred_positions or not succ_positions:
+            return tuple(ids)
+        if max(pred_positions) > min(succ_positions):
+            # Some successor runs before a predecessor: its precondition may
+            # still hold, so orders are NOT exchangeable — own class.
+            return tuple(ids)
+        # All successors are doomed; their relative order is irrelevant.
+        sorted_successors = sorted(ids[index] for index in succ_positions)
+        for slot, index in enumerate(succ_positions):
+            ids[index] = sorted_successors[slot]
+        return tuple(ids)

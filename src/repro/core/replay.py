@@ -1,0 +1,212 @@
+"""The replay engine: execute interleavings against checkpointed replicas.
+
+For each interleaving (paper section 4.3) the engine:
+
+1. restores every replica to the checkpointed initial state (and clears the
+   transport), so interleavings cannot affect each other;
+2. re-invokes the recorded events in the interleaving's order, catching RDL
+   errors — a failing op is *data* (it feeds failed-ops pruning), not an
+   engine failure;
+3. runs the registered per-interleaving assertions;
+4. reports an :class:`InterleavingOutcome`.
+
+Two executors enforce the event order:
+
+* :class:`SequentialExecutor` — the default: events run in-line in
+  interleaving order (deterministic and fast; correct because the simulated
+  cluster is single-process).
+* :class:`LockSteppedExecutor` — one worker thread per replica, released in
+  event order by the Redis-backed distributed lock
+  (:class:`~repro.redisim.lock.SequenceGate`) exactly as the paper's
+  middleware orders events across real machines.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ReplayError
+from repro.core.events import Event, EventKind, assign_lamport
+from repro.core.interleavings import Interleaving
+from repro.crdt.base import CRDTError
+from repro.net.cluster import Cluster
+from repro.rdl.base import RDLError
+from repro.redisim.farm import RedisimFarm
+from repro.redisim.lock import SequenceGate
+
+
+@dataclass
+class EventResult:
+    """What happened when one event replayed."""
+
+    event: Event
+    lamport: int
+    ok: bool
+    result: Any = None
+    error: Optional[str] = None
+
+
+@dataclass
+class InterleavingOutcome:
+    """The full result of replaying one interleaving."""
+
+    interleaving: Interleaving
+    event_results: List[EventResult]
+    states: Dict[str, Any]
+    violations: List[str]
+    duration_s: float
+
+    @property
+    def violated(self) -> bool:
+        return bool(self.violations)
+
+    @property
+    def failed_ops(self) -> List[EventResult]:
+        return [res for res in self.event_results if not res.ok]
+
+    def reads(self) -> Dict[str, Any]:
+        """event_id -> result for every READ event (what the app observed)."""
+        return {
+            res.event.event_id: res.result
+            for res in self.event_results
+            if res.event.kind == EventKind.READ
+        }
+
+
+#: An assertion takes the outcome-so-far (results + final states) and returns
+#: a violation message, or None when satisfied.
+Assertion = Callable[["InterleavingOutcome"], Optional[str]]
+
+
+class SequentialExecutor:
+    """Run the events of an interleaving in-line, in order."""
+
+    def run(self, cluster: Cluster, interleaving: Interleaving) -> List[EventResult]:
+        results: List[EventResult] = []
+        for stamped in assign_lamport(interleaving):
+            results.append(_invoke(cluster, stamped.event, stamped.lamport))
+        return results
+
+
+class LockSteppedExecutor:
+    """One worker per replica; the distributed lock releases them in order.
+
+    Demonstrates (and tests) the paper's Redis-mutex ordering mechanism: each
+    worker owns the events of one replica and may only execute its next event
+    when the shared cursor — maintained under the Redlock mutex on a farm of
+    redisim instances — reaches that event's global position.
+    """
+
+    def __init__(self, farm: Optional[RedisimFarm] = None, timeout_s: float = 30.0) -> None:
+        self.farm = farm or RedisimFarm(size=3, name_prefix="erpi-lock")
+        self.timeout_s = timeout_s
+        self._session_counter = 0
+
+    def run(self, cluster: Cluster, interleaving: Interleaving) -> List[EventResult]:
+        self._session_counter += 1
+        gate = SequenceGate(self.farm, session_id=f"replay-{self._session_counter}")
+        stamped = list(assign_lamport(interleaving))
+        slots: List[Optional[EventResult]] = [None] * len(stamped)
+        per_replica: Dict[str, List[int]] = {}
+        for position, item in enumerate(stamped):
+            per_replica.setdefault(item.event.replica_id, []).append(position)
+        errors: List[BaseException] = []
+
+        def worker(positions: List[int]) -> None:
+            try:
+                for position in positions:
+                    gate.wait_for_turn(position, timeout_s=self.timeout_s)
+                    item = stamped[position]
+                    slots[position] = _invoke(cluster, item.event, item.lamport)
+                    gate.complete_turn(position)
+            except BaseException as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(positions,), daemon=True)
+            for positions in per_replica.values()
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=self.timeout_s * (len(stamped) + 1))
+        if errors:
+            raise ReplayError(f"lock-stepped replay failed: {errors[0]!r}") from errors[0]
+        if any(slot is None for slot in slots):
+            raise ReplayError("lock-stepped replay did not complete every event")
+        return [slot for slot in slots if slot is not None]
+
+
+def _invoke(cluster: Cluster, event: Event, lamport: int) -> EventResult:
+    """Re-invoke one recorded event against the cluster."""
+    try:
+        if event.kind == EventKind.SYNC_REQ:
+            result = cluster.send_sync(event.from_replica, event.to_replica)
+        elif event.kind == EventKind.EXEC_SYNC:
+            result = cluster.execute_sync(event.from_replica, event.to_replica)
+        else:
+            rdl = cluster.rdl(event.replica_id)
+            method = getattr(rdl, event.op_name, None)
+            if method is None or not callable(method):
+                raise ReplayError(
+                    f"replica {event.replica_id!r} has no method {event.op_name!r}"
+                )
+            result = method(*event.args, **event.kwargs_dict())
+        return EventResult(event=event, lamport=lamport, ok=True, result=result)
+    except (RDLError, CRDTError, KeyError, IndexError, ValueError) as exc:
+        # The library (or the data structure beneath it) rejected the op
+        # under this ordering: that is exactly the kind of behaviour ER-pi
+        # exists to surface.  Record it as a failed op and keep replaying.
+        return EventResult(
+            event=event, lamport=lamport, ok=False, error=f"{type(exc).__name__}: {exc}"
+        )
+
+
+class ReplayEngine:
+    """Checkpoint/replay/assert driver over a cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        executor: Optional[Any] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.executor = executor or SequentialExecutor()
+        self._checkpoint: Optional[Dict[str, Any]] = None
+
+    def checkpoint(self) -> None:
+        """Snapshot the replicas' current states as the replay baseline."""
+        self._checkpoint = self.cluster.checkpoint()
+
+    def replay(
+        self,
+        interleaving: Interleaving,
+        assertions: Sequence[Assertion] = (),
+    ) -> InterleavingOutcome:
+        """Replay one interleaving from the checkpoint and run assertions."""
+        if self._checkpoint is None:
+            raise ReplayError("checkpoint() must be called before replay()")
+        self.cluster.restore(self._checkpoint)
+        started = time.perf_counter()
+        event_results = self.executor.run(self.cluster, interleaving)
+        duration = time.perf_counter() - started
+        outcome = InterleavingOutcome(
+            interleaving=interleaving,
+            event_results=event_results,
+            states=self.cluster.states(),
+            violations=[],
+            duration_s=duration,
+        )
+        for assertion in assertions:
+            message = assertion(outcome)
+            if message is not None:
+                outcome.violations.append(message)
+        return outcome
+
+    def restore(self) -> None:
+        """Reset the cluster to the checkpoint (used after the final replay)."""
+        if self._checkpoint is not None:
+            self.cluster.restore(self._checkpoint)

@@ -1,0 +1,53 @@
+"""Simulated resource budgets for the succeed-or-crash micro-benchmark.
+
+The paper's Figure 10 runs each exploration mode until it either reproduces
+the bug or exhausts the machine's resources and crashes.  Our substrate is a
+simulator, so "the machine" is a :class:`ResourceMeter`: explorers charge it
+for the working state they would keep on a real deployment (the explored-
+interleaving ledger of DFS, the composed-interleaving cache of Rand, the
+pruner seen-sets of ER-pi), and it raises :class:`ResourceExhausted` when
+the budget is gone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.errors import ResourceExhausted
+
+
+@dataclass
+class ResourceMeter:
+    """A byte-denominated budget with per-category accounting."""
+
+    budget_bytes: Optional[int] = None
+    used_bytes: int = 0
+    by_category: Dict[str, int] = field(default_factory=dict)
+
+    def charge(self, category: str, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("cannot charge negative bytes")
+        self.used_bytes += nbytes
+        self.by_category[category] = self.by_category.get(category, 0) + nbytes
+        if self.budget_bytes is not None and self.used_bytes > self.budget_bytes:
+            raise ResourceExhausted(
+                f"resource budget exhausted: {self.used_bytes} > "
+                f"{self.budget_bytes} bytes (while charging {category!r})"
+            )
+
+    @property
+    def remaining_bytes(self) -> Optional[int]:
+        if self.budget_bytes is None:
+            return None
+        return max(self.budget_bytes - self.used_bytes, 0)
+
+    def reset(self) -> None:
+        self.used_bytes = 0
+        self.by_category.clear()
+
+
+#: Approximate cost of remembering one interleaving of n events: the paper's
+#: checker server persists each explored/queued interleaving as an id list.
+def interleaving_footprint(event_count: int) -> int:
+    return 24 + 8 * event_count

@@ -1,0 +1,252 @@
+"""The ER-pi session facade: ``Start() ... End()`` (paper Figure 7).
+
+Usage mirrors the paper's higher-order functions::
+
+    erpi = ErPi(cluster)
+    erpi.start()                      # proxies RDL + sync functions
+    ... application workload ...      # first (recording) run
+    report = erpi.end(
+        assertions=[assert_convergence()],
+        cross_checks=[StableStateAcrossInterleavings("B")],
+    )                                 # generate -> prune -> replay -> test
+
+``start`` checkpoints the replicas *before* the workload, so every replayed
+interleaving starts from the pristine pre-workload state; ``end`` removes
+the proxies, builds the explorer from the recorded events plus any
+constraints, replays every surviving interleaving and evaluates both the
+per-interleaving assertions and the cross-interleaving checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.assertions import CrossInterleavingCheck
+from repro.core.constraints import (
+    Constraint,
+    load_constraints_dir,
+    pruners_from,
+    spec_groups_from,
+)
+from repro.core.errors import RecordingError
+from repro.core.events import Event
+from repro.core.explorers import DEFAULT_CAP, ERPiExplorer
+from repro.core.interleavings import GroupingResult
+from repro.core.pruning import Pruner, ReadScopedPruner, ReplicaSpecificPruner
+from repro.core.replay import (
+    Assertion,
+    InterleavingOutcome,
+    LockSteppedExecutor,
+    ReplayEngine,
+)
+from repro.datalog.store import InterleavingStore
+from repro.net.cluster import Cluster
+from repro.proxy.recorder import EventRecorder
+
+
+@dataclass
+class SessionReport:
+    """Everything ER-pi learned from one Start/End window."""
+
+    events: Tuple[Event, ...]
+    grouping: GroupingResult
+    explored: int
+    outcomes: List[InterleavingOutcome]
+    violations: List[Tuple[int, str]]  # (outcome index, message)
+    cross_violations: List[Tuple[str, str]]  # (check name, message)
+    pruning_stats: Dict[str, int]
+
+    @property
+    def violated(self) -> bool:
+        return bool(self.violations) or bool(self.cross_violations)
+
+    @property
+    def raw_space(self) -> int:
+        return self.grouping.raw_space
+
+    def summary(self) -> str:
+        lines = [
+            f"events recorded: {len(self.events)} "
+            f"(raw space {self.raw_space:,} interleavings)",
+            f"grouped units: {self.grouping.unit_count} "
+            f"(grouped space {self.grouping.grouped_space:,})",
+            f"interleavings replayed: {self.explored}",
+            f"assertion violations: {len(self.violations)}",
+            f"cross-interleaving violations: {len(self.cross_violations)}",
+        ]
+        for name, pruned in sorted(self.pruning_stats.items()):
+            lines.append(f"  pruned by {name}: {pruned:,}")
+        return "\n".join(lines)
+
+
+class ErPi:
+    """One integration-testing session over a cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        replica_scope: Optional[str] = None,
+        read_scoped: bool = False,
+        constraints_dir: Optional[str] = None,
+        persist: bool = False,
+        lock_stepped: bool = False,
+        read_methods: Optional[Sequence[str]] = None,
+    ) -> None:
+        """``replica_scope`` enables Algorithm-2 pruning for that replica
+        (paper: pass the replica id to the Start/End higher-order functions);
+        ``read_scoped`` narrows it further to the replica's final read.
+        ``persist`` mirrors interleavings into the Datalog store.
+        ``lock_stepped`` replays with one worker thread per replica ordered
+        through the Redis-backed distributed lock (the paper's cross-machine
+        deployment) instead of the fast in-line executor.
+        ``read_methods`` extends the recorder's READ classification with the
+        custom library's query methods (defaults cover the built-in
+        subjects)."""
+        self.cluster = cluster
+        self.replica_scope = replica_scope
+        self.read_scoped = read_scoped
+        self.constraints_dir = constraints_dir
+        self.persist = persist
+        self.store: Optional[InterleavingStore] = InterleavingStore() if persist else None
+        self._recorder: Optional[EventRecorder] = None
+        self._read_methods = read_methods
+        executor = LockSteppedExecutor() if lock_stepped else None
+        self._engine = ReplayEngine(cluster, executor)
+        self._extra_constraints: List[Constraint] = []
+
+    # ------------------------------------------------------------- markers
+
+    def start(self) -> None:
+        """ER-pi.Start(): checkpoint the replicas and begin recording."""
+        if self._recorder is not None:
+            raise RecordingError("session already started")
+        self._engine.checkpoint()
+        read_methods = None
+        if self._read_methods is not None:
+            from repro.proxy.recorder import DEFAULT_READ_METHODS
+
+            read_methods = set(DEFAULT_READ_METHODS) | set(self._read_methods)
+        self._recorder = EventRecorder(self.cluster, read_methods=read_methods)
+        self._recorder.start()
+
+    @property
+    def recorded_events(self) -> Tuple[Event, ...]:
+        """The events captured so far in the current recording window
+        (useful for deriving constraints before calling :meth:`end`)."""
+        if self._recorder is None:
+            return ()
+        return tuple(self._recorder.events)
+
+    def export_datalog(self, path: Optional[str] = None) -> str:
+        """Render the persisted interleavings + pruning rules as a Datalog
+        program (paper section 5.1: ER-pi generates the Souffle dialect).
+
+        Requires ``persist=True``.  Returns the program text; also writes it
+        to ``path`` when given.
+        """
+        if self.store is None:
+            raise RecordingError("export requires a session with persist=True")
+        from repro.datalog.export import export_program
+
+        text = export_program(self.store)
+        if path is not None:
+            with open(path, "w") as handle:
+                handle.write(text)
+        return text
+
+    def add_constraint(self, constraint: Constraint) -> None:
+        """Programmatic equivalent of dropping a JSON constraint file."""
+        self._extra_constraints.append(constraint)
+
+    def end(
+        self,
+        assertions: Sequence[Assertion] = (),
+        cross_checks: Sequence[CrossInterleavingCheck] = (),
+        cap: int = DEFAULT_CAP,
+        order: str = "relocation",
+        extra_pruners: Sequence[Pruner] = (),
+        stop_on_violation: bool = False,
+        keep_outcomes: bool = True,
+    ) -> SessionReport:
+        """ER-pi.End(tests...): replay every surviving interleaving."""
+        if self._recorder is None:
+            raise RecordingError("session was not started")
+        events = tuple(self._recorder.stop())
+        self._recorder = None
+
+        constraints = list(self._extra_constraints)
+        if self.constraints_dir:
+            constraints.extend(load_constraints_dir(self.constraints_dir))
+
+        pruners: List[Pruner] = list(extra_pruners)
+        if self.replica_scope:
+            if self.read_scoped:
+                pruners.append(ReadScopedPruner(self.replica_scope))
+            else:
+                pruners.append(ReplicaSpecificPruner(self.replica_scope))
+        pruners.extend(pruners_from(constraints))
+
+        explorer = ERPiExplorer(
+            events,
+            spec_groups=spec_groups_from(constraints),
+            pruners=pruners,
+            order=order,
+        )
+
+        outcomes: List[InterleavingOutcome] = []
+        violations: List[Tuple[int, str]] = []
+        explored = 0
+        for interleaving in explorer.candidates():
+            if explored >= cap:
+                break
+            outcome = self._engine.replay(interleaving, assertions)
+            explored += 1
+            if self.store is not None:
+                il_id = self.store.persist_interleaving(
+                    [event.event_id for event in interleaving]
+                )
+                self.store.mark_explored(
+                    il_id, "violation" if outcome.violated else "ok"
+                )
+            if keep_outcomes or outcome.violated:
+                outcomes.append(outcome)
+            for message in outcome.violations:
+                violations.append((len(outcomes) - 1, message))
+            if outcome.violated and stop_on_violation:
+                break
+
+        cross_violations: List[Tuple[str, str]] = []
+        for check in cross_checks:
+            message = check.evaluate(outcomes)
+            if message is not None:
+                cross_violations.append((check.name, message))
+
+        # Reset the cluster to the pre-workload checkpoint so the session can
+        # be rerun (or another session started) from a clean slate.
+        self._engine.restore()
+
+        pruning_stats: Dict[str, int] = {
+            "event_grouping": explorer.grouping.raw_space
+            - explorer.grouping.grouped_space
+        }
+        for name, stats in explorer.pipeline.stats().items():
+            pruning_stats[name] = stats.pruned
+
+        if self.store is not None:
+            for event in events:
+                self.store.persist_event(
+                    event.event_id, event.replica_id, event.kind.value, event.op_name
+                )
+            for first_id, second_id in explorer.grouping.grouped_pairs:
+                self.store.persist_sync_pair(first_id, second_id)
+
+        return SessionReport(
+            events=events,
+            grouping=explorer.grouping,
+            explored=explored,
+            outcomes=outcomes,
+            violations=violations,
+            cross_violations=cross_violations,
+            pruning_stats=pruning_stats,
+        )

@@ -1,0 +1,52 @@
+"""From-scratch CRDT suite: the replicated-data substrate for every simulated
+RDL subject and for ER-pi's own test scenarios.
+
+Public surface::
+
+    from repro.crdt import (
+        LamportClock, VectorClock, Stamp, Dot, DotContext,
+        GCounter, PNCounter,
+        LWWRegister, MVRegister,
+        GSet, TwoPSet, LWWElementSet, ORSet, ORMap,
+        RGAList, JSONDocument,
+    )
+"""
+
+from repro.crdt.base import CRDTError, PreconditionFailed, StateCRDT
+from repro.crdt.clock import Dot, DotContext, LamportClock, Stamp, VectorClock
+from repro.crdt.counters import GCounter, PNCounter
+from repro.crdt.jsondoc import JSONDocument
+from repro.crdt.lwwset import BIAS_ADD, BIAS_REMOVE, LWWElementSet
+from repro.crdt.ormap import ORMap
+from repro.crdt.orset import ORSet
+from repro.crdt.registers import LWWRegister, MVRegister
+from repro.crdt.rga import HEAD, RGAList
+from repro.crdt.sets import GSet, TwoPSet
+from repro.crdt.text import EWFlag, TextCRDT
+
+__all__ = [
+    "BIAS_ADD",
+    "BIAS_REMOVE",
+    "CRDTError",
+    "Dot",
+    "EWFlag",
+    "DotContext",
+    "GCounter",
+    "GSet",
+    "HEAD",
+    "JSONDocument",
+    "LWWElementSet",
+    "LWWRegister",
+    "LamportClock",
+    "MVRegister",
+    "ORMap",
+    "ORSet",
+    "PNCounter",
+    "PreconditionFailed",
+    "RGAList",
+    "Stamp",
+    "TextCRDT",
+    "StateCRDT",
+    "TwoPSet",
+    "VectorClock",
+]

@@ -1,0 +1,219 @@
+"""Logical clocks used throughout the replicated-data substrate.
+
+The paper's ER-pi runtime assigns a Lamport timestamp to every event in every
+interleaving, and the simulated RDL subjects (Roshi, OrbitDB, Yorkie, ...) use
+Lamport or vector clocks internally for conflict resolution.  This module
+provides both, plus the ``Dot`` / ``DotContext`` pair that observed-remove
+CRDTs use to track causally observed operations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple
+
+
+class LamportClock:
+    """A classic Lamport scalar clock.
+
+    Each replica owns one clock.  ``tick()`` advances local time for a local
+    event; ``observe(remote)`` merges a timestamp received in a message, per
+    Lamport's receive rule ``local = max(local, remote) + 1``.
+    """
+
+    __slots__ = ("_time",)
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ValueError("Lamport time must be non-negative")
+        self._time = start
+
+    @property
+    def time(self) -> int:
+        """The current logical time (without advancing it)."""
+        return self._time
+
+    def tick(self) -> int:
+        """Advance the clock for a local event and return the new time."""
+        self._time += 1
+        return self._time
+
+    def observe(self, remote_time: int) -> int:
+        """Merge a remote timestamp (message receipt) and return the new time."""
+        if remote_time < 0:
+            raise ValueError("remote Lamport time must be non-negative")
+        self._time = max(self._time, remote_time) + 1
+        return self._time
+
+    def copy(self) -> "LamportClock":
+        return LamportClock(self._time)
+
+    def __repr__(self) -> str:
+        return f"LamportClock(time={self._time})"
+
+
+@dataclass(frozen=True, order=True)
+class Stamp:
+    """A totally ordered (time, replica_id) Lamport stamp.
+
+    Ties on logical time break on the replica identifier, which gives the
+    arbitrary-but-deterministic total order that LWW conflict resolution
+    requires.  (Roshi bug #11 in the paper is precisely about what happens
+    when a library *fails* to break such ties.)
+    """
+
+    time: int
+    replica_id: str
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("stamp time must be non-negative")
+
+
+class VectorClock:
+    """A vector clock mapping replica ids to counters.
+
+    Supports the standard partial order: ``a <= b`` iff every component of
+    ``a`` is <= the matching component of ``b``.  Concurrent clocks are
+    neither <= nor >=.
+    """
+
+    __slots__ = ("_vec",)
+
+    def __init__(self, vec: Optional[Dict[str, int]] = None) -> None:
+        self._vec: Dict[str, int] = {}
+        if vec:
+            for rid, count in vec.items():
+                if count < 0:
+                    raise ValueError("vector clock entries must be non-negative")
+                if count:
+                    self._vec[rid] = count
+
+    def increment(self, replica_id: str) -> int:
+        """Advance this replica's component and return its new value."""
+        self._vec[replica_id] = self._vec.get(replica_id, 0) + 1
+        return self._vec[replica_id]
+
+    def get(self, replica_id: str) -> int:
+        return self._vec.get(replica_id, 0)
+
+    def merge(self, other: "VectorClock") -> None:
+        """Pointwise-max merge of ``other`` into this clock (in place)."""
+        for rid, count in other._vec.items():
+            if count > self._vec.get(rid, 0):
+                self._vec[rid] = count
+
+    def merged(self, other: "VectorClock") -> "VectorClock":
+        out = self.copy()
+        out.merge(other)
+        return out
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(dict(self._vec))
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._vec)
+
+    def dominates(self, other: "VectorClock") -> bool:
+        """True iff self >= other in the component-wise partial order."""
+        return all(self.get(rid) >= count for rid, count in other._vec.items())
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        return not self.dominates(other) and not other.dominates(self)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self._vec == other._vec
+
+    def __le__(self, other: "VectorClock") -> bool:
+        return other.dominates(self)
+
+    def __lt__(self, other: "VectorClock") -> bool:
+        return other.dominates(self) and self._vec != other._vec
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._vec.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{rid}:{count}" for rid, count in sorted(self._vec.items()))
+        return f"VectorClock({{{inner}}})"
+
+
+@dataclass(frozen=True, order=True)
+class Dot:
+    """A single operation identifier: the ``counter``-th op of ``replica_id``."""
+
+    replica_id: str
+    counter: int
+
+    def __post_init__(self) -> None:
+        if self.counter < 1:
+            raise ValueError("dot counters start at 1")
+
+
+class DotContext:
+    """The causal context of an observed-remove CRDT.
+
+    Records which dots have been observed, compactly: a contiguous prefix per
+    replica (``_compact``) plus a cloud of out-of-order dots that are folded
+    into the prefix as gaps fill in.
+    """
+
+    __slots__ = ("_compact", "_cloud")
+
+    def __init__(self) -> None:
+        self._compact: Dict[str, int] = {}
+        self._cloud: Set[Dot] = set()
+
+    def contains(self, dot: Dot) -> bool:
+        return dot.counter <= self._compact.get(dot.replica_id, 0) or dot in self._cloud
+
+    def next_dot(self, replica_id: str) -> Dot:
+        """Mint (and record) the next dot for ``replica_id``."""
+        counter = self._compact.get(replica_id, 0) + 1
+        dot = Dot(replica_id, counter)
+        self.add(dot)
+        return dot
+
+    def add(self, dot: Dot) -> None:
+        self._cloud.add(dot)
+        self._compress()
+
+    def merge(self, other: "DotContext") -> None:
+        for rid, count in other._compact.items():
+            if count > self._compact.get(rid, 0):
+                # Absorb the remote prefix as cloud dots, then re-compress so
+                # any gaps against our own prefix are handled uniformly.
+                for counter in range(self._compact.get(rid, 0) + 1, count + 1):
+                    self._cloud.add(Dot(rid, counter))
+        self._cloud.update(other._cloud)
+        self._compress()
+
+    def _compress(self) -> None:
+        for dot in sorted(self._cloud):
+            if dot.counter == self._compact.get(dot.replica_id, 0) + 1:
+                self._compact[dot.replica_id] = dot.counter
+                self._cloud.discard(dot)
+
+    def observed(self) -> FrozenSet[Dot]:
+        """Every dot this context has seen (expanded; for tests/debugging)."""
+        expanded = set(self._cloud)
+        for rid, count in self._compact.items():
+            expanded.update(Dot(rid, counter) for counter in range(1, count + 1))
+        return frozenset(expanded)
+
+    def copy(self) -> "DotContext":
+        out = DotContext()
+        out._compact = dict(self._compact)
+        out._cloud = set(self._cloud)
+        return out
+
+    def __repr__(self) -> str:
+        return f"DotContext(compact={self._compact}, cloud={sorted(self._cloud)})"
+
+
+def stamp_sequence(replica_id: str, start: int = 1) -> Iterator[Stamp]:
+    """An infinite deterministic stream of stamps for a single replica."""
+    return (Stamp(time, replica_id) for time in itertools.count(start))

@@ -1,0 +1,70 @@
+"""Counter CRDTs: grow-only and increment/decrement counters.
+
+These mirror the counters in the ``ajermakovics/crdts`` Java collection the
+paper uses as Subject 5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.crdt.base import CRDTError, StateCRDT
+
+
+class GCounter(StateCRDT):
+    """A grow-only counter: one monotone component per replica."""
+
+    def __init__(self, replica_id: str) -> None:
+        super().__init__(replica_id)
+        self._counts: Dict[str, int] = {}
+
+    def increment(self, amount: int = 1) -> int:
+        """Add ``amount`` (strictly positive) to this replica's component."""
+        if amount <= 0:
+            raise CRDTError("GCounter can only grow; use PNCounter to decrement")
+        self._counts[self.replica_id] = self._counts.get(self.replica_id, 0) + amount
+        return self.value()
+
+    def merge(self, other: "GCounter") -> None:
+        for rid, count in other._counts.items():
+            if count > self._counts.get(rid, 0):
+                self._counts[rid] = count
+
+    def value(self) -> int:
+        return sum(self._counts.values())
+
+    def component(self, replica_id: str) -> int:
+        """The contribution recorded for one replica (for tests/debugging)."""
+        return self._counts.get(replica_id, 0)
+
+
+class PNCounter(StateCRDT):
+    """An increment/decrement counter built from two G-Counter halves."""
+
+    def __init__(self, replica_id: str) -> None:
+        super().__init__(replica_id)
+        self._positive = GCounter(replica_id)
+        self._negative = GCounter(replica_id)
+
+    def increment(self, amount: int = 1) -> int:
+        if amount < 0:
+            return self.decrement(-amount)
+        if amount == 0:
+            return self.value()
+        self._positive.increment(amount)
+        return self.value()
+
+    def decrement(self, amount: int = 1) -> int:
+        if amount < 0:
+            return self.increment(-amount)
+        if amount == 0:
+            return self.value()
+        self._negative.increment(amount)
+        return self.value()
+
+    def merge(self, other: "PNCounter") -> None:
+        self._positive.merge(other._positive)
+        self._negative.merge(other._negative)
+
+    def value(self) -> int:
+        return self._positive.value() - self._negative.value()

@@ -1,0 +1,84 @@
+"""The last-writer-wins element set — Roshi's core CRDT.
+
+Each element carries the stamp of its latest add and latest remove; membership
+is decided by comparing the two.  Roshi (paper Subject 1) keys its time-series
+index on exactly this structure, with a bias that must be fixed for equal
+timestamps — Roshi issue #11 (bug Roshi-2 in Table 1) is about the semantics
+when add and remove carry the *same* timestamp.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Optional, Tuple
+
+from repro.crdt.base import StateCRDT
+from repro.crdt.clock import Stamp
+
+#: With ADD bias, an add and a remove at the same stamp keep the element.
+BIAS_ADD = "add"
+#: With REMOVE bias, the element is dropped on a stamp tie.
+BIAS_REMOVE = "remove"
+
+
+class LWWElementSet(StateCRDT):
+    """A LWW-element-set with configurable add/remove bias.
+
+    ``bias=None`` reproduces the *undefined* tie behaviour of buggy
+    implementations: ties keep whichever operation a replica saw first, so
+    replicas can permanently diverge (bug Roshi-2).
+    """
+
+    def __init__(self, replica_id: str, bias: Optional[str] = BIAS_ADD) -> None:
+        super().__init__(replica_id)
+        if bias not in (BIAS_ADD, BIAS_REMOVE, None):
+            raise ValueError(f"unknown bias {bias!r}")
+        self._bias = bias
+        self._adds: Dict[Any, Stamp] = {}
+        self._removes: Dict[Any, Stamp] = {}
+
+    def add(self, item: Any, stamp: Stamp) -> None:
+        current = self._adds.get(item)
+        if current is None or stamp > current:
+            self._adds[item] = stamp
+
+    def remove(self, item: Any, stamp: Stamp) -> None:
+        current = self._removes.get(item)
+        if current is None or stamp > current:
+            self._removes[item] = stamp
+
+    def contains(self, item: Any) -> bool:
+        add_stamp = self._adds.get(item)
+        if add_stamp is None:
+            return False
+        remove_stamp = self._removes.get(item)
+        if remove_stamp is None:
+            return True
+        if add_stamp.time != remove_stamp.time:
+            return add_stamp.time > remove_stamp.time
+        if self._bias == BIAS_ADD:
+            return True
+        if self._bias == BIAS_REMOVE:
+            return False
+        # Undefined-tie mode: compare full stamps; if those tie as well the
+        # outcome depends on replica-local arrival order, i.e. it is a bug.
+        return add_stamp > remove_stamp
+
+    def stamp_of(self, item: Any) -> Optional[Tuple[Optional[Stamp], Optional[Stamp]]]:
+        """(latest add stamp, latest remove stamp) for ``item`` — diagnostics."""
+        if item not in self._adds and item not in self._removes:
+            return None
+        return (self._adds.get(item), self._removes.get(item))
+
+    def merge(self, other: "LWWElementSet") -> None:
+        for item, stamp in other._adds.items():
+            self.add(item, stamp)
+        for item, stamp in other._removes.items():
+            self.remove(item, stamp)
+
+    def value(self) -> FrozenSet[Any]:
+        return frozenset(
+            item for item in self._adds if self.contains(item)
+        )
+
+    def __len__(self) -> int:
+        return len(self.value())

@@ -1,0 +1,83 @@
+"""An observed-remove map: OR-Set keys with mergeable or LWW values.
+
+Used by the to-do examples (misconception #4: sequential IDs clash when two
+replicas concurrently create items; the AMC-recommended fix adds the items to
+the same replicated map under collision-free keys).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, Optional
+
+from repro.crdt.base import CRDTError, StateCRDT
+from repro.crdt.clock import LamportClock, Stamp
+from repro.crdt.orset import ORSet
+from repro.crdt.registers import LWWRegister
+
+
+class ORMap(StateCRDT):
+    """A map whose key liveness follows OR-Set semantics and whose values are
+    per-key LWW registers.
+
+    ``put`` adds/overwrites, ``discard`` removes observed entries, and a
+    concurrent put wins over a concurrent discard of the same key (add-wins).
+    """
+
+    def __init__(self, replica_id: str) -> None:
+        super().__init__(replica_id)
+        self._keys = ORSet(replica_id)
+        self._values: Dict[Any, LWWRegister] = {}
+        self._clock = LamportClock()
+
+    def put(self, key: Any, value: Any) -> None:
+        # Every put re-asserts the key under a fresh dot, so a put always
+        # wins over a concurrent discard (add-wins map semantics).
+        self._keys.add(key)
+        register = self._values.get(key)
+        if register is None:
+            register = LWWRegister(self.replica_id)
+            self._values[key] = register
+        register.set(value, Stamp(self._clock.tick(), self.replica_id))
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        if not self._keys.contains(key):
+            return default
+        register = self._values.get(key)
+        return default if register is None else register.value()
+
+    def discard(self, key: Any) -> bool:
+        """Remove ``key`` if present; True iff something was removed."""
+        if not self._keys.contains(key):
+            return False
+        self._keys.remove(key)
+        return True
+
+    def contains(self, key: Any) -> bool:
+        return self._keys.contains(key)
+
+    def keys(self) -> FrozenSet[Any]:
+        return self._keys.value()
+
+    def merge(self, other: "ORMap") -> None:
+        self._keys.merge(other._keys)
+        for key, register in other._values.items():
+            mine = self._values.get(key)
+            if mine is None:
+                self._values[key] = register.clone()
+            else:
+                mine.merge(register)
+        self._clock.observe(other._clock.time)
+
+    def value(self) -> Dict[Any, Any]:
+        out: Dict[Any, Any] = {}
+        for key in self._keys.value():
+            register = self._values.get(key)
+            if register is not None:
+                out[key] = register.value()
+        return out
+
+    def __len__(self) -> int:
+        return len(self._keys.value())
+
+    def __contains__(self, key: Any) -> bool:
+        return self.contains(key)

@@ -1,0 +1,71 @@
+"""The observed-remove set (OR-Set / add-wins set).
+
+Every add mints a unique dot; a remove deletes exactly the dots it has
+*observed*.  A concurrent re-add therefore survives a remove — "add wins".
+This is the replicated set the paper's motivating town-reports example uses:
+eventual convergence is guaranteed, yet the *application-level* outcome still
+depends on when each replica reads its local state (paper section 2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Set
+
+from repro.crdt.base import StateCRDT
+from repro.crdt.clock import Dot, DotContext
+
+
+class ORSet(StateCRDT):
+    """An add-wins observed-remove set with causal-context compaction."""
+
+    def __init__(self, replica_id: str) -> None:
+        super().__init__(replica_id)
+        self._entries: Dict[Any, Set[Dot]] = {}
+        self._context = DotContext()
+
+    def add(self, item: Any) -> Dot:
+        """Add ``item`` under a freshly minted dot and return the dot."""
+        dot = self._context.next_dot(self.replica_id)
+        self._entries.setdefault(item, set()).add(dot)
+        return dot
+
+    def remove(self, item: Any) -> FrozenSet[Dot]:
+        """Remove the locally observed dots of ``item``; returns them.
+
+        Removing an absent item is a harmless no-op returning an empty set —
+        the remove simply has nothing observed to delete.
+        """
+        observed = frozenset(self._entries.pop(item, set()))
+        return observed
+
+    def contains(self, item: Any) -> bool:
+        return bool(self._entries.get(item))
+
+    def merge(self, other: "ORSet") -> None:
+        merged: Dict[Any, Set[Dot]] = {}
+        items = set(self._entries) | set(other._entries)
+        for item in items:
+            mine = self._entries.get(item, set())
+            theirs = other._entries.get(item, set())
+            keep: Set[Dot] = set()
+            # Keep my dot unless the peer has observed it and dropped it.
+            for dot in mine:
+                if dot in theirs or not other._context.contains(dot):
+                    keep.add(dot)
+            # Adopt the peer's dot unless I observed it and dropped it.
+            for dot in theirs:
+                if dot in mine or not self._context.contains(dot):
+                    keep.add(dot)
+            if keep:
+                merged[item] = keep
+        self._entries = merged
+        self._context.merge(other._context)
+
+    def value(self) -> FrozenSet[Any]:
+        return frozenset(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, item: Any) -> bool:
+        return self.contains(item)

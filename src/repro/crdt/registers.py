@@ -1,0 +1,99 @@
+"""Register CRDTs: last-writer-wins and multi-value registers."""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, List, Optional, Tuple
+
+from repro.crdt.base import StateCRDT
+from repro.crdt.clock import Stamp, VectorClock
+
+# Registers start "below" every real write; ``None`` value with a sentinel
+# stamp keeps merge total without special-casing the empty register.
+_BOTTOM_STAMP = Stamp(0, "")
+
+
+class LWWRegister(StateCRDT):
+    """A last-writer-wins register ordered by (Lamport time, replica id).
+
+    The tie-break on replica id is what makes concurrent same-time writes
+    deterministic; configurable tie-breaking lets the Roshi-1 bug scenario
+    (same-timestamp semantics violation) disable it to reproduce the defect.
+    """
+
+    def __init__(self, replica_id: str, break_ties: bool = True) -> None:
+        super().__init__(replica_id)
+        self._stamp = _BOTTOM_STAMP
+        self._value: Any = None
+        self._break_ties = break_ties
+
+    def set(self, value: Any, stamp: Stamp) -> None:
+        """Write ``value`` at ``stamp`` (callers mint stamps from their clock)."""
+        if self._wins(stamp, self._stamp):
+            self._stamp = stamp
+            self._value = value
+
+    def _wins(self, challenger: Stamp, incumbent: Stamp) -> bool:
+        if challenger.time != incumbent.time:
+            return challenger.time > incumbent.time
+        if self._break_ties:
+            return challenger.replica_id > incumbent.replica_id
+        # Faithful reproduction of the buggy behaviour: equal timestamps keep
+        # whichever write happened to arrive first, so replicas can diverge.
+        return False
+
+    def merge(self, other: "LWWRegister") -> None:
+        self.set(other._value, other._stamp)
+
+    def value(self) -> Any:
+        return self._value
+
+    @property
+    def stamp(self) -> Stamp:
+        return self._stamp
+
+
+class MVRegister(StateCRDT):
+    """A multi-value register: concurrent writes all survive until overwritten.
+
+    Each write carries the writer's vector clock; a write discards exactly the
+    prior values it causally dominates, so truly concurrent values coexist and
+    readers must reconcile (which is why naive app code over an MV register is
+    a classic source of integration bugs).
+    """
+
+    def __init__(self, replica_id: str) -> None:
+        super().__init__(replica_id)
+        self._clock = VectorClock()
+        self._values: List[Tuple[Any, VectorClock]] = []
+
+    def set(self, value: Any) -> None:
+        self._clock.increment(self.replica_id)
+        written_at = self._clock.copy()
+        self._values = [
+            (val, clk) for val, clk in self._values if not written_at.dominates(clk)
+        ]
+        self._values.append((value, written_at))
+
+    def merge(self, other: "MVRegister") -> None:
+        combined = list(self._values)
+        for value, clock in other._values:
+            if not any(existing.dominates(clock) for _, existing in combined):
+                combined = [
+                    (val, clk) for val, clk in combined if not clock.dominates(clk)
+                ]
+                combined.append((value, clock))
+        self._values = combined
+        self._clock.merge(other._clock)
+
+    def value(self) -> FrozenSet[Any]:
+        return frozenset(value for value, _ in self._values)
+
+    def single_value(self) -> Optional[Any]:
+        """The value if unambiguous, else ``None`` (conflict present)."""
+        values = self.value()
+        if len(values) == 1:
+            return next(iter(values))
+        return None
+
+    def has_conflict(self) -> bool:
+        return len(self._values) > 1

@@ -1,0 +1,87 @@
+"""Simple set CRDTs: grow-only and two-phase sets.
+
+The richer LWW-element-set and OR-set live in :mod:`repro.crdt.lwwset` and
+:mod:`repro.crdt.orset`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Set
+
+from repro.crdt.base import PreconditionFailed, StateCRDT
+
+
+class GSet(StateCRDT):
+    """A grow-only set: add-only, merge is union."""
+
+    def __init__(self, replica_id: str) -> None:
+        super().__init__(replica_id)
+        self._items: Set[Any] = set()
+
+    def add(self, item: Any) -> bool:
+        """Add ``item``; returns False if it was already present (a failed op
+        in ER-pi's sense — the set's constraints made the update a no-op)."""
+        if item in self._items:
+            return False
+        self._items.add(item)
+        return True
+
+    def contains(self, item: Any) -> bool:
+        return item in self._items
+
+    def merge(self, other: "GSet") -> None:
+        self._items |= other._items
+
+    def value(self) -> FrozenSet[Any]:
+        return frozenset(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class TwoPSet(StateCRDT):
+    """A two-phase set: removal tombstones win forever; no re-adding.
+
+    ``strict=True`` enforces sequential-set preconditions (add an existing or
+    removed element, remove a missing element → :class:`PreconditionFailed`),
+    which is the behaviour ER-pi's failed-ops pruning exploits.
+    """
+
+    def __init__(self, replica_id: str, strict: bool = False) -> None:
+        super().__init__(replica_id)
+        self._added: Set[Any] = set()
+        self._removed: Set[Any] = set()
+        self._strict = strict
+
+    def add(self, item: Any) -> bool:
+        if item in self._removed:
+            if self._strict:
+                raise PreconditionFailed(f"cannot re-add tombstoned item {item!r}")
+            return False
+        if item in self._added:
+            if self._strict:
+                raise PreconditionFailed(f"item {item!r} already present")
+            return False
+        self._added.add(item)
+        return True
+
+    def remove(self, item: Any) -> bool:
+        if item not in self._added or item in self._removed:
+            if self._strict:
+                raise PreconditionFailed(f"cannot remove absent item {item!r}")
+            return False
+        self._removed.add(item)
+        return True
+
+    def contains(self, item: Any) -> bool:
+        return item in self._added and item not in self._removed
+
+    def merge(self, other: "TwoPSet") -> None:
+        self._added |= other._added
+        self._removed |= other._removed
+
+    def value(self) -> FrozenSet[Any]:
+        return frozenset(self._added - self._removed)
+
+    def __len__(self) -> int:
+        return len(self._added - self._removed)

@@ -1,0 +1,112 @@
+"""A collaborative text CRDT: character-wise RGA with a string API.
+
+Yorkie (Subject 4) exposes a ``Text`` type for collaborative editing; this is
+the equivalent built on :class:`~repro.crdt.rga.RGAList` — one list element
+per character, so concurrent inserts interleave without loss and deletes
+tombstone exactly the characters the editor removed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.crdt.base import CRDTError, StateCRDT
+from repro.crdt.rga import RGAList
+
+
+class TextCRDT(StateCRDT):
+    """A replicated editable string."""
+
+    def __init__(self, replica_id: str, initial: str = "") -> None:
+        super().__init__(replica_id)
+        self._chars = RGAList(replica_id)
+        for character in initial:
+            self._chars.append(character)
+
+    # ------------------------------------------------------------- editing
+
+    def insert(self, position: int, text: str) -> None:
+        """Insert ``text`` so its first character lands at ``position``."""
+        if position < 0 or position > len(self):
+            raise CRDTError(f"insert position {position} out of range")
+        for offset, character in enumerate(text):
+            self._chars.insert(position + offset, character)
+
+    def append(self, text: str) -> None:
+        self.insert(len(self), text)
+
+    def delete(self, position: int, length: int = 1) -> str:
+        """Delete ``length`` characters starting at ``position``; returns them."""
+        if length < 0:
+            raise CRDTError("cannot delete a negative number of characters")
+        current = self.value()
+        if position < 0 or position + length > len(current):
+            raise CRDTError(
+                f"delete range [{position}, {position + length}) out of range"
+            )
+        removed = current[position : position + length]
+        for _ in range(length):
+            self._chars.delete(position)
+        return removed
+
+    def replace(self, position: int, length: int, text: str) -> None:
+        """Replace a range (the editor's overwrite/selection-typing)."""
+        self.delete(position, length)
+        self.insert(position, text)
+
+    def splice_word(self, old: str, new: str) -> bool:
+        """Replace the first occurrence of ``old`` with ``new`` (app sugar)."""
+        index = self.value().find(old)
+        if index < 0:
+            return False
+        self.replace(index, len(old), new)
+        return True
+
+    # -------------------------------------------------------------- queries
+
+    def value(self) -> str:
+        return "".join(self._chars.value())
+
+    def __len__(self) -> int:
+        return len(self._chars)
+
+    def __str__(self) -> str:
+        return self.value()
+
+    # ---------------------------------------------------------------- merge
+
+    def merge(self, other: "TextCRDT") -> None:
+        self._chars.merge(other._chars)
+
+    def checkpoint(self):
+        return {"chars": self._chars.checkpoint()}
+
+    def restore(self, snapshot) -> None:
+        self._chars.restore(snapshot["chars"])
+
+
+class EWFlag(StateCRDT):
+    """An enable-wins flag (observed-disable semantics).
+
+    Enables mint dots; a disable clears only the enables it has observed, so
+    a concurrent enable survives — "enable wins".  Used for feature toggles
+    and presence bits in replicated apps.
+    """
+
+    def __init__(self, replica_id: str) -> None:
+        super().__init__(replica_id)
+        from repro.crdt.orset import ORSet
+
+        self._tokens = ORSet(replica_id)
+
+    def enable(self) -> None:
+        self._tokens.add("enabled")
+
+    def disable(self) -> None:
+        self._tokens.remove("enabled")
+
+    def merge(self, other: "EWFlag") -> None:
+        self._tokens.merge(other._tokens)
+
+    def value(self) -> bool:
+        return self._tokens.contains("enabled")

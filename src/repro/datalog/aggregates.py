@@ -1,0 +1,94 @@
+"""Aggregate queries over Datalog relations (count / sum / min / max).
+
+Souffle supports aggregates in rule bodies; our engine keeps rules pure, so
+aggregates are provided as query-time reductions over a relation — which is
+how ER-pi's reporting uses them (e.g. "how many interleavings per pruning
+class", "the longest interleaving persisted").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+from repro.datalog.engine import Database
+
+
+class AggregateError(Exception):
+    """Raised on malformed aggregate requests."""
+
+
+def _project(
+    db: Database,
+    relation: str,
+    group_by: Sequence[int],
+    value_column: Optional[int],
+) -> Dict[Tuple[Any, ...], list]:
+    rows = db.rows(relation)
+    groups: Dict[Tuple[Any, ...], list] = defaultdict(list)
+    for row in rows:
+        for index in group_by:
+            if index >= len(row):
+                raise AggregateError(
+                    f"group-by column {index} out of range for {relation!r}"
+                )
+        if value_column is not None and value_column >= len(row):
+            raise AggregateError(
+                f"value column {value_column} out of range for {relation!r}"
+            )
+        key = tuple(row[index] for index in group_by)
+        groups[key].append(row if value_column is None else row[value_column])
+    return groups
+
+
+def count(
+    db: Database, relation: str, group_by: Sequence[int] = ()
+) -> Dict[Tuple[Any, ...], int]:
+    """Row count per group (a single ``()`` group when ``group_by`` is empty)."""
+    groups = _project(db, relation, group_by, None)
+    if not group_by:
+        return {(): len(db.rows(relation))}
+    return {key: len(values) for key, values in groups.items()}
+
+
+def _reduce(
+    db: Database,
+    relation: str,
+    value_column: int,
+    group_by: Sequence[int],
+    reducer: Callable[[Sequence[Any]], Any],
+) -> Dict[Tuple[Any, ...], Any]:
+    groups = _project(db, relation, group_by, value_column)
+    return {key: reducer(values) for key, values in groups.items()}
+
+
+def sum_(
+    db: Database, relation: str, value_column: int, group_by: Sequence[int] = ()
+) -> Dict[Tuple[Any, ...], Any]:
+    return _reduce(db, relation, value_column, group_by, sum)
+
+
+def min_(
+    db: Database, relation: str, value_column: int, group_by: Sequence[int] = ()
+) -> Dict[Tuple[Any, ...], Any]:
+    return _reduce(db, relation, value_column, group_by, min)
+
+
+def max_(
+    db: Database, relation: str, value_column: int, group_by: Sequence[int] = ()
+) -> Dict[Tuple[Any, ...], Any]:
+    return _reduce(db, relation, value_column, group_by, max)
+
+
+def histogram(
+    db: Database, relation: str, column: int
+) -> Dict[Any, int]:
+    """Value frequency for one column (reporting sugar)."""
+    out: Dict[Any, int] = defaultdict(int)
+    for row in db.rows(relation):
+        if column >= len(row):
+            raise AggregateError(
+                f"column {column} out of range for {relation!r}"
+            )
+        out[row[column]] += 1
+    return dict(out)

@@ -1,0 +1,243 @@
+"""Stratified semi-naive Datalog evaluation.
+
+:class:`Database` stores ground tuples per relation.  :class:`Program`
+bundles rules, stratifies them by their negation dependencies, and evaluates
+bottom-up, semi-naively (each iteration joins at least one *delta* tuple
+discovered in the previous iteration, so work is proportional to new facts).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.datalog.terms import Atom, Bindings, Comparison, Literal, Rule, Variable
+
+
+class DatalogError(Exception):
+    """Raised on malformed programs (unsafe rules, unstratifiable negation)."""
+
+
+class Database:
+    """Ground facts, indexed by relation name."""
+
+    def __init__(self) -> None:
+        self._relations: Dict[str, Set[Tuple[Any, ...]]] = defaultdict(set)
+
+    def add(self, relation: str, *row: Any) -> bool:
+        """Insert a row; True iff it was new."""
+        table = self._relations[relation]
+        before = len(table)
+        table.add(tuple(row))
+        return len(table) != before
+
+    def add_atom(self, atom: Atom) -> bool:
+        if not atom.is_ground():
+            raise DatalogError(f"cannot store non-ground atom {atom!r}")
+        return self.add(atom.relation, *atom.args)
+
+    def rows(self, relation: str) -> FrozenSet[Tuple[Any, ...]]:
+        return frozenset(self._relations.get(relation, ()))
+
+    def contains(self, atom: Atom) -> bool:
+        return atom.args in self._relations.get(atom.relation, set())
+
+    def relations(self) -> List[str]:
+        return sorted(self._relations)
+
+    def size(self, relation: Optional[str] = None) -> int:
+        if relation is not None:
+            return len(self._relations.get(relation, ()))
+        return sum(len(rows) for rows in self._relations.values())
+
+    def copy(self) -> "Database":
+        out = Database()
+        for relation, rows in self._relations.items():
+            out._relations[relation] = set(rows)
+        return out
+
+    def clear(self, relation: Optional[str] = None) -> None:
+        if relation is None:
+            self._relations.clear()
+        else:
+            self._relations.pop(relation, None)
+
+
+def _match(atom: Atom, row: Tuple[Any, ...], bindings: Bindings) -> Optional[Bindings]:
+    """Unify a (possibly non-ground) atom against a ground row."""
+    if len(atom.args) != len(row):
+        return None
+    out = dict(bindings)
+    for pattern, value in zip(atom.args, row):
+        if isinstance(pattern, Variable):
+            bound = out.get(pattern, _UNSET)
+            if bound is _UNSET:
+                out[pattern] = value
+            elif bound != value:
+                return None
+        elif pattern != value:
+            return None
+    return out
+
+
+_UNSET = object()
+
+
+class Program:
+    """A set of rules evaluated to fixpoint over a database."""
+
+    def __init__(self, rules: Iterable[Rule]) -> None:
+        self.rules: List[Rule] = list(rules)
+        for rule in self.rules:
+            rule.validate()
+        self._strata = self._stratify()
+
+    # ------------------------------------------------------- stratification
+
+    def _stratify(self) -> List[List[Rule]]:
+        """Assign each derived relation a stratum; negation must point down.
+
+        Uses the textbook iterative algorithm: stratum[r] >= stratum[s] for a
+        positive dependency r :- s, and strictly greater for a negative one.
+        """
+        derived = {rule.head.relation for rule in self.rules}
+        stratum: Dict[str, int] = {relation: 0 for relation in derived}
+        changed = True
+        iterations = 0
+        bound = len(derived) + 1
+        while changed:
+            changed = False
+            iterations += 1
+            if iterations > bound * max(len(self.rules), 1) + 1:
+                raise DatalogError("program is not stratifiable (negation cycle)")
+            for rule in self.rules:
+                head = rule.head.relation
+                for item in rule.body:
+                    if not isinstance(item, Literal):
+                        continue
+                    dep = item.atom.relation
+                    if dep not in derived:
+                        continue
+                    needed = stratum[dep] + (1 if item.negated else 0)
+                    if stratum[head] < needed:
+                        stratum[head] = needed
+                        changed = True
+        levels: Dict[int, List[Rule]] = defaultdict(list)
+        for rule in self.rules:
+            levels[stratum[rule.head.relation]].append(rule)
+        return [levels[level] for level in sorted(levels)]
+
+    # ----------------------------------------------------------- evaluation
+
+    def evaluate(self, db: Database) -> Database:
+        """Evaluate all strata to fixpoint; facts are added to ``db`` in place
+        (and ``db`` is also returned for chaining)."""
+        for stratum_rules in self._strata:
+            self._evaluate_stratum(stratum_rules, db)
+        return db
+
+    def _evaluate_stratum(self, rules: List[Rule], db: Database) -> None:
+        # Naive first round, then semi-naive: only join against deltas.
+        delta: Dict[str, Set[Tuple[Any, ...]]] = defaultdict(set)
+        for rule in rules:
+            for derived in self._derive(rule, db, restrict_to=None):
+                if db.add_atom(derived):
+                    delta[derived.relation].add(derived.args)
+        while delta:
+            next_delta: Dict[str, Set[Tuple[Any, ...]]] = defaultdict(set)
+            for rule in rules:
+                body_relations = {
+                    item.atom.relation
+                    for item in rule.body
+                    if isinstance(item, Literal) and not item.negated
+                }
+                if not body_relations & set(delta):
+                    continue
+                for derived in self._derive(rule, db, restrict_to=delta):
+                    if db.add_atom(derived):
+                        next_delta[derived.relation].add(derived.args)
+            delta = next_delta
+
+    def _derive(
+        self,
+        rule: Rule,
+        db: Database,
+        restrict_to: Optional[Dict[str, Set[Tuple[Any, ...]]]],
+    ) -> List[Atom]:
+        """All head atoms derivable from ``rule`` given ``db``.
+
+        With ``restrict_to`` set (semi-naive), at least one positive literal
+        must match a delta tuple; we enforce that by trying each positive
+        literal as the designated delta literal.
+        """
+        positive_positions = [
+            index
+            for index, item in enumerate(rule.body)
+            if isinstance(item, Literal) and not item.negated
+        ]
+        if restrict_to is None or not positive_positions:
+            return list(self._expand(rule, db, 0, {}, None, None))
+        out: List[Atom] = []
+        seen: Set[Tuple[Any, ...]] = set()
+        for delta_position in positive_positions:
+            relation = rule.body[delta_position].atom.relation
+            if relation not in restrict_to:
+                continue
+            for atom in self._expand(rule, db, 0, {}, delta_position, restrict_to):
+                if atom.args not in seen:
+                    seen.add(atom.args)
+                    out.append(atom)
+        return out
+
+    def _expand(
+        self,
+        rule: Rule,
+        db: Database,
+        index: int,
+        bindings: Bindings,
+        delta_position: Optional[int],
+        restrict_to: Optional[Dict[str, Set[Tuple[Any, ...]]]],
+    ) -> Iterable[Atom]:
+        if index == len(rule.body):
+            yield rule.head.substitute(bindings)
+            return
+        item = rule.body[index]
+        if isinstance(item, Comparison):
+            if item.evaluate(bindings):
+                yield from self._expand(
+                    rule, db, index + 1, bindings, delta_position, restrict_to
+                )
+            return
+        if not isinstance(item, Literal):
+            raise DatalogError(f"unknown body item {item!r}")
+        if item.negated:
+            ground = item.atom.substitute(bindings)
+            if not ground.is_ground():
+                raise DatalogError(f"negated literal {ground!r} not ground at evaluation")
+            if not db.contains(ground):
+                yield from self._expand(
+                    rule, db, index + 1, bindings, delta_position, restrict_to
+                )
+            return
+        if delta_position is not None and index == delta_position:
+            rows: Iterable[Tuple[Any, ...]] = (
+                restrict_to.get(item.atom.relation, set()) if restrict_to else ()
+            )
+        else:
+            rows = db.rows(item.atom.relation)
+        for row in rows:
+            extended = _match(item.atom, row, bindings)
+            if extended is not None:
+                yield from self._expand(
+                    rule, db, index + 1, extended, delta_position, restrict_to
+                )
+
+
+def query(db: Database, goal: Atom) -> List[Bindings]:
+    """All variable bindings satisfying ``goal`` against ``db``."""
+    out: List[Bindings] = []
+    for row in db.rows(goal.relation):
+        bindings = _match(goal, row, {})
+        if bindings is not None:
+            out.append(bindings)
+    return out

@@ -1,0 +1,173 @@
+"""A small text syntax for Datalog programs (Souffle-flavoured).
+
+The paper's ER-pi *generates* Souffle Datalog whose size varies with the
+interleavings and pruning criteria; this parser closes the loop for our
+engine: pruning queries can be written (or generated) as text and evaluated
+directly.
+
+Grammar (newline-insensitive; ``//`` and ``%`` start line comments)::
+
+    fact      := atom "."
+    rule      := atom ":-" body "."
+    body      := literal ("," literal)*
+    literal   := ["!"] atom | term OP term
+    atom      := NAME "(" term ("," term)* ")"
+    term      := VARIABLE | NUMBER | STRING
+    VARIABLE  := [A-Z_][A-Za-z0-9_]*
+    NAME      := [a-z][A-Za-z0-9_]*
+    OP        := < | <= | > | >= | = | != | ==
+
+Variables start with an uppercase letter (Prolog/Souffle convention);
+numbers are integers; strings are double-quoted.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterator, List, Tuple, Union
+
+from repro.datalog.engine import Database, Program
+from repro.datalog.terms import Atom, Comparison, Literal, Rule, Variable
+
+
+class DatalogSyntaxError(Exception):
+    """Raised on malformed Datalog text."""
+
+
+_TOKEN = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<COMMENT>(//|%)[^\n]*)
+  | (?P<IMPLIES>:-)
+  | (?P<OP><=|>=|!=|==|<|>|=)
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<COMMA>,)
+  | (?P<DOT>\.)
+  | (?P<NEG>!)
+  | (?P<NUMBER>-?\d+)
+  | (?P<STRING>"(?:[^"\\]|\\.)*")
+  | (?P<VARIABLE>[A-Z_][A-Za-z0-9_]*)
+  | (?P<NAME>[a-z][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+Token = Tuple[str, str]
+
+
+def tokenize(text: str) -> List[Token]:
+    tokens: List[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            snippet = text[position : position + 20]
+            raise DatalogSyntaxError(f"unexpected input at {snippet!r}")
+        position = match.end()
+        kind = match.lastgroup
+        if kind in ("WS", "COMMENT"):
+            continue
+        tokens.append((kind, match.group()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self) -> Token:
+        if self.position >= len(self.tokens):
+            return ("EOF", "")
+        return self.tokens[self.position]
+
+    def take(self, kind: str) -> str:
+        actual_kind, value = self.peek()
+        if actual_kind != kind:
+            raise DatalogSyntaxError(
+                f"expected {kind}, found {actual_kind} ({value!r})"
+            )
+        self.position += 1
+        return value
+
+    def at_end(self) -> bool:
+        return self.position >= len(self.tokens)
+
+    # ------------------------------------------------------------- grammar
+
+    def parse_program(self) -> List[Rule]:
+        rules: List[Rule] = []
+        while not self.at_end():
+            rules.append(self.parse_clause())
+        return rules
+
+    def parse_clause(self) -> Rule:
+        head = self.parse_atom()
+        if self.peek()[0] == "IMPLIES":
+            self.take("IMPLIES")
+            body = [self.parse_body_item()]
+            while self.peek()[0] == "COMMA":
+                self.take("COMMA")
+                body.append(self.parse_body_item())
+            self.take("DOT")
+            return Rule(head, *body)
+        self.take("DOT")
+        return Rule(head)
+
+    def parse_body_item(self) -> Union[Literal, Comparison]:
+        kind, _ = self.peek()
+        if kind == "NEG":
+            self.take("NEG")
+            return Literal(self.parse_atom(), negated=True)
+        if kind == "NAME":
+            # Could be an atom; names cannot start comparisons.
+            return Literal(self.parse_atom())
+        # Otherwise a comparison: term OP term.
+        left = self.parse_term()
+        op = self.take("OP")
+        right = self.parse_term()
+        if op == "=":
+            op = "=="
+        return Comparison(left, op, right)
+
+    def parse_atom(self) -> Atom:
+        name = self.take("NAME")
+        self.take("LPAREN")
+        args = [self.parse_term()]
+        while self.peek()[0] == "COMMA":
+            self.take("COMMA")
+            args.append(self.parse_term())
+        self.take("RPAREN")
+        return Atom(name, *args)
+
+    def parse_term(self) -> Any:
+        kind, value = self.peek()
+        if kind == "VARIABLE":
+            self.take("VARIABLE")
+            return Variable(value)
+        if kind == "NUMBER":
+            self.take("NUMBER")
+            return int(value)
+        if kind == "STRING":
+            self.take("STRING")
+            return value[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+        raise DatalogSyntaxError(f"expected a term, found {kind} ({value!r})")
+
+
+def parse_program(text: str) -> List[Rule]:
+    """Parse Datalog text into rules (facts are body-less rules)."""
+    return _Parser(tokenize(text)).parse_program()
+
+
+def evaluate_text(text: str, db: Database = None) -> Database:
+    """Parse and evaluate a program; facts in the text are loaded first."""
+    rules = parse_program(text)
+    database = db if db is not None else Database()
+    facts = [rule for rule in rules if rule.is_fact()]
+    derivations = [rule for rule in rules if not rule.is_fact()]
+    for fact in facts:
+        database.add_atom(fact.head)
+    if derivations:
+        Program(derivations).evaluate(database)
+    return database

@@ -1,0 +1,112 @@
+"""Pruning constraints expressed as Datalog queries.
+
+The fast-path pruning in :mod:`repro.core.pruning` operates on Python lists;
+these queries express the same constraints against the persisted relations,
+as the paper's Souffle programs do.  Agreement between the two paths is
+covered by tests (``tests/datalog/test_queries.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.datalog.engine import Database, Program, query
+from repro.datalog.store import InterleavingStore
+from repro.datalog.terms import Atom, Comparison, Literal, Rule, Variable, vars_
+
+
+def grouping_violations(store: InterleavingStore) -> List[int]:
+    """Interleaving ids where some sync pair is not adjacent-and-ordered.
+
+    Datalog::
+
+        bad(IL) :- sync_pair(Req, Exec), interleaving(IL, P1, Req),
+                   interleaving(IL, P2, Exec), P2 != P1 + 1.
+
+    Because our engine has no arithmetic builtin, the ``P2 != P1 + 1`` test is
+    expressed via a derived ``succ`` relation over the positions in use.
+    """
+    il, p1, p2, req, exc, p3 = vars_("IL P1 P2 Req Exec P3")
+    rules = [
+        # succ(IL, P1, P2): P2 is the position immediately after P1 in IL.
+        Rule(
+            Atom("succ", il, p1, p2),
+            Literal(Atom("interleaving", il, p1, req)),
+            Literal(Atom("interleaving", il, p2, exc)),
+            Comparison(p1, "<", p2),
+            Literal(Atom("between", il, p1, p2), negated=True),
+        ),
+        # between(IL, P1, P2): some position strictly between the two.
+        Rule(
+            Atom("between", il, p1, p2),
+            Literal(Atom("interleaving", il, p1, req)),
+            Literal(Atom("interleaving", il, p2, exc)),
+            Literal(Atom("interleaving", il, p3, Variable("Mid"))),
+            Comparison(p1, "<", p3),
+            Comparison(p3, "<", p2),
+        ),
+        # bad(IL): a sync pair whose exec is not the immediate successor of
+        # its request.
+        Rule(
+            Atom("bad", il),
+            Literal(Atom("sync_pair", req, exc)),
+            Literal(Atom("interleaving", il, p1, req)),
+            Literal(Atom("interleaving", il, p2, exc)),
+            Literal(Atom("succ", il, p1, p2), negated=True),
+        ),
+    ]
+    db = store.db.copy()
+    Program(rules).evaluate(db)
+    return sorted({row[0] for row in db.rows("bad")})
+
+
+def replica_projection(store: InterleavingStore, replica_id: str) -> dict:
+    """Map il_id -> the tuple of (position, event) pairs local to ``replica_id``.
+
+    Datalog::
+
+        local(IL, P, E) :- interleaving(IL, P, E), event(E, R, _, _), R = rid.
+
+    The Python-side equivalence classes over these projections drive the
+    replica-specific pruning agreement tests.
+    """
+    il, pos, ev, kind, op = vars_("IL P E K O")
+    rules = [
+        Rule(
+            Atom("local", il, pos, ev),
+            Literal(Atom("interleaving", il, pos, ev)),
+            Literal(Atom("event", ev, replica_id, kind, op)),
+        )
+    ]
+    db = store.db.copy()
+    Program(rules).evaluate(db)
+    out: dict = {}
+    for row in db.rows("local"):
+        out.setdefault(row[0], []).append((row[1], row[2]))
+    for il_id in out:
+        out[il_id] = sorted(out[il_id])
+    return out
+
+
+def events_of_kind(store: InterleavingStore, kind: str) -> Set[str]:
+    """Event ids whose kind matches (e.g. all sync requests)."""
+    ev, rid, op = vars_("E R O")
+    return {b[ev] for b in query(store.db, Atom("event", ev, rid, kind, op))}
+
+
+def interleavings_with_prefix(store: InterleavingStore, prefix: List[str]) -> List[int]:
+    """Interleaving ids starting with the given event prefix.
+
+    Expressed as one conjunctive query with constant positions.
+    """
+    il = Variable("IL")
+    body = [
+        Literal(Atom("interleaving", il, position, event_id))
+        for position, event_id in enumerate(prefix)
+    ]
+    if not body:
+        return store.interleaving_ids()
+    rules = [Rule(Atom("has_prefix", il), *body)]
+    db = store.db.copy()
+    Program(rules).evaluate(db)
+    return sorted({row[0] for row in db.rows("has_prefix")})

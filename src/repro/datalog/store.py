@@ -1,0 +1,101 @@
+"""Interleaving persistence on the Datalog database (paper section 5.1).
+
+Schema (all facts):
+
+* ``event(event_id, replica_id, kind, op_name)`` — one per captured event.
+* ``sync_pair(req_event_id, exec_event_id)`` — grouped sync request/execute.
+* ``interleaving(il_id, position, event_id)`` — the interleaving contents.
+* ``il_meta(il_id, length)`` — per-interleaving length.
+* ``pruned(il_id, algorithm)`` — marked by the pruning passes.
+* ``explored(il_id, verdict)`` — replay bookkeeping ("ok" / "violation").
+
+ER-pi's runtime uses this store as its persistence layer; the exploration
+loop reads back only interleavings that are neither pruned nor explored.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.datalog.engine import Database, query
+from repro.datalog.terms import Atom, Variable, vars_
+
+
+class InterleavingStore:
+    """A persistence facade mapping ER-pi's objects onto Datalog relations."""
+
+    def __init__(self) -> None:
+        self.db = Database()
+        self._next_il_id = 0
+
+    # --------------------------------------------------------------- events
+
+    def persist_event(
+        self, event_id: str, replica_id: str, kind: str, op_name: str
+    ) -> None:
+        self.db.add("event", event_id, replica_id, kind, op_name)
+
+    def persist_sync_pair(self, req_event_id: str, exec_event_id: str) -> None:
+        self.db.add("sync_pair", req_event_id, exec_event_id)
+
+    def event_ids(self) -> List[str]:
+        return sorted(row[0] for row in self.db.rows("event"))
+
+    # --------------------------------------------------------- interleavings
+
+    def persist_interleaving(self, event_ids: Sequence[str]) -> int:
+        """Store one interleaving; returns its integer id."""
+        il_id = self._next_il_id
+        self._next_il_id += 1
+        for position, event_id in enumerate(event_ids):
+            self.db.add("interleaving", il_id, position, event_id)
+        self.db.add("il_meta", il_id, len(event_ids))
+        return il_id
+
+    def persist_many(self, interleavings: Iterable[Sequence[str]]) -> List[int]:
+        return [self.persist_interleaving(il) for il in interleavings]
+
+    def interleaving(self, il_id: int) -> List[str]:
+        rows = sorted(
+            (row for row in self.db.rows("interleaving") if row[0] == il_id),
+            key=lambda row: row[1],
+        )
+        return [row[2] for row in rows]
+
+    def interleaving_ids(self) -> List[int]:
+        return sorted(row[0] for row in self.db.rows("il_meta"))
+
+    def count(self) -> int:
+        return self.db.size("il_meta")
+
+    # -------------------------------------------------------------- pruning
+
+    def mark_pruned(self, il_id: int, algorithm: str) -> None:
+        self.db.add("pruned", il_id, algorithm)
+
+    def pruned_ids(self, algorithm: Optional[str] = None) -> List[int]:
+        rows = self.db.rows("pruned")
+        if algorithm is not None:
+            rows = frozenset(row for row in rows if row[1] == algorithm)
+        return sorted({row[0] for row in rows})
+
+    def surviving_ids(self) -> List[int]:
+        pruned = {row[0] for row in self.db.rows("pruned")}
+        return [il_id for il_id in self.interleaving_ids() if il_id not in pruned]
+
+    # ------------------------------------------------------------- replay
+
+    def mark_explored(self, il_id: int, verdict: str) -> None:
+        self.db.add("explored", il_id, verdict)
+
+    def explored(self) -> Dict[int, str]:
+        return {row[0]: row[1] for row in self.db.rows("explored")}
+
+    def unexplored_ids(self) -> List[int]:
+        explored = set(self.explored())
+        return [il_id for il_id in self.surviving_ids() if il_id not in explored]
+
+    def violations(self) -> List[int]:
+        return sorted(
+            row[0] for row in self.db.rows("explored") if row[1] == "violation"
+        )

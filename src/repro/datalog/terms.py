@@ -1,0 +1,158 @@
+"""Datalog term language: variables, atoms, literals, rules.
+
+The paper's ER-pi persists interleavings in a Souffle Datalog database and
+expresses pruning as logic queries.  This package is a from-scratch Datalog:
+this module defines the syntax objects, :mod:`repro.datalog.engine` evaluates
+them, and :mod:`repro.datalog.store` maps interleavings onto relations.
+
+Constants are arbitrary hashable Python values; variables are
+:class:`Variable` instances (conventionally created via :func:`vars_`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A logic variable, identified by name."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+def vars_(names: str) -> List[Variable]:
+    """``X, Y = vars_("X Y")`` — convenience constructor."""
+    return [Variable(name) for name in names.split()]
+
+
+Bindings = Dict[Variable, Any]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """``relation(arg0, arg1, ...)`` — args mix constants and variables."""
+
+    relation: str
+    args: Tuple[Any, ...]
+
+    def __init__(self, relation: str, *args: Any) -> None:
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "args", tuple(args))
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def variables(self) -> List[Variable]:
+        return [arg for arg in self.args if isinstance(arg, Variable)]
+
+    def substitute(self, bindings: Bindings) -> "Atom":
+        resolved = tuple(
+            bindings.get(arg, arg) if isinstance(arg, Variable) else arg
+            for arg in self.args
+        )
+        return Atom(self.relation, *resolved)
+
+    def is_ground(self) -> bool:
+        return not self.variables()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(arg) for arg in self.args)
+        return f"{self.relation}({inner})"
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A body literal: an atom, possibly negated (stratified negation)."""
+
+    atom: Atom
+    negated: bool = False
+
+    def __repr__(self) -> str:
+        return f"not {self.atom!r}" if self.negated else repr(self.atom)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A builtin constraint over bound variables, e.g. ``X < Y``.
+
+    ``op`` is one of ``< <= > >= == !=``; both sides may be variables or
+    constants and must be fully bound when the comparison is reached (the
+    engine orders body literals left to right, as Souffle effectively does).
+    """
+
+    left: Any
+    op: str
+    right: Any
+
+    def evaluate(self, bindings: Bindings) -> bool:
+        left = bindings.get(self.left, self.left) if isinstance(self.left, Variable) else self.left
+        right = (
+            bindings.get(self.right, self.right) if isinstance(self.right, Variable) else self.right
+        )
+        if isinstance(left, Variable) or isinstance(right, Variable):
+            raise ValueError(f"comparison {self!r} reached with unbound variable")
+        if self.op == "<":
+            return left < right
+        if self.op == "<=":
+            return left <= right
+        if self.op == ">":
+            return left > right
+        if self.op == ">=":
+            return left >= right
+        if self.op == "==":
+            return left == right
+        if self.op == "!=":
+            return left != right
+        raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} {self.op} {self.right!r}"
+
+
+BodyItem = Any  # Literal | Comparison
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body``.  Facts are rules with empty bodies and ground heads."""
+
+    head: Atom
+    body: Tuple[BodyItem, ...] = ()
+
+    def __init__(self, head: Atom, *body: BodyItem) -> None:
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "body", tuple(body))
+
+    def is_fact(self) -> bool:
+        return not self.body and self.head.is_ground()
+
+    def validate(self) -> None:
+        """Range restriction + negation safety checks."""
+        positive_vars = set()
+        for item in self.body:
+            if isinstance(item, Literal) and not item.negated:
+                positive_vars.update(item.atom.variables())
+        for var in self.head.variables():
+            if var not in positive_vars and self.body:
+                raise ValueError(
+                    f"unsafe rule: head variable {var!r} not bound by a positive literal"
+                )
+        for item in self.body:
+            if isinstance(item, Literal) and item.negated:
+                for var in item.atom.variables():
+                    if var not in positive_vars:
+                        raise ValueError(
+                            f"unsafe negation: {var!r} not bound by a positive literal"
+                        )
+
+    def __repr__(self) -> str:
+        if not self.body:
+            return f"{self.head!r}."
+        body = ", ".join(repr(item) for item in self.body)
+        return f"{self.head!r} :- {body}."

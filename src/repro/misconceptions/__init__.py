@@ -1,0 +1,39 @@
+"""Seeding and detecting the five RDL misconceptions (paper Table 2)."""
+
+from repro.misconceptions.detectors import (
+    DETECTED,
+    NOT_APPLICABLE,
+    NOT_DETECTED,
+    DetectionResult,
+    detect,
+)
+from repro.misconceptions.matrix import (
+    PAPER_TABLE_2,
+    compute_matrix,
+    format_matrix,
+    matches_paper,
+)
+from repro.misconceptions.seeds import (
+    ALL_SEEDS,
+    MISCONCEPTIONS,
+    SUBJECTS,
+    MisconceptionSeed,
+    seed_for,
+)
+
+__all__ = [
+    "ALL_SEEDS",
+    "DETECTED",
+    "DetectionResult",
+    "MISCONCEPTIONS",
+    "MisconceptionSeed",
+    "NOT_APPLICABLE",
+    "NOT_DETECTED",
+    "PAPER_TABLE_2",
+    "SUBJECTS",
+    "compute_matrix",
+    "detect",
+    "format_matrix",
+    "matches_paper",
+    "seed_for",
+]

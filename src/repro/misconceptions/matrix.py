@@ -1,0 +1,59 @@
+"""Table 2: the subject x misconception detection matrix."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.misconceptions.detectors import (
+    DETECTED,
+    NOT_APPLICABLE,
+    DetectionResult,
+    detect,
+)
+from repro.misconceptions.seeds import MISCONCEPTIONS, SUBJECTS, seed_for
+
+#: The paper's Table 2 (True = checkmark).
+PAPER_TABLE_2: Dict[str, Dict[int, bool]] = {
+    "Roshi": {1: True, 2: True, 3: True, 4: False, 5: True},
+    "OrbitDB": {1: True, 2: False, 3: False, 4: False, 5: True},
+    "ReplicaDB": {1: True, 2: False, 3: False, 4: False, 5: False},
+    "Yorkie": {1: True, 2: False, 3: False, 4: False, 5: True},
+    "CRDTs": {1: True, 2: True, 3: True, 4: True, 5: True},
+}
+
+
+def compute_matrix(cap: int = 600) -> Dict[Tuple[str, int], DetectionResult]:
+    """Run every cell; returns {(subject, misconception): result}."""
+    results: Dict[Tuple[str, int], DetectionResult] = {}
+    for subject in SUBJECTS:
+        for misconception in MISCONCEPTIONS:
+            seed = seed_for(subject, misconception)
+            results[(subject, misconception)] = detect(seed, cap=cap)
+    return results
+
+
+def format_matrix(results: Dict[Tuple[str, int], DetectionResult]) -> str:
+    """Render the matrix the way the paper's Table 2 prints it."""
+    lines = ["Subjects     " + "".join(f"   #{m}" for m in MISCONCEPTIONS)]
+    for subject in SUBJECTS:
+        cells = []
+        for misconception in MISCONCEPTIONS:
+            result = results[(subject, misconception)]
+            cells.append("  ok " if result.detected else "  -- ")
+        lines.append(f"{subject:12s}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def matches_paper(results: Dict[Tuple[str, int], DetectionResult]) -> List[str]:
+    """Cells whose verdict disagrees with the paper's Table 2 (empty = match)."""
+    mismatches: List[str] = []
+    for subject in SUBJECTS:
+        for misconception in MISCONCEPTIONS:
+            expected = PAPER_TABLE_2[subject][misconception]
+            actual = results[(subject, misconception)].detected
+            if expected != actual:
+                mismatches.append(
+                    f"{subject} #{misconception}: paper={'yes' if expected else 'no'} "
+                    f"ours={'yes' if actual else 'no'}"
+                )
+    return mismatches

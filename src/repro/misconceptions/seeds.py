@@ -1,0 +1,515 @@
+"""Seeding the five RDL misconceptions (paper section 6.2).
+
+Each :class:`MisconceptionSeed` is analogous to a bug scenario: a cluster
+with the misconception's wrong assumption baked into the app/library
+configuration, a workload, and the detector ER-pi runs after/across
+interleavings.  The five misconceptions:
+
+* **#1** — the underlying network ensures causal delivery.
+* **#2** — the order of List elements is always consistent.
+* **#3** — moving items in a List doesn't cause duplication.
+* **#4** — sequential IDs are suitable for creating new to-do items.
+* **#5** — replicas in different regions mathematically resolve to the same
+  state without coordination.
+
+A seed may be inapplicable to a subject (the subject does not expose the
+feature the misconception is about); :data:`NOT_APPLICABLE` marks those
+cells of the Table-2 matrix.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.assertions import (
+    CrossInterleavingCheck,
+    StableReadAcrossInterleavings,
+    StableStateAcrossInterleavings,
+    assert_no_duplicates,
+    assert_predicate,
+    is_settled,
+)
+from repro.core.replay import Assertion, InterleavingOutcome
+from repro.net.cluster import Cluster
+from repro.rdl.crdts_lib import CRDTLibrary
+from repro.rdl.orbitdb import OrbitDBStore
+from repro.rdl.replicadb import ReplicaDBJob
+from repro.rdl.roshi import RoshiReplica
+from repro.rdl.yorkie import YorkieDocument
+
+SUBJECTS = ("Roshi", "OrbitDB", "ReplicaDB", "Yorkie", "CRDTs")
+MISCONCEPTIONS = (1, 2, 3, 4, 5)
+
+NOT_APPLICABLE = "n/a"
+
+
+class MisconceptionSeed(abc.ABC):
+    """One (subject, misconception) cell of Table 2."""
+
+    subject: str
+    misconception: int
+    #: Why the cell is n/a (None when applicable).
+    inapplicable_reason: Optional[str] = None
+
+    @abc.abstractmethod
+    def build_cluster(self) -> Cluster:
+        ...
+
+    @abc.abstractmethod
+    def workload(self, cluster: Cluster) -> None:
+        ...
+
+    def make_assertions(self) -> List[Assertion]:
+        return []
+
+    def make_cross_checks(self) -> List[CrossInterleavingCheck]:
+        return []
+
+
+# ----------------------------------------------------------------- builders
+
+
+def _roshi(defects: set = frozenset(), n: int = 2) -> Cluster:
+    cluster = Cluster()
+    for rid in ("A", "B", "C")[:n]:
+        cluster.add_replica(rid, RoshiReplica(rid, defects=set(defects)))
+    return cluster
+
+
+def _orbitdb(defects: set = frozenset(), n: int = 2) -> Cluster:
+    cluster = Cluster()
+    ids = ("A", "B", "C")[:n]
+    for rid in ids:
+        store = OrbitDBStore(rid, defects=set(defects))
+        cluster.add_replica(rid, store)
+    for rid in ids:
+        for other in ids:
+            cluster.rdl(rid).grant_access(other)
+    return cluster
+
+
+def _replicadb(defects: set = frozenset(), n: int = 2) -> Cluster:
+    cluster = Cluster()
+    for rid in ("A", "B", "C")[:n]:
+        cluster.add_replica(rid, ReplicaDBJob(rid, defects=set(defects)))
+    return cluster
+
+
+def _yorkie(defects: set = frozenset(), n: int = 2) -> Cluster:
+    cluster = Cluster()
+    for rid in ("A", "B", "C")[:n]:
+        cluster.add_replica(rid, YorkieDocument(rid, defects=set(defects)))
+    return cluster
+
+
+def _crdts(defects: set = frozenset(), n: int = 2) -> Cluster:
+    cluster = Cluster()
+    for rid in ("A", "B", "C")[:n]:
+        cluster.add_replica(rid, CRDTLibrary(rid, defects=set(defects)))
+    return cluster
+
+
+# --------------------------------------------- misconception #1 (causal net)
+
+
+class _CausalDeliverySeed(MisconceptionSeed):
+    """#1: the app skips the conflict-resolution call, trusting the network.
+
+    Detector (paper): the same workload must leave the target replica in the
+    same state no matter the interleaving; with raw (arrival-order) applies
+    the state depends on delivery order.
+    """
+
+    misconception = 1
+    target = "A"
+
+    def make_cross_checks(self) -> List[CrossInterleavingCheck]:
+        return [StableStateAcrossInterleavings(self.target)]
+
+
+class RoshiCausal(_CausalDeliverySeed):
+    subject = "Roshi"
+
+    def build_cluster(self) -> Cluster:
+        return _roshi({"raw_apply"})
+
+    def workload(self, cluster: Cluster) -> None:
+        a, b = cluster.rdl("A"), cluster.rdl("B")
+        b.insert("k", "x", 10.0)
+        cluster.sync("B", "A")
+        b.insert("k", "x", 30.0)
+        cluster.sync("B", "A")
+        b.delete("k", "x", 20.0)
+        cluster.sync("B", "A")
+        a.select("k")
+
+
+class OrbitDBCausal(_CausalDeliverySeed):
+    subject = "OrbitDB"
+
+    def build_cluster(self) -> Cluster:
+        return _orbitdb({"no_causal_sort"})
+
+    def workload(self, cluster: Cluster) -> None:
+        a, b = cluster.rdl("A"), cluster.rdl("B")
+        b.append("u1")
+        cluster.sync("B", "A")
+        b.append("u2")
+        cluster.sync("B", "A")
+        a.append("v1")
+        a.log_order()
+
+
+class ReplicaDBCausal(_CausalDeliverySeed):
+    subject = "ReplicaDB"
+
+    def build_cluster(self) -> Cluster:
+        return _replicadb({"raw_apply"})
+
+    def workload(self, cluster: Cluster) -> None:
+        a, b = cluster.rdl("A"), cluster.rdl("B")
+        b.source_insert(1, {"v": "old"})
+        cluster.sync("B", "A")
+        b.source_update(1, {"v": "new"})
+        cluster.sync("B", "A")
+        b.source_insert(2, {"v": "x"})
+        cluster.sync("B", "A")
+        a.source_rows()
+
+
+class YorkieCausal(_CausalDeliverySeed):
+    subject = "Yorkie"
+
+    def build_cluster(self) -> Cluster:
+        return _yorkie({"last_sync_wins"})
+
+    def workload(self, cluster: Cluster) -> None:
+        a, b = cluster.rdl("A"), cluster.rdl("B")
+        b.set(["title"], "v1")
+        cluster.sync("B", "A")
+        b.set(["title"], "v2")
+        cluster.sync("B", "A")
+        a.set(["owner"], "alice")
+        a.get(["title"])
+
+
+class CRDTsCausal(_CausalDeliverySeed):
+    subject = "CRDTs"
+
+    def build_cluster(self) -> Cluster:
+        return _crdts({"no_conflict_resolution"})
+
+    def workload(self, cluster: Cluster) -> None:
+        a, b = cluster.rdl("A"), cluster.rdl("B")
+        b.set_add("s", "x")
+        cluster.sync("B", "A")
+        b.set_add("s", "y")
+        cluster.sync("B", "A")
+        a.set_add("s", "z")
+        a.set_value("s")
+
+
+# ------------------------------------------------- misconception #2 (order)
+
+
+class RoshiListOrder(MisconceptionSeed):
+    """#2 on Roshi: select order varies across interleavings when the app
+    leaves results unsorted (Go-map iteration)."""
+
+    subject = "Roshi"
+    misconception = 2
+
+    def build_cluster(self) -> Cluster:
+        return _roshi({"unordered_select"})
+
+    def workload(self, cluster: Cluster) -> None:
+        a, b = cluster.rdl("A"), cluster.rdl("B")
+        a.insert("k", "p", 10.0)
+        b.insert("k", "q", 20.0)
+        cluster.sync("B", "A")
+        b.insert("k", "r", 30.0)
+        cluster.sync("B", "A")
+        a.select("k")
+
+    def make_cross_checks(self) -> List[CrossInterleavingCheck]:
+        # e8 is the select READ (1 + 1 + 2 + 1 + 2 + 1 = 8th recorded call).
+        return [StableReadAcrossInterleavings("e8")]
+
+
+class CRDTsListOrder(MisconceptionSeed):
+    """#2 on CRDTs: unsorted list reads expose arrival order."""
+
+    subject = "CRDTs"
+    misconception = 2
+
+    def build_cluster(self) -> Cluster:
+        return _crdts({"unsorted_list_reads"})
+
+    def workload(self, cluster: Cluster) -> None:
+        a, b = cluster.rdl("A"), cluster.rdl("B")
+        a.list_append("l", "x")
+        cluster.sync("A", "B")
+        b.list_append("l", "y")
+        cluster.sync("B", "A")
+        a.list_append("l", "z")
+        a.list_value("l")
+
+    def make_cross_checks(self) -> List[CrossInterleavingCheck]:
+        return [StableReadAcrossInterleavings("e8")]
+
+
+# --------------------------------------------- misconception #3 (move dup)
+
+
+class RoshiMoveDuplication(MisconceptionSeed):
+    """#3 on Roshi: the app models "move to a new timestamp slot" as
+    delete(old-slot) + insert(new-slot) over composite members; two replicas
+    concurrently moving the same item leave both new slots populated."""
+
+    subject = "Roshi"
+    misconception = 3
+
+    def build_cluster(self) -> Cluster:
+        return _roshi()
+
+    def workload(self, cluster: Cluster) -> None:
+        a, b = cluster.rdl("A"), cluster.rdl("B")
+        a.insert("k", "item@1", 1.0)
+        cluster.sync("A", "B")
+        a.delete("k", "item@1", 2.0)    # A moves item to slot 2
+        a.insert("k", "item@2", 2.0)
+        b.delete("k", "item@1", 3.0)    # B moves item to slot 3 (recorded:
+        b.insert("k", "item@3", 3.0)    # sequential; concurrent when reordered)
+        cluster.sync("A", "B")
+        cluster.sync("B", "A")
+        a.select("k")
+
+    def make_assertions(self) -> List[Assertion]:
+        def base_names(outcome: InterleavingOutcome) -> List[str]:
+            members = outcome.states.get("A", {}).get("k", ())
+            return [member.split("@")[0] for member in members]
+
+        return [assert_no_duplicates(base_names, label="moved items")]
+
+
+class CRDTsMoveDuplication(MisconceptionSeed):
+    """#3 on CRDTs: the naive list move (delete + insert)."""
+
+    subject = "CRDTs"
+    misconception = 3
+
+    def build_cluster(self) -> Cluster:
+        return _crdts()
+
+    def workload(self, cluster: Cluster) -> None:
+        a, b = cluster.rdl("A"), cluster.rdl("B")
+        a.list_append("l", "x")
+        a.list_append("l", "y")
+        a.list_append("l", "z")
+        cluster.sync("A", "B")
+        a.list_move("l", 0, 2)
+        cluster.sync("A", "B")
+        # Recorded: B has already seen A's move, so index 0 is "y" and the
+        # two moves touch different items.  Interleaved before the sync, B's
+        # index 0 is still "x" — both replicas move the same item and the
+        # naive delete+insert duplicates it.
+        b.list_move("l", 0, 1)
+        cluster.sync("B", "A")
+        a.list_value("l")
+
+    def make_assertions(self) -> List[Assertion]:
+        def items(outcome: InterleavingOutcome) -> List[str]:
+            return list(outcome.states.get("A", {}).get("l", ()))
+
+        return [assert_no_duplicates(items, label="list items")]
+
+
+# -------------------------------------------- misconception #4 (sequential)
+
+
+class CRDTsSequentialIds(MisconceptionSeed):
+    """#4 on CRDTs: to-dos created with max-id+1 clash under concurrency —
+    one of the items silently overwrites the other."""
+
+    subject = "CRDTs"
+    misconception = 4
+
+    def build_cluster(self) -> Cluster:
+        return _crdts()
+
+    def workload(self, cluster: Cluster) -> None:
+        a, b = cluster.rdl("A"), cluster.rdl("B")
+        a.todo_create("todos", "buy milk")
+        cluster.sync("A", "B")
+        b.todo_create("todos", "walk dog")   # recorded: saw item 1, mints 2
+        cluster.sync("B", "A")
+        a.todo_create("todos", "pay rent")
+        cluster.sync("A", "B")
+        b.map_value("todos")
+
+    def make_assertions(self) -> List[Assertion]:
+        def no_lost_todos(outcome: InterleavingOutcome) -> bool:
+            if not is_settled(outcome, ["A", "B"]):
+                return True
+            creates = sum(
+                1
+                for res in outcome.event_results
+                if res.event.op_name == "todo_create" and res.ok
+            )
+            todos = outcome.states.get("A", {}).get("todos", {})
+            return len(todos) >= creates
+
+        return [
+            assert_predicate(
+                no_lost_todos,
+                "sequential to-do ids clashed: a concurrently created item "
+                "was silently overwritten (misconception #4)",
+            )
+        ]
+
+
+# ------------------------------------------- misconception #5 (no coord.)
+
+
+class _NoCoordinationSeed(MisconceptionSeed):
+    """#5: the app transmits/reads without coordinating a final sync —
+    the observed value depends on the interleaving (the paper's motivating
+    example, generalised)."""
+
+    misconception = 5
+    read_event = "e0"  # subclasses set
+
+    def make_cross_checks(self) -> List[CrossInterleavingCheck]:
+        return [StableReadAcrossInterleavings(self.read_event)]
+
+
+class RoshiNoCoordination(_NoCoordinationSeed):
+    subject = "Roshi"
+    read_event = "e8"
+
+    def build_cluster(self) -> Cluster:
+        return _roshi()
+
+    def workload(self, cluster: Cluster) -> None:
+        a, b = cluster.rdl("A"), cluster.rdl("B")
+        a.insert("problems", "trash-bin", 1.0)      # e1
+        cluster.sync("A", "B")                      # e2, e3
+        b.delete("problems", "trash-bin", 2.0)      # e4
+        cluster.sync("B", "A")                      # e5, e6
+        b.insert("problems", "pothole", 3.0)        # e7
+        a.select("problems")                        # e8 READ: the transmit
+        cluster.sync("B", "A")                      # e9, e10
+
+
+class OrbitDBNoCoordination(_NoCoordinationSeed):
+    subject = "OrbitDB"
+    read_event = "e6"
+
+    def build_cluster(self) -> Cluster:
+        return _orbitdb()
+
+    def workload(self, cluster: Cluster) -> None:
+        a, b = cluster.rdl("A"), cluster.rdl("B")
+        a.append("report-1")                        # e1
+        cluster.sync("A", "B")                      # e2, e3
+        b.append("report-2")                        # e4
+        cluster.sync("B", "A")                      # e5... wait: e5,e6 sync
+        # (the read below is e7)
+        a.entries()                                 # READ
+
+    def make_cross_checks(self) -> List[CrossInterleavingCheck]:
+        return [StableReadAcrossInterleavings("e7")]
+
+
+class YorkieNoCoordination(_NoCoordinationSeed):
+    subject = "Yorkie"
+    read_event = "e8"
+
+    def build_cluster(self) -> Cluster:
+        return _yorkie()
+
+    def workload(self, cluster: Cluster) -> None:
+        a, b = cluster.rdl("A"), cluster.rdl("B")
+        a.set(["report"], "trash-bin")              # e1
+        cluster.sync("A", "B")                      # e2, e3
+        b.set(["report"], "fixed")                  # e4
+        cluster.sync("B", "A")                      # e5, e6
+        b.set(["extra"], 1)                         # e7
+        a.get(["report"])                           # e8 READ
+
+
+class CRDTsNoCoordination(_NoCoordinationSeed):
+    """The motivating town-reports example itself."""
+
+    subject = "CRDTs"
+    read_event = "e10"
+
+    def build_cluster(self) -> Cluster:
+        return _crdts()
+
+    def workload(self, cluster: Cluster) -> None:
+        a, b = cluster.rdl("A"), cluster.rdl("B")
+        a.set_add("problems", "trash-bin")          # e1
+        cluster.sync("A", "B")                      # e2, e3
+        b.set_add("problems", "pothole")            # e4
+        cluster.sync("B", "A")                      # e5, e6
+        b.set_remove("problems", "trash-bin")       # e7
+        cluster.sync("B", "A")                      # e8, e9
+        a.set_value("problems")                     # e10 READ: transmit
+
+
+# ------------------------------------------------------------ n/a cells
+
+
+@dataclass
+class InapplicableSeed(MisconceptionSeed):
+    """A Table-2 cell where the subject does not expose the feature."""
+
+    subject: str
+    misconception: int
+    inapplicable_reason: str = ""
+
+    def build_cluster(self) -> Cluster:  # pragma: no cover - never called
+        raise NotImplementedError(self.inapplicable_reason)
+
+    def workload(self, cluster: Cluster) -> None:  # pragma: no cover
+        raise NotImplementedError(self.inapplicable_reason)
+
+
+ALL_SEEDS: List[MisconceptionSeed] = [
+    RoshiCausal(),
+    OrbitDBCausal(),
+    ReplicaDBCausal(),
+    YorkieCausal(),
+    CRDTsCausal(),
+    RoshiListOrder(),
+    CRDTsListOrder(),
+    RoshiMoveDuplication(),
+    CRDTsMoveDuplication(),
+    CRDTsSequentialIds(),
+    RoshiNoCoordination(),
+    OrbitDBNoCoordination(),
+    YorkieNoCoordination(),
+    CRDTsNoCoordination(),
+    # Inapplicable cells, with the reason Table 2 leaves them blank.
+    InapplicableSeed("OrbitDB", 2, "the op-log order is a library guarantee (deterministic clock sort), not app data"),
+    InapplicableSeed("OrbitDB", 3, "no list-move operation in the store API"),
+    InapplicableSeed("OrbitDB", 4, "entry ids are content hashes, never app-sequential"),
+    InapplicableSeed("ReplicaDB", 2, "tables are keyed rows; no ordered list surface"),
+    InapplicableSeed("ReplicaDB", 3, "no move operation; transfers are whole-row"),
+    InapplicableSeed("ReplicaDB", 4, "row ids come from the upstream database"),
+    InapplicableSeed("ReplicaDB", 5, "transfers are explicitly coordinated batch jobs"),
+    InapplicableSeed("Yorkie", 2, "array order is a library guarantee (RGA), not app data"),
+    InapplicableSeed("Yorkie", 3, "MoveAfter is the library's own move (covered as bug Yorkie-1)"),
+    InapplicableSeed("Yorkie", 4, "document keys are strings chosen per path, not sequences"),
+    InapplicableSeed("Roshi", 4, "members are app-provided strings; no id minting in the API"),
+]
+
+
+def seed_for(subject: str, misconception: int) -> MisconceptionSeed:
+    for seed in ALL_SEEDS:
+        if seed.subject == subject and seed.misconception == misconception:
+            return seed
+    raise KeyError(f"no seed for {subject} #{misconception}")

@@ -1,0 +1,136 @@
+"""Causal-delivery broadcast: the middleware fix for misconception #1.
+
+Misconception #1 (paper section 6.2): "the underlying network ensures causal
+delivery".  It does not — but a middleware layer can: this module implements
+the classic vector-clock causal broadcast (Birman-Schiper-Stephenson).  Each
+replica stamps outgoing messages with its vector clock; receivers buffer any
+message whose causal predecessors have not been delivered yet and release it
+once they have.
+
+Apps that *do* rely on delivery order can put this layer between themselves
+and the raw transport; ER-pi can then verify that the fixed app behaves
+identically in every interleaving of the raw network events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.crdt.clock import VectorClock
+
+
+@dataclass(frozen=True)
+class CausalMessage:
+    """A broadcast message stamped with the sender's vector clock."""
+
+    sender: str
+    sequence: int                      # sender-local sequence number (1-based)
+    depends_on: Tuple[Tuple[str, int], ...]  # vector clock at send, as items
+    payload: Any
+
+    def clock(self) -> VectorClock:
+        return VectorClock(dict(self.depends_on))
+
+
+DeliveryHook = Callable[[CausalMessage], None]
+
+
+class CausalEndpoint:
+    """One replica's causal-delivery endpoint.
+
+    ``send(payload)`` produces a stamped message to put on any (unreliable
+    ordering-wise, but loss-free) channel; ``receive(message)`` buffers or
+    delivers, releasing any blocked messages that became deliverable.
+    Delivery calls the hook in causal order.
+    """
+
+    def __init__(self, replica_id: str, on_deliver: DeliveryHook) -> None:
+        if not replica_id:
+            raise ValueError("replica_id must be non-empty")
+        self.replica_id = replica_id
+        self._on_deliver = on_deliver
+        self._delivered = VectorClock()      # per-sender delivered counts
+        self._sent = 0
+        self._buffer: List[CausalMessage] = []
+        self.buffered_high_watermark = 0
+
+    # ---------------------------------------------------------------- send
+
+    def send(self, payload: Any) -> CausalMessage:
+        """Stamp a payload; the local send also counts as delivered locally."""
+        self._sent += 1
+        depends = self._delivered.copy()
+        message = CausalMessage(
+            sender=self.replica_id,
+            sequence=self._sent,
+            depends_on=tuple(sorted(depends.as_dict().items())),
+            payload=payload,
+        )
+        self._delivered.increment(self.replica_id)
+        return message
+
+    # ------------------------------------------------------------- receive
+
+    def receive(self, message: CausalMessage) -> List[CausalMessage]:
+        """Accept a message from the network; returns everything delivered
+        (in order) as a result — possibly empty if it had to be buffered."""
+        if message.sender == self.replica_id:
+            return []  # own messages were delivered at send time
+        self._buffer.append(message)
+        self.buffered_high_watermark = max(
+            self.buffered_high_watermark, len(self._buffer)
+        )
+        delivered: List[CausalMessage] = []
+        progress = True
+        while progress:
+            progress = False
+            for buffered in list(self._buffer):
+                if self._deliverable(buffered):
+                    self._buffer.remove(buffered)
+                    self._delivered.increment(buffered.sender)
+                    self._on_deliver(buffered)
+                    delivered.append(buffered)
+                    progress = True
+        return delivered
+
+    def _deliverable(self, message: CausalMessage) -> bool:
+        # FIFO from the sender: exactly the next sequence number...
+        if message.sequence != self._delivered.get(message.sender) + 1:
+            return False
+        # ...and everything the sender had delivered must be delivered here.
+        for replica, count in message.depends_on:
+            if replica == message.sender:
+                continue
+            if self._delivered.get(replica) < count:
+                return False
+        return True
+
+    @property
+    def pending(self) -> int:
+        return len(self._buffer)
+
+    def delivered_counts(self) -> Dict[str, int]:
+        return self._delivered.as_dict()
+
+
+class CausalGroup:
+    """Convenience: a set of endpoints delivering to per-replica logs."""
+
+    def __init__(self, replica_ids: List[str]) -> None:
+        self.logs: Dict[str, List[Any]] = {rid: [] for rid in replica_ids}
+        self.endpoints: Dict[str, CausalEndpoint] = {
+            rid: CausalEndpoint(rid, self._hook(rid)) for rid in replica_ids
+        }
+
+    def _hook(self, replica_id: str) -> DeliveryHook:
+        def deliver(message: CausalMessage) -> None:
+            self.logs[replica_id].append(message.payload)
+
+        return deliver
+
+    def broadcast(self, sender: str, payload: Any) -> CausalMessage:
+        """Stamp at the sender and log locally (local delivery)."""
+        message = self.endpoints[sender].send(payload)
+        self.logs[sender].append(payload)
+        return message

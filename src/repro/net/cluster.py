@@ -1,0 +1,122 @@
+"""The cluster: replicas + transport, with the two-phase sync protocol.
+
+ER-pi's event model distinguishes *sending* a sync request from *executing*
+it at the receiver (paper section 3.2, Algorithm 1 groups these pairs).  The
+cluster exposes exactly those two primitives:
+
+* :meth:`Cluster.send_sync` — the sender snapshots its sync payload and puts
+  it on the wire (a ``SYNC_REQ`` event).
+* :meth:`Cluster.execute_sync` — the receiver integrates the next queued
+  payload from that sender (an ``EXEC_SYNC`` event).
+
+``sync`` is the convenience composition of the two for non-replay code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.net.conditions import NetworkConditions
+from repro.net.replica import ReplicaHost
+from repro.net.transport import Transport, TransportError
+
+
+class ClusterError(Exception):
+    """Raised on cluster misuse (unknown replica, duplicate id, ...)."""
+
+
+class Cluster:
+    """A set of replica hosts wired through one transport."""
+
+    def __init__(self, conditions: Optional[NetworkConditions] = None) -> None:
+        self.transport = Transport(conditions)
+        self._hosts: Dict[str, ReplicaHost] = {}
+
+    # ------------------------------------------------------------- topology
+
+    def add_replica(self, replica_id: str, rdl: Any) -> ReplicaHost:
+        if replica_id in self._hosts:
+            raise ClusterError(f"duplicate replica id {replica_id!r}")
+        host = ReplicaHost(replica_id, rdl)
+        self._hosts[replica_id] = host
+        return host
+
+    def host(self, replica_id: str) -> ReplicaHost:
+        try:
+            return self._hosts[replica_id]
+        except KeyError:
+            raise ClusterError(f"unknown replica {replica_id!r}") from None
+
+    def rdl(self, replica_id: str) -> Any:
+        return self.host(replica_id).rdl
+
+    def replica_ids(self) -> List[str]:
+        return sorted(self._hosts)
+
+    def __len__(self) -> int:
+        return len(self._hosts)
+
+    # ----------------------------------------------------------------- sync
+
+    def send_sync(self, sender: str, receiver: str) -> bool:
+        """Phase 1: snapshot the sender's payload and enqueue it.
+
+        Returns True iff the message made it onto the wire (partitions and
+        drops return False, exactly like a lost datagram).
+        """
+        source = self.host(sender)
+        payload = source.rdl.sync_payload(receiver)
+        message = self.transport.send(sender, receiver, payload)
+        if message is None:
+            return False
+        source.sent_syncs += 1
+        return True
+
+    def execute_sync(self, sender: str, receiver: str) -> bool:
+        """Phase 2: the receiver integrates the next payload from ``sender``.
+
+        Returns False when nothing is deliverable on that channel.
+        """
+        target = self.host(receiver)
+        try:
+            message = self.transport.deliver_next(sender, receiver)
+        except TransportError:
+            return False
+        target.rdl.apply_sync(message.payload, sender)
+        target.applied_syncs += 1
+        return True
+
+    def sync(self, sender: str, receiver: str) -> bool:
+        """Full sync in one call (send + execute)."""
+        if not self.send_sync(sender, receiver):
+            return False
+        return self.execute_sync(sender, receiver)
+
+    def sync_all(self, rounds: int = 1) -> None:
+        """Pairwise full mesh sync, ``rounds`` times (to reach convergence)."""
+        ids = self.replica_ids()
+        for _ in range(rounds):
+            for sender in ids:
+                for receiver in ids:
+                    if sender != receiver:
+                        self.sync(sender, receiver)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Snapshot every replica (the transport must be empty — replay
+        checkpoints are taken at quiescent points)."""
+        return {rid: host.checkpoint() for rid, host in self._hosts.items()}
+
+    def restore(self, snapshots: Dict[str, Any]) -> None:
+        for rid, snapshot in snapshots.items():
+            self.host(rid).restore(snapshot)
+        self.transport.reset()
+
+    def states(self) -> Dict[str, Any]:
+        return {rid: host.state() for rid, host in self._hosts.items()}
+
+    def converged(self) -> bool:
+        """True iff all replicas report the same observable value."""
+        values = list(self.states().values())
+        return all(value == values[0] for value in values[1:])

@@ -1,0 +1,71 @@
+"""Network conditions for the simulated transport.
+
+The paper's testbed runs over real (imperfect) networks; these condition
+objects reproduce the behaviours that matter for the evaluation: FIFO
+delivery, reordering (breaks causal delivery — misconception #1), message
+loss, added latency, and partitions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+
+@dataclass
+class NetworkConditions:
+    """Tunable delivery behaviour for a :class:`~repro.net.transport.Transport`.
+
+    * ``fifo`` — per-channel in-order delivery when True; when False the
+      transport may pop any queued message (seeded-randomly).
+    * ``drop_rate`` — probability a message is silently lost on send.
+    * ``duplicate_rate`` — probability a message is enqueued twice
+      (at-least-once delivery; a well-built RDL must be idempotent).
+    * ``latency_ticks`` — messages become deliverable only after this many
+      transport ticks.
+    * ``partitions`` — unordered replica pairs that cannot exchange messages.
+    """
+
+    fifo: bool = True
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    latency_ticks: int = 0
+    seed: int = 0
+    partitions: Set[FrozenSet[str]] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_rate <= 1.0:
+            raise ValueError("drop_rate must be a probability")
+        if not 0.0 <= self.duplicate_rate <= 1.0:
+            raise ValueError("duplicate_rate must be a probability")
+        if self.latency_ticks < 0:
+            raise ValueError("latency_ticks must be non-negative")
+        self._rng = random.Random(self.seed)
+
+    def should_drop(self) -> bool:
+        return self.drop_rate > 0 and self._rng.random() < self.drop_rate
+
+    def should_duplicate(self) -> bool:
+        return self.duplicate_rate > 0 and self._rng.random() < self.duplicate_rate
+
+    def pick_index(self, queue_length: int) -> int:
+        """Which queued message to deliver next (0 under FIFO)."""
+        if self.fifo or queue_length <= 1:
+            return 0
+        return self._rng.randrange(queue_length)
+
+    def is_partitioned(self, replica_a: str, replica_b: str) -> bool:
+        return frozenset((replica_a, replica_b)) in self.partitions
+
+    def partition(self, replica_a: str, replica_b: str) -> None:
+        self.partitions.add(frozenset((replica_a, replica_b)))
+
+    def heal(self, replica_a: Optional[str] = None, replica_b: Optional[str] = None) -> None:
+        """Heal one pair, or everything when called without arguments."""
+        if replica_a is None and replica_b is None:
+            self.partitions.clear()
+            return
+        if replica_a is None or replica_b is None:
+            raise ValueError("heal takes zero or two replica ids")
+        self.partitions.discard(frozenset((replica_a, replica_b)))

@@ -1,0 +1,46 @@
+"""The replica host abstraction: one node of the simulated cluster.
+
+A host couples a replica id with the RDL replica object running on it.  The
+RDL object must duck-type the sync protocol::
+
+    sync_payload(target_replica_id) -> payload   # what to ship to a peer
+    apply_sync(payload, from_replica_id)         # integrate a peer's payload
+    checkpoint() -> snapshot                     # opaque deep state snapshot
+    restore(snapshot)                            # reset to a snapshot
+    value()                                      # observable state
+
+Every simulated subject in :mod:`repro.rdl` implements this protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class ReplicaHost:
+    """One cluster node: id + the RDL replica it runs."""
+
+    def __init__(self, replica_id: str, rdl: Any) -> None:
+        if not replica_id:
+            raise ValueError("replica_id must be non-empty")
+        for method in ("sync_payload", "apply_sync", "checkpoint", "restore", "value"):
+            if not callable(getattr(rdl, method, None)):
+                raise TypeError(
+                    f"RDL object {rdl!r} does not implement required method {method!r}"
+                )
+        self.replica_id = replica_id
+        self.rdl = rdl
+        self.applied_syncs = 0
+        self.sent_syncs = 0
+
+    def state(self) -> Any:
+        return self.rdl.value()
+
+    def checkpoint(self) -> Any:
+        return self.rdl.checkpoint()
+
+    def restore(self, snapshot: Any) -> None:
+        self.rdl.restore(snapshot)
+
+    def __repr__(self) -> str:
+        return f"ReplicaHost({self.replica_id!r}, rdl={type(self.rdl).__name__})"

@@ -1,0 +1,17 @@
+"""Dynamic proxying of RDL functions (ER-pi's Python language binding)."""
+
+from repro.proxy.interceptor import (
+    deinstrument,
+    instrument,
+    instrumentable_methods,
+    is_instrumented,
+)
+from repro.proxy.recorder import EventRecorder
+
+__all__ = [
+    "EventRecorder",
+    "deinstrument",
+    "instrument",
+    "instrumentable_methods",
+    "is_instrumented",
+]

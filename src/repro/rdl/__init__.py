@@ -1,0 +1,24 @@
+"""Simulated third-party replicated data libraries (the paper's 5 subjects).
+
+Each subject reimplements, in Python, the replication semantics of the real
+library that the paper integrates ER-pi with; seeded defect flags reintroduce
+the reported bugs (see DESIGN.md, Substitutions).
+"""
+
+from repro.rdl.base import RDLError, RDLReplica
+from repro.rdl.crdts_lib import CRDTLibrary
+from repro.rdl.orbitdb import MAX_REASONABLE_CLOCK, OrbitDBStore
+from repro.rdl.replicadb import ReplicaDBJob
+from repro.rdl.roshi import RoshiReplica
+from repro.rdl.yorkie import YorkieDocument
+
+__all__ = [
+    "CRDTLibrary",
+    "MAX_REASONABLE_CLOCK",
+    "OrbitDBStore",
+    "RDLError",
+    "RDLReplica",
+    "ReplicaDBJob",
+    "RoshiReplica",
+    "YorkieDocument",
+]

@@ -1,0 +1,75 @@
+"""Shared machinery for the simulated RDL subjects.
+
+Each subject (Roshi, OrbitDB, ReplicaDB, Yorkie, CRDTs) is a Python
+reimplementation of the third-party library's *replication semantics* — the
+part ER-pi's integration testing interacts with.  All subjects implement the
+host protocol in :mod:`repro.net.replica`:
+
+* ``sync_payload(target)`` / ``apply_sync(payload, sender)``
+* ``checkpoint()`` / ``restore(snapshot)``
+* ``value()``
+
+plus their library-specific operation surface (the functions ER-pi proxies).
+
+Seeded defects: every subject takes a ``defects`` set of string flags.  An
+empty set is the fixed, correct library; each flag re-introduces one reported
+bug or misconception exactly where the real library had it.  The flags are
+listed per subject module and registered in :mod:`repro.bugs.registry`.
+"""
+
+from __future__ import annotations
+
+import abc
+import copy
+from typing import Any, Dict, FrozenSet, Iterable, Optional, Set
+
+
+class RDLError(Exception):
+    """An error surfaced by a simulated library (what app code would see as
+    an exception or error return from the real RDL)."""
+
+
+class RDLReplica(abc.ABC):
+    """Base class for one replica of a simulated RDL."""
+
+    #: Defect flags this subject understands; subclasses override.
+    KNOWN_DEFECTS: FrozenSet[str] = frozenset()
+
+    def __init__(self, replica_id: str, defects: Optional[Iterable[str]] = None) -> None:
+        if not replica_id:
+            raise ValueError("replica_id must be non-empty")
+        self.replica_id = replica_id
+        self.defects: Set[str] = set(defects or ())
+        unknown = self.defects - set(self.KNOWN_DEFECTS)
+        if unknown:
+            raise ValueError(
+                f"{type(self).__name__} does not understand defect flags {sorted(unknown)}"
+            )
+
+    def has_defect(self, flag: str) -> bool:
+        return flag in self.defects
+
+    # --- host protocol ----------------------------------------------------
+
+    @abc.abstractmethod
+    def sync_payload(self, target_replica_id: str) -> Any:
+        """The payload this replica would ship to ``target_replica_id``."""
+
+    @abc.abstractmethod
+    def apply_sync(self, payload: Any, from_replica_id: str) -> None:
+        """Integrate a payload received from a peer."""
+
+    @abc.abstractmethod
+    def value(self) -> Any:
+        """The observable state app code reads."""
+
+    def checkpoint(self) -> Any:
+        return copy.deepcopy(self.__dict__)
+
+    def restore(self, snapshot: Any) -> None:
+        self.__dict__.clear()
+        self.__dict__.update(copy.deepcopy(snapshot))
+
+    def __repr__(self) -> str:
+        flags = f", defects={sorted(self.defects)}" if self.defects else ""
+        return f"{type(self).__name__}({self.replica_id!r}{flags})"

@@ -1,0 +1,74 @@
+"""A thin client facade over one redisim instance.
+
+Exists so application-level code (Roshi, the replay engine) talks to an
+interface that looks like a network client rather than poking the server
+object directly; it also counts round trips, which the time benchmarks use
+as a proxy for network cost.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.redisim.server import RedisimServer
+
+
+class RedisimClient:
+    """Client bound to a single instance; one method per supported command."""
+
+    def __init__(self, server: RedisimServer) -> None:
+        self._server = server
+        self.round_trips = 0
+
+    @property
+    def server(self) -> RedisimServer:
+        return self._server
+
+    def _count(self) -> None:
+        self.round_trips += 1
+
+    def set(self, key: str, value: str, nx: bool = False, px: Optional[int] = None) -> bool:
+        self._count()
+        return self._server.set(key, value, nx=nx, px=px)
+
+    def get(self, key: str) -> Optional[str]:
+        self._count()
+        return self._server.get(key)
+
+    def delete(self, *keys: str) -> int:
+        self._count()
+        return self._server.delete(*keys)
+
+    def exists(self, key: str) -> bool:
+        self._count()
+        return self._server.exists(key)
+
+    def zadd(self, key: str, member: str, score: float, only_if_higher: bool = False) -> bool:
+        self._count()
+        return self._server.zadd(key, member, score, only_if_higher)
+
+    def zrem(self, key: str, member: str) -> bool:
+        self._count()
+        return self._server.zrem(key, member)
+
+    def zscore(self, key: str, member: str) -> Optional[float]:
+        self._count()
+        return self._server.zscore(key, member)
+
+    def zcard(self, key: str) -> int:
+        self._count()
+        return self._server.zcard(key)
+
+    def zrange(self, key: str, start: int = 0, stop: int = -1, desc: bool = False) -> List[str]:
+        self._count()
+        return self._server.zrange(key, start, stop, desc=desc)
+
+    def zrange_withscores(
+        self, key: str, start: int = 0, stop: int = -1, desc: bool = False
+    ) -> List[Tuple[str, float]]:
+        self._count()
+        return self._server.zrange_withscores(key, start, stop, desc=desc)
+
+    def zrangebyscore(self, key: str, low: float, high: float) -> List[str]:
+        self._count()
+        return self._server.zrangebyscore(key, low, high)

@@ -1,0 +1,148 @@
+"""A Redlock-style distributed mutex over a redisim farm.
+
+ER-pi enforces the event order of each replayed interleaving with "a mutex
+with a shared key managed by a Redis server" (paper section 4.3).  This module
+provides exactly that: ``DistributedLock`` is the single-key mutex, and
+``SequenceGate`` builds on it to release replica workers strictly in the
+interleaving's event order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from typing import Callable, Optional
+
+from repro.redisim.errors import InstanceDownError, LockError
+from repro.redisim.farm import RedisimFarm
+
+
+class DistributedLock:
+    """Redlock over N instances: SET key token NX PX on a majority wins.
+
+    Release is the safe compare-and-delete so a holder can never free a lock
+    a later holder re-acquired after expiry.
+    """
+
+    def __init__(
+        self,
+        farm: RedisimFarm,
+        key: str,
+        ttl_ms: int = 30_000,
+        retry_delay_s: float = 0.0005,
+    ) -> None:
+        self._farm = farm
+        self._key = key
+        self._ttl_ms = ttl_ms
+        self._retry_delay_s = retry_delay_s
+        self._token: Optional[str] = None
+
+    @property
+    def key(self) -> str:
+        return self._key
+
+    @property
+    def held(self) -> bool:
+        return self._token is not None
+
+    def try_acquire(self) -> bool:
+        """One acquisition round; True iff a majority granted the lock."""
+        token = uuid.uuid4().hex
+        granted = 0
+        for instance in self._farm:
+            try:
+                if instance.set(self._key, token, nx=True, px=self._ttl_ms):
+                    granted += 1
+            except InstanceDownError:
+                continue
+        if granted >= self._farm.quorum:
+            self._token = token
+            return True
+        # Failed round: roll back partial grants so we don't deadlock peers.
+        self._release_token(token)
+        return False
+
+    def acquire(self, timeout_s: float = 5.0) -> None:
+        """Acquire with retries; raises :class:`LockError` on timeout."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            if self.try_acquire():
+                return
+            if time.monotonic() >= deadline:
+                raise LockError(f"could not acquire lock {self._key!r} within {timeout_s}s")
+            time.sleep(self._retry_delay_s)
+
+    def release(self) -> None:
+        if self._token is None:
+            raise LockError("releasing a lock that is not held")
+        token, self._token = self._token, None
+        self._release_token(token)
+
+    def _release_token(self, token: str) -> None:
+        for instance in self._farm:
+            try:
+                instance.compare_and_delete(self._key, token)
+            except InstanceDownError:
+                continue
+
+    def __enter__(self) -> "DistributedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self.held:
+            self.release()
+
+
+class SequenceGate:
+    """Releases workers strictly in sequence-number order.
+
+    The replay engine hands each replica worker the global position of its
+    next event; the worker blocks in :meth:`wait_for_turn` until the shared
+    cursor (a key in the farm) reaches that position, then executes the event
+    and advances the cursor.  The cursor updates happen under the distributed
+    lock, so the total order holds across workers (threads here; processes or
+    machines in the paper's deployment).
+    """
+
+    def __init__(self, farm: RedisimFarm, session_id: str) -> None:
+        self._farm = farm
+        self._cursor_key = f"erpi:{session_id}:cursor"
+        self._lock = DistributedLock(farm, key=f"erpi:{session_id}:mutex")
+        self.reset()
+
+    def reset(self) -> None:
+        with self._lock:
+            for instance in self._farm.healthy_instances():
+                instance.set(self._cursor_key, "0")
+
+    def current(self) -> int:
+        for instance in self._farm.healthy_instances():
+            value = instance.get(self._cursor_key)
+            if value is not None:
+                return int(value)
+        raise LockError("sequence cursor unavailable on every instance")
+
+    def wait_for_turn(self, position: int, timeout_s: float = 10.0, poll_s: float = 0.0002) -> None:
+        """Block until the shared cursor equals ``position``."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            if self.current() == position:
+                return
+            if time.monotonic() >= deadline:
+                raise LockError(
+                    f"timed out waiting for turn {position} (cursor={self.current()})"
+                )
+            time.sleep(poll_s)
+
+    def complete_turn(self, position: int) -> None:
+        """Advance the cursor past ``position`` (holder-only, lock-protected)."""
+        with self._lock:
+            current = self.current()
+            if current != position:
+                raise LockError(
+                    f"turn {position} completed out of order (cursor={current})"
+                )
+            for instance in self._farm.healthy_instances():
+                instance.set(self._cursor_key, str(position + 1))

@@ -1,0 +1,176 @@
+"""Tests for the assertion library (per-interleaving + cross-interleaving)."""
+
+from repro.core.assertions import (
+    FirstValueStability,
+    StableReadAcrossInterleavings,
+    StableStateAcrossInterleavings,
+    assert_convergence,
+    assert_convergence_when_settled,
+    assert_no_duplicates,
+    assert_no_failed_op_matching,
+    assert_no_failed_ops,
+    assert_predicate,
+    assert_read_equals,
+    assert_state_equals,
+    assert_unique_ids,
+    delivery_knowledge,
+    is_settled,
+)
+from repro.core.events import make_read, make_sync_pair, make_update
+from repro.core.replay import EventResult, InterleavingOutcome
+
+
+def outcome_with(states=None, interleaving=(), results=None, duration=0.0):
+    return InterleavingOutcome(
+        interleaving=tuple(interleaving),
+        event_results=list(results or []),
+        states=states or {},
+        violations=[],
+        duration_s=duration,
+    )
+
+
+def ok_result(event, value=None):
+    return EventResult(event=event, lamport=1, ok=True, result=value)
+
+
+def failed_result(event, error):
+    return EventResult(event=event, lamport=1, ok=False, error=error)
+
+
+class TestBasicAssertions:
+    def test_convergence_pass_and_fail(self):
+        check = assert_convergence(["A", "B"])
+        assert check(outcome_with(states={"A": {"x"}, "B": {"x"}})) is None
+        assert check(outcome_with(states={"A": {"x"}, "B": {"y"}})) is not None
+
+    def test_convergence_freezes_unhashable_states(self):
+        check = assert_convergence(["A", "B"])
+        same = {"k": [1, {"n": 2}]}
+        assert check(outcome_with(states={"A": same, "B": {"k": [1, {"n": 2}]}})) is None
+
+    def test_state_equals(self):
+        check = assert_state_equals("A", {"k": 1})
+        assert check(outcome_with(states={"A": {"k": 1}})) is None
+        assert check(outcome_with(states={"A": {"k": 2}})) is not None
+
+    def test_read_equals(self):
+        event = make_read("e1", "A", "select")
+        check = assert_read_equals("e1", ["x"])
+        good = outcome_with(results=[ok_result(event, ["x"])])
+        bad = outcome_with(results=[ok_result(event, ["y"])])
+        missing = outcome_with()
+        assert check(good) is None
+        assert check(bad) is not None
+        assert check(missing) is not None
+
+    def test_no_duplicates(self):
+        check = assert_no_duplicates(lambda out: out.states["A"], "items")
+        assert check(outcome_with(states={"A": ["x", "y"]})) is None
+        message = check(outcome_with(states={"A": ["x", "x"]}))
+        assert "duplicates" in message
+
+    def test_unique_ids(self):
+        check = assert_unique_ids(lambda out: out.states["A"], "ids")
+        assert check(outcome_with(states={"A": [1, 2]})) is None
+        assert check(outcome_with(states={"A": [1, 1]})) is not None
+
+    def test_no_failed_ops(self):
+        event = make_update("e1", "A", "op")
+        check = assert_no_failed_ops()
+        assert check(outcome_with(results=[ok_result(event)])) is None
+        assert check(outcome_with(results=[failed_result(event, "boom")])) is not None
+
+    def test_no_failed_op_matching_filters_by_substring(self):
+        event = make_update("e1", "A", "op")
+        check = assert_no_failed_op_matching("OutOfMemory")
+        unrelated = outcome_with(results=[failed_result(event, "access denied")])
+        relevant = outcome_with(results=[failed_result(event, "OutOfMemoryError!")])
+        assert check(unrelated) is None
+        assert check(relevant) is not None
+
+    def test_predicate_wrapper(self):
+        check = assert_predicate(lambda out: bool(out.states), "empty!")
+        assert check(outcome_with(states={"A": 1})) is None
+        assert check(outcome_with()) == "empty!"
+
+
+class TestSettledness:
+    def make_interleaving(self, sync_after_update=True):
+        update = make_update("e1", "A", "op")
+        req, execute = make_sync_pair("e2", "e3", "A", "B")
+        if sync_after_update:
+            return (update, req, execute)
+        return (req, execute, update)
+
+    def test_delivery_knowledge_tracks_payload_snapshot(self):
+        il = self.make_interleaving(sync_after_update=True)
+        knowledge = delivery_knowledge(outcome_with(interleaving=il))
+        assert knowledge["B"] == {"e1"}
+
+    def test_update_after_request_not_delivered(self):
+        il = self.make_interleaving(sync_after_update=False)
+        knowledge = delivery_knowledge(outcome_with(interleaving=il))
+        assert knowledge.get("B", set()) == set()
+
+    def test_is_settled(self):
+        settled = outcome_with(interleaving=self.make_interleaving(True))
+        unsettled = outcome_with(interleaving=self.make_interleaving(False))
+        assert is_settled(settled, ["A", "B"])
+        assert not is_settled(unsettled, ["A", "B"])
+
+    def test_relay_chains_count(self):
+        update = make_update("e1", "C", "op")
+        req_cb, exec_cb = make_sync_pair("e2", "e3", "C", "B")
+        req_ba, exec_ba = make_sync_pair("e4", "e5", "B", "A")
+        il = (update, req_cb, exec_cb, req_ba, exec_ba)
+        assert is_settled(outcome_with(interleaving=il), ["A", "B", "C"])
+
+    def test_convergence_when_settled_gates(self):
+        check = assert_convergence_when_settled(["A", "B"])
+        diverged = {"A": {"x"}, "B": set()}
+        unsettled = outcome_with(
+            states=diverged, interleaving=self.make_interleaving(False)
+        )
+        settled = outcome_with(
+            states=diverged, interleaving=self.make_interleaving(True)
+        )
+        assert check(unsettled) is None          # vacuous: sync undelivered
+        assert check(settled) is not None        # real divergence
+
+
+class TestCrossInterleavingChecks:
+    def test_stable_state(self):
+        check = StableStateAcrossInterleavings("A")
+        same = [outcome_with(states={"A": 1}), outcome_with(states={"A": 1})]
+        different = [outcome_with(states={"A": 1}), outcome_with(states={"A": 2})]
+        assert check.evaluate(same) is None
+        assert check.evaluate(different) is not None
+
+    def test_stable_read(self):
+        event = make_read("e1", "A", "select")
+        check = StableReadAcrossInterleavings("e1")
+        same = [
+            outcome_with(results=[ok_result(event, ["x"])]),
+            outcome_with(results=[ok_result(event, ["x"])]),
+        ]
+        different = [
+            outcome_with(results=[ok_result(event, ["x"])]),
+            outcome_with(results=[ok_result(event, ["y"])]),
+        ]
+        assert check.evaluate(same) is None
+        assert check.evaluate(different) is not None
+
+    def test_stable_read_ignores_missing(self):
+        event = make_read("e1", "A", "select")
+        check = StableReadAcrossInterleavings("e1")
+        outcomes = [outcome_with(), outcome_with(results=[ok_result(event, 1)])]
+        assert check.evaluate(outcomes) is None
+
+    def test_first_value_stability(self):
+        check = FirstValueStability(lambda out: out.states.get("A"))
+        assert check(outcome_with(states={"A": 1})) is None  # pins reference
+        assert check(outcome_with(states={"A": 1})) is None
+        assert check(outcome_with(states={"A": 2})) is not None
+        check.reset()
+        assert check(outcome_with(states={"A": 2})) is None  # new reference

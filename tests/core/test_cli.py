@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_hunt_defaults(self):
+        args = build_parser().parse_args(["hunt", "Roshi-2"])
+        assert args.mode == "erpi"
+        assert args.cap == 10_000
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["hunt", "Roshi-2", "--mode", "bfs"])
+
+
+class TestCommands:
+    def test_bugs_lists_all_twelve(self, capsys):
+        assert main(["bugs"]) == 0
+        out = capsys.readouterr().out
+        assert "Roshi-1" in out and "Yorkie-2" in out
+        assert out.count(" closed ") >= 9
+
+    def test_hunt_reproduces(self, capsys):
+        assert main(["hunt", "Roshi-2"]) == 0
+        out = capsys.readouterr().out
+        assert "reproduced after" in out
+
+    def test_hunt_miss_returns_nonzero(self, capsys):
+        assert main(["hunt", "Roshi-2", "--mode", "dfs", "--cap", "50"]) == 1
+        assert "NOT reproduced" in capsys.readouterr().out
+
+    def test_hunt_show_interleaving(self, capsys):
+        main(["hunt", "Roshi-2", "--show-interleaving"])
+        out = capsys.readouterr().out
+        assert "sync_req" in out
+
+    def test_motivating(self, capsys):
+        assert main(["motivating"]) == 0
+        out = capsys.readouterr().out
+        assert "grouped units: 4" in out
+
+    def test_fuzz_healthy(self, capsys):
+        assert main(["fuzz", "--runs", "2", "--ops", "3", "--cap", "40"]) == 0
+        assert "fuzzed workloads" in capsys.readouterr().out
+
+    def test_fuzz_with_defect_finds_problems(self, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--runs", "6",
+                "--ops", "4",
+                "--cap", "250",
+                "--defect", "no_conflict_resolution",
+            ]
+        )
+        assert code == 1
+        assert "workloads with violations" in capsys.readouterr().out
+
+    def test_profile(self, capsys):
+        assert main(["profile", "Roshi-1", "--cap", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "interleavings profiled: 30" in out
+        assert "slowest interleavings" in out
+
+    def test_table2_matches(self, capsys):
+        assert main(["table2", "--cap", "600"]) == 0
+        assert "matches the paper" in capsys.readouterr().out
+
+    def test_export_writes_datalog(self, tmp_path, capsys):
+        out = tmp_path / "roshi1.dl"
+        assert main(["export", "Roshi-1", str(out), "--cap", "50"]) == 0
+        text = out.read_text()
+        assert "interleaving(" in text
+        assert "bad(Il)" in text
+        from repro.datalog.parser import evaluate_text
+        db = evaluate_text(text)
+        assert db.size("explored") == 50

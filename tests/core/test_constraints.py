@@ -1,0 +1,93 @@
+"""Tests for the JSON constraints directory (paper section 4.5/5.2)."""
+
+import json
+
+import pytest
+
+from repro.core.constraints import (
+    FailedOpsConstraint,
+    GroupConstraint,
+    IndependenceConstraint,
+    load_constraints_dir,
+    parse_constraint,
+    pruners_from,
+    spec_groups_from,
+)
+from repro.core.errors import ConstraintError
+from repro.core.pruning import EventIndependencePruner, FailedOpsPruner
+
+
+class TestParsing:
+    def test_group(self):
+        constraint = parse_constraint({"type": "group", "pairs": [["e1", "e2"]]})
+        assert constraint == GroupConstraint(pairs=(("e1", "e2"),))
+
+    def test_independence(self):
+        constraint = parse_constraint({"type": "independence", "events": ["e1", "e2"]})
+        assert constraint == IndependenceConstraint(events=("e1", "e2"))
+
+    def test_failed_ops(self):
+        constraint = parse_constraint(
+            {"type": "failed_ops", "predecessors": ["e1"], "successors": ["e2"]}
+        )
+        assert constraint == FailedOpsConstraint(("e1",), ("e2",))
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ConstraintError):
+            parse_constraint({"type": "quantum"})
+
+    def test_malformed_group_rejected(self):
+        with pytest.raises(ConstraintError):
+            parse_constraint({"type": "group", "pairs": [["only-one"]]})
+        with pytest.raises(ConstraintError):
+            parse_constraint({"type": "group", "pairs": []})
+
+    def test_short_independence_rejected(self):
+        with pytest.raises(ConstraintError):
+            parse_constraint({"type": "independence", "events": ["e1"]})
+
+    def test_failed_ops_requires_both_sides(self):
+        with pytest.raises(ConstraintError):
+            parse_constraint({"type": "failed_ops", "predecessors": ["e1"]})
+
+
+class TestDirectoryLoading:
+    def test_loads_sorted_json_files(self, tmp_path):
+        (tmp_path / "b.json").write_text(
+            json.dumps({"type": "independence", "events": ["e1", "e2"]})
+        )
+        (tmp_path / "a.json").write_text(
+            json.dumps([{"type": "group", "pairs": [["e3", "e4"]]}])
+        )
+        (tmp_path / "ignored.txt").write_text("not json")
+        constraints = load_constraints_dir(str(tmp_path))
+        assert isinstance(constraints[0], GroupConstraint)  # a.json first
+        assert isinstance(constraints[1], IndependenceConstraint)
+
+    def test_missing_directory_is_empty(self):
+        assert load_constraints_dir("/nonexistent/dir") == []
+
+    def test_invalid_json_rejected(self, tmp_path):
+        (tmp_path / "bad.json").write_text("{nope")
+        with pytest.raises(ConstraintError):
+            load_constraints_dir(str(tmp_path))
+
+
+class TestMaterialisation:
+    def test_spec_groups_from(self):
+        constraints = [
+            GroupConstraint(pairs=(("e1", "e2"), ("e3", "e4"))),
+            IndependenceConstraint(events=("e5", "e6")),
+        ]
+        assert spec_groups_from(constraints) == [("e1", "e2"), ("e3", "e4")]
+
+    def test_pruners_from(self):
+        constraints = [
+            IndependenceConstraint(events=("e1", "e2")),
+            FailedOpsConstraint(("e3",), ("e4",)),
+            GroupConstraint(pairs=(("e5", "e6"),)),
+        ]
+        pruners = pruners_from(constraints)
+        assert len(pruners) == 2
+        assert isinstance(pruners[0], EventIndependencePruner)
+        assert isinstance(pruners[1], FailedOpsPruner)

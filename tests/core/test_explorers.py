@@ -1,0 +1,144 @@
+"""Tests for the three exploration strategies."""
+
+import pytest
+
+from repro.core.assertions import assert_read_equals
+from repro.core.errors import ResourceExhausted
+from repro.core.events import make_read, make_sync_pair, make_update
+from repro.core.explorers import DFSExplorer, ERPiExplorer, RandomExplorer
+from repro.core.pruning import ReadScopedPruner
+from repro.core.replay import ReplayEngine
+from repro.core.resources import ResourceMeter
+from repro.net.cluster import Cluster
+from repro.rdl.crdts_lib import CRDTLibrary
+
+
+def make_cluster():
+    cluster = Cluster()
+    for rid in ("A", "B"):
+        cluster.add_replica(rid, CRDTLibrary(rid))
+    return cluster
+
+
+def small_workload():
+    """4 events; the read observes {"x"} only if the sync ran after the add."""
+    return (
+        make_update("e1", "A", "set_add", "s", "x"),
+        *make_sync_pair("e2", "e3", "A", "B"),
+        make_read("e4", "B", "set_value", "s"),
+    )
+
+
+def engine_for(events):
+    engine = ReplayEngine(make_cluster())
+    engine.checkpoint()
+    return engine
+
+
+INVARIANT = [assert_read_equals("e4", frozenset({"x"}))]
+
+
+class TestDFSExplorer:
+    def test_finds_violation(self):
+        events = small_workload()
+        explorer = DFSExplorer(events)
+        result = explorer.explore(engine_for(events), INVARIANT, cap=100)
+        assert result.found
+        assert result.mode == "dfs"
+        assert result.explored >= 1
+
+    def test_identity_interleaving_first(self):
+        events = small_workload()
+        first = next(iter(DFSExplorer(events).candidates()))
+        assert first == events
+
+    def test_cap_respected(self):
+        events = small_workload()
+        explorer = DFSExplorer(events)
+        result = explorer.explore(engine_for(events), [], cap=5)
+        assert result.explored == 5
+        assert result.capped
+
+    def test_resource_crash(self):
+        events = small_workload()
+        meter = ResourceMeter(budget_bytes=100)
+        explorer = DFSExplorer(events, meter=meter)
+        result = explorer.explore(engine_for(events), [], cap=1000)
+        assert result.crashed
+        assert "budget" in result.crash_reason
+
+
+class TestRandomExplorer:
+    def test_finds_violation(self):
+        events = small_workload()
+        explorer = RandomExplorer(events, seed=1)
+        result = explorer.explore(engine_for(events), INVARIANT, cap=200)
+        assert result.found
+
+    def test_deterministic_per_seed(self):
+        events = small_workload()
+        first = [
+            tuple(e.event_id for e in il)
+            for _, il in zip(range(5), RandomExplorer(events, seed=3).candidates())
+        ]
+        second = [
+            tuple(e.event_id for e in il)
+            for _, il in zip(range(5), RandomExplorer(events, seed=3).candidates())
+        ]
+        assert first == second
+
+    def test_no_repeats(self):
+        events = small_workload()
+        seen = []
+        for _, il in zip(range(24), RandomExplorer(events, seed=0).candidates()):
+            seen.append(tuple(e.event_id for e in il))
+        assert len(set(seen)) == 24  # full 4! space without repetition
+
+    def test_exhausts_space_gracefully(self):
+        events = small_workload()[:2]
+        out = list(RandomExplorer(events, seed=0).candidates())
+        assert len(out) == 2  # 2! then stops after reshuffle budget
+
+
+class TestERPiExplorer:
+    def test_grouping_shrinks_space(self):
+        events = small_workload()
+        explorer = ERPiExplorer(events)
+        assert explorer.grouping.unit_count == 3
+        out = list(explorer.candidates())
+        assert len(out) == 6  # 3! unit permutations
+
+    def test_pruning_filters_candidates(self):
+        events = small_workload()
+        explorer = ERPiExplorer(events, pruners=[ReadScopedPruner("B")])
+        out = list(explorer.candidates())
+        assert len(out) < 6
+        stats = explorer.pipeline.stats()
+        assert stats["replica_specific_read_scoped"].pruned > 0
+
+    def test_finds_violation_quickly(self):
+        events = small_workload()
+        explorer = ERPiExplorer(events)
+        result = explorer.explore(engine_for(events), INVARIANT, cap=100)
+        assert result.found
+        assert result.explored <= 6
+
+    def test_pruning_stats_exposed_in_result(self):
+        events = small_workload()
+        explorer = ERPiExplorer(events)
+        result = explorer.explore(engine_for(events), [], cap=10)
+        assert "event_grouping" in result.pruning_stats
+
+    def test_stop_on_violation_false_collects_all(self):
+        events = small_workload()
+        explorer = ERPiExplorer(events)
+        result = explorer.explore(
+            engine_for(events), INVARIANT, cap=100, stop_on_violation=False
+        )
+        assert result.found
+        assert result.explored == 6
+
+    def test_spec_groups_forwarded(self):
+        events = small_workload()
+        explorer = ERPiExplorer(events, spec_groups=[("e1", "e2")])
+        assert explorer.grouping.unit_count == 2

@@ -1,0 +1,154 @@
+"""Integration: subjects under degraded network conditions, plus recorder
+edge cases and the auto-grouping suggestion."""
+
+import pytest
+
+from repro.core import ErPi, assert_read_equals, suggest_update_sync_groups
+from repro.core.events import EventKind
+from repro.net.cluster import Cluster
+from repro.net.conditions import NetworkConditions
+from repro.proxy.recorder import EventRecorder
+from repro.rdl.crdts_lib import CRDTLibrary
+from repro.rdl.roshi import RoshiReplica
+
+
+class TestSubjectsUnderReorderedTransport:
+    """Misconception #1's environment: the network does NOT deliver causally.
+    Proper CRDT merges shrug it off; the raw-apply seed does not."""
+
+    def run_roshi(self, defects):
+        conditions = NetworkConditions(fifo=False, seed=3)
+        cluster = Cluster(conditions)
+        for rid in ("A", "B"):
+            cluster.add_replica(rid, RoshiReplica(rid, defects=set(defects)))
+        b = cluster.rdl("B")
+        b.insert("k", "x", 10.0)
+        cluster.send_sync("B", "A")
+        b.insert("k", "x", 30.0)
+        cluster.send_sync("B", "A")
+        b.delete("k", "x", 20.0)
+        cluster.send_sync("B", "A")
+        # Deliver the three payloads in whatever order the conditions pick.
+        for _ in range(3):
+            cluster.execute_sync("B", "A")
+        return cluster.rdl("A").select("k")
+
+    def test_fixed_library_ignores_delivery_order(self):
+        assert self.run_roshi(set()) == ["x"]  # add@30 beats delete@20
+
+    def test_raw_apply_depends_on_delivery_order(self):
+        results = set()
+        for seed in range(6):
+            conditions = NetworkConditions(fifo=False, seed=seed)
+            cluster = Cluster(conditions)
+            for rid in ("A", "B"):
+                cluster.add_replica(
+                    rid, RoshiReplica(rid, defects={"raw_apply"})
+                )
+            b = cluster.rdl("B")
+            b.insert("k", "x", 10.0)
+            cluster.send_sync("B", "A")
+            b.insert("k", "x", 30.0)
+            cluster.send_sync("B", "A")
+            b.delete("k", "x", 20.0)
+            cluster.send_sync("B", "A")
+            for _ in range(3):
+                cluster.execute_sync("B", "A")
+            results.add(tuple(cluster.rdl("A").select("k")))
+        assert len(results) > 1  # order-dependent: the misconception seed
+
+    def test_crdt_library_converges_despite_drops_and_retries(self):
+        conditions = NetworkConditions(drop_rate=0.5, seed=1)
+        cluster = Cluster(conditions)
+        for rid in ("A", "B"):
+            cluster.add_replica(rid, CRDTLibrary(rid))
+        cluster.rdl("A").set_add("s", "x")
+        cluster.rdl("B").set_add("s", "y")
+        # Retry rounds until convergence (drops are common at 50%).
+        for _ in range(20):
+            cluster.sync("A", "B")
+            cluster.sync("B", "A")
+            if cluster.converged():
+                break
+        assert cluster.converged()
+
+
+class TestRecorderKwargsAndSyncForms:
+    def test_sync_called_with_keywords_recorded(self):
+        cluster = Cluster()
+        for rid in ("A", "B"):
+            cluster.add_replica(rid, CRDTLibrary(rid))
+        recorder = EventRecorder(cluster)
+        recorder.start()
+        cluster.send_sync(sender="A", receiver="B")
+        cluster.execute_sync(sender="A", receiver="B")
+        events = recorder.stop()
+        assert events[0].kind == EventKind.SYNC_REQ
+        assert events[0].channel == ("A", "B")
+        assert events[1].kind == EventKind.EXEC_SYNC
+        assert events[1].replica_id == "B"
+
+
+class TestAutoGroupingSuggestion:
+    def record_motivating(self):
+        cluster = Cluster()
+        for rid in ("A", "B"):
+            cluster.add_replica(rid, CRDTLibrary(rid))
+        recorder = EventRecorder(cluster)
+        recorder.start()
+        a, b = cluster.rdl("A"), cluster.rdl("B")
+        a.set_add("problems", "otb")
+        cluster.sync("A", "B")
+        b.set_add("problems", "ph")
+        cluster.sync("B", "A")
+        b.set_remove("problems", "otb")
+        cluster.sync("B", "A")
+        a.set_value("problems")
+        return recorder.stop()
+
+    def test_reproduces_motivating_pairs(self):
+        suggestion = suggest_update_sync_groups(self.record_motivating())
+        assert suggestion.pairs == (("e1", "e2"), ("e4", "e5"), ("e7", "e8"))
+
+    def test_none_when_no_adjacent_pairs(self):
+        cluster = Cluster()
+        for rid in ("A", "B"):
+            cluster.add_replica(rid, CRDTLibrary(rid))
+        recorder = EventRecorder(cluster)
+        recorder.start()
+        cluster.rdl("A").set_add("s", "x")
+        cluster.rdl("B").set_add("s", "y")  # update, update: no pair
+        assert suggest_update_sync_groups(recorder.stop()) is None
+
+    def test_sync_from_other_replica_not_paired(self):
+        cluster = Cluster()
+        for rid in ("A", "B"):
+            cluster.add_replica(rid, CRDTLibrary(rid))
+        recorder = EventRecorder(cluster)
+        recorder.start()
+        cluster.rdl("A").set_add("s", "x")   # update at A...
+        cluster.sync("B", "A")               # ...but B ships next: no pair
+        assert suggest_update_sync_groups(recorder.stop()) is None
+
+    def test_suggestion_drives_a_session(self):
+        cluster = Cluster()
+        for rid in ("A", "B"):
+            cluster.add_replica(rid, CRDTLibrary(rid))
+        erpi = ErPi(cluster, replica_scope="A", read_scoped=True)
+        erpi.start()
+        a, b = cluster.rdl("A"), cluster.rdl("B")
+        a.set_add("problems", "otb")
+        cluster.sync("A", "B")
+        b.set_add("problems", "ph")
+        cluster.sync("B", "A")
+        b.set_remove("problems", "otb")
+        cluster.sync("B", "A")
+        a.set_value("problems")
+        # The developer does not hand-write the pairs: derive them.
+        erpi.add_constraint(suggest_update_sync_groups(erpi.recorded_events))
+        report = erpi.end(
+            assertions=[assert_read_equals("e10", frozenset({"ph"}))]
+        )
+        assert report.grouping.unit_count == 4
+        assert report.explored == 16
+        assert report.violated

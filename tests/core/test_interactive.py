@@ -1,0 +1,148 @@
+"""Tests for the interactive State-3/State-4 exploration loop."""
+
+import pytest
+
+from repro.core.assertions import assert_read_equals
+from repro.core.constraints import FailedOpsConstraint, IndependenceConstraint
+from repro.core.errors import RecordingError
+from repro.core.interactive import InteractiveSession
+from repro.net.cluster import Cluster
+from repro.rdl.crdts_lib import CRDTLibrary
+
+
+def make_cluster(n=3):
+    cluster = Cluster()
+    for rid in ("A", "B", "C")[:n]:
+        cluster.add_replica(rid, CRDTLibrary(rid))
+    return cluster
+
+
+def record_workload(session, cluster):
+    session.start()
+    a, b, c = (cluster.rdl(rid) for rid in ("A", "B", "C"))
+    a.set_add("s", "from-a")          # e1
+    b.set_add("t", "from-b")          # e2  (different structure: independent)
+    c.set_add("u", "from-c")          # e3  (different structure: independent)
+    cluster.sync("A", "B")            # e4, e5
+    cluster.rdl("B").set_value("s")   # e6 READ
+
+
+class TestLifecycle:
+    def test_explore_without_start_rejected(self):
+        with pytest.raises(RecordingError):
+            InteractiveSession(make_cluster()).explore()
+
+    def test_double_start_rejected(self):
+        session = InteractiveSession(make_cluster())
+        session.start()
+        with pytest.raises(RecordingError):
+            session.start()
+
+    def test_cluster_restored_after_explore(self):
+        cluster = make_cluster()
+        session = InteractiveSession(cluster)
+        record_workload(session, cluster)
+        session.explore(round_size=10, max_rounds=1)
+        assert cluster.rdl("A").value() == {}
+
+
+class TestRounds:
+    def test_exhausts_small_space(self):
+        cluster = make_cluster(2)
+        session = InteractiveSession(cluster)
+        session.start()
+        cluster.rdl("A").set_add("s", "x")
+        cluster.sync("A", "B")
+        report = session.explore(round_size=100, max_rounds=5)
+        assert report.exhausted
+        assert report.replayed == 2  # 2 units (update + grouped sync pair)
+
+    def test_round_size_paces_exploration(self):
+        cluster = make_cluster()
+        session = InteractiveSession(cluster)
+        record_workload(session, cluster)
+        report = session.explore(round_size=10, max_rounds=3)
+        assert len(report.rounds) == 3
+        assert all(r.replayed == 10 for r in report.rounds)
+        assert report.replayed == 30
+
+    def test_no_interleaving_replayed_twice(self):
+        cluster = make_cluster()
+        session = InteractiveSession(cluster)
+        record_workload(session, cluster)
+        report = session.explore(round_size=15, max_rounds=4)
+        keys = [
+            tuple(e.event_id for e in outcome.interleaving)
+            for outcome in report.outcomes
+        ]
+        assert len(keys) == len(set(keys))
+
+    def test_stop_on_violation(self):
+        cluster = make_cluster(2)
+        session = InteractiveSession(cluster)
+        session.start()
+        cluster.rdl("A").set_add("s", "x")
+        cluster.sync("A", "B")
+        cluster.rdl("B").set_value("s")
+        report = session.explore(
+            assertions=[assert_read_equals("e4", frozenset({"x"}))],
+            round_size=50,
+            stop_on_violation=True,
+        )
+        assert report.violated
+        assert len(report.rounds) == 1
+
+
+class TestAdvisorLoop:
+    def test_advisor_constraints_shrink_the_space(self):
+        # Without constraints the 5-unit space has 120 interleavings; after
+        # round 0 the advisor declares e2/e3 independent, so the remaining
+        # rounds explore a merged space and the session finishes earlier.
+        def run(with_advisor):
+            cluster = make_cluster()
+            session = InteractiveSession(cluster)
+            record_workload(session, cluster)
+
+            def advisor(round_index, outcomes):
+                if with_advisor and round_index == 0:
+                    return [IndependenceConstraint(events=("e2", "e3"))]
+                return None
+
+            return session.explore(
+                advisor=advisor, round_size=20, max_rounds=20
+            )
+
+        unconstrained = run(False)
+        constrained = run(True)
+        assert unconstrained.exhausted and constrained.exhausted
+        assert constrained.replayed < unconstrained.replayed
+        assert constrained.rounds[1].new_constraints in (0,)
+        assert constrained.rounds[0].new_constraints == 1
+
+    def test_advisor_sees_round_outcomes(self):
+        seen = []
+
+        cluster = make_cluster(2)
+        session = InteractiveSession(cluster)
+        session.start()
+        cluster.rdl("A").set_add("s", "x")
+        cluster.sync("A", "B")
+
+        def advisor(round_index, outcomes):
+            seen.append((round_index, len(outcomes)))
+            return None
+
+        session.explore(advisor=advisor, round_size=1, max_rounds=5)
+        assert seen[0] == (0, 1)
+        assert len(seen) >= 2
+
+    def test_summary_text(self):
+        cluster = make_cluster(2)
+        session = InteractiveSession(cluster)
+        session.start()
+        cluster.rdl("A").set_add("s", "x")
+        cluster.sync("A", "B")
+        report = session.explore(round_size=100)
+        text = report.summary()
+        assert "rounds: 1" in text
+        assert "space exhausted" in text

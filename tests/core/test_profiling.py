@@ -1,0 +1,100 @@
+"""Tests for the resource profiler (paper §8 extension)."""
+
+import pytest
+
+from repro.core.profiling import Percentiles, ResourceProfiler, _state_footprint
+from repro.net.cluster import Cluster
+from repro.rdl.crdts_lib import CRDTLibrary
+
+
+def make_cluster():
+    cluster = Cluster()
+    for rid in ("A", "B"):
+        cluster.add_replica(rid, CRDTLibrary(rid))
+    return cluster
+
+
+def profiled_workload(cluster):
+    a, b = cluster.rdl("A"), cluster.rdl("B")
+    a.set_add("s", "x")
+    cluster.sync("A", "B")
+    b.set_add("s", "y")
+    cluster.sync("B", "A")
+    a.set_value("s")
+
+
+class TestPercentiles:
+    def test_empty(self):
+        p = Percentiles.of([])
+        assert (p.minimum, p.median, p.p95, p.maximum) == (0, 0, 0, 0)
+
+    def test_order_statistics(self):
+        p = Percentiles.of(list(range(1, 101)))
+        assert p.minimum == 1
+        assert p.median == 50
+        assert p.p95 == 95
+        assert p.maximum == 100
+
+
+class TestStateFootprint:
+    def test_monotone_in_content(self):
+        small = _state_footprint({"a": "x"})
+        large = _state_footprint({"a": "x" * 100, "b": list(range(50))})
+        assert large > small > 0
+
+    def test_handles_nested_and_frozen(self):
+        assert _state_footprint({"k": frozenset({1, 2}), "l": (None, True)}) > 0
+
+
+class TestResourceProfiler:
+    def test_profiles_every_interleaving(self):
+        cluster = make_cluster()
+        profiler = ResourceProfiler(cluster)
+        profiler.start()
+        profiled_workload(cluster)
+        report = profiler.end(cap=200)
+        # 7 events, 2 sync pairs -> 5 units -> 120 interleavings.
+        assert report.replayed == 120
+        assert all(p.duration_s >= 0 for p in report.profiles)
+        assert all(p.state_bytes > 0 for p in report.profiles)
+
+    def test_message_accounting(self):
+        cluster = make_cluster()
+        profiler = ResourceProfiler(cluster)
+        profiler.start()
+        profiled_workload(cluster)
+        report = profiler.end(cap=50)
+        # Every interleaving sends exactly its two sync requests.
+        assert {p.messages_sent for p in report.profiles} == {2}
+
+    def test_worst_ranking(self):
+        cluster = make_cluster()
+        profiler = ResourceProfiler(cluster)
+        profiler.start()
+        profiled_workload(cluster)
+        report = profiler.end(cap=30)
+        worst = report.worst("state_bytes", top=3)
+        assert len(worst) == 3
+        assert worst[0].state_bytes >= worst[1].state_bytes >= worst[2].state_bytes
+
+    def test_summary_text(self):
+        cluster = make_cluster()
+        profiler = ResourceProfiler(cluster)
+        profiler.start()
+        profiled_workload(cluster)
+        report = profiler.end(cap=10)
+        text = report.summary()
+        assert "interleavings profiled: 10" in text
+        assert "replay time" in text
+
+    def test_requires_start(self):
+        with pytest.raises(RuntimeError):
+            ResourceProfiler(make_cluster()).end()
+
+    def test_cluster_restored_after_profiling(self):
+        cluster = make_cluster()
+        profiler = ResourceProfiler(cluster)
+        profiler.start()
+        profiled_workload(cluster)
+        profiler.end(cap=5)
+        assert cluster.rdl("A").value() == {}

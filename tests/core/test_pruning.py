@@ -1,0 +1,274 @@
+"""Tests for the four pruning algorithms (paper section 3)."""
+
+from itertools import permutations
+
+import pytest
+
+from repro.core.errors import ConstraintError
+from repro.core.events import EventKind, make_read, make_sync_pair, make_update
+from repro.core.interleavings import flatten, group_events, interleaving_stream
+from repro.core.pruning import (
+    EventGroupPruner,
+    EventIndependencePruner,
+    FailedOpsPruner,
+    PrunerPipeline,
+    ReadScopedPruner,
+    ReplicaSpecificPruner,
+    observation_signature,
+)
+
+
+def motivating_events():
+    """10 raw events of the town-reports example (section 2.3)."""
+    return [
+        make_update("e1", "A", "report_otb"),
+        *make_sync_pair("e2", "e3", "A", "B"),
+        make_update("e4", "B", "report_ph"),
+        *make_sync_pair("e5", "e6", "B", "A"),
+        make_update("e7", "B", "remove_otb"),
+        *make_sync_pair("e8", "e9", "B", "A"),
+        make_read("e10", "A", "transmit"),
+    ]
+
+
+MOTIVATING_GROUPS = [("e1", "e2"), ("e4", "e5"), ("e7", "e8")]
+
+
+class TestEventGroupPruner:
+    def test_key_collapses_grouped_pairs(self):
+        events = [
+            make_update("e1", "A", "op"),
+            *make_sync_pair("e2", "e3", "A", "B"),
+        ]
+        pruner = EventGroupPruner()
+        pruner.prepare(events)
+        ordered = tuple(events)
+        # Same class: the exec wanders but the collapsed order (e1, e2) holds.
+        scattered = (events[0], events[2], events[1])  # update, exec, req
+        different = (events[1], events[0], events[2])  # req first
+        assert pruner.key(ordered) == pruner.key(scattered)
+        assert pruner.key(ordered) != pruner.key(different)
+
+    def test_requires_prepare(self):
+        with pytest.raises(RuntimeError):
+            EventGroupPruner().key(())
+
+    def test_batch_apply_keeps_one_per_class(self):
+        events = [
+            make_update("e1", "A", "op"),
+            *make_sync_pair("e2", "e3", "A", "B"),
+        ]
+        pruner = EventGroupPruner()
+        pruner.prepare(events)
+        all_perms = [tuple(p) for p in permutations(events)]
+        kept = pruner.apply(all_perms)
+        # 3 events with one grouped pair -> 2 collapsed orders survive
+        # (update before or after the pair), 3!/(2!) classes of 3 each.
+        assert len(kept) == 2
+        assert pruner.stats.pruned == 4
+
+
+class TestReplicaSpecificPruner:
+    def test_signature_ignores_irrelevant_remote_events(self):
+        update_a = make_update("e1", "A", "op")
+        update_b1 = make_update("e2", "B", "op")
+        update_b2 = make_update("e3", "B", "op")
+        base = (update_a, update_b1, update_b2)
+        swapped = (update_a, update_b2, update_b1)
+        # Replica A never hears from B: B's internal order is irrelevant.
+        assert observation_signature(base, "A") == observation_signature(swapped, "A")
+
+    def test_signature_tracks_sender_state_at_request(self):
+        update_b = make_update("e1", "B", "op")
+        req, execute = make_sync_pair("e2", "e3", "B", "A")
+        before = (update_b, req, execute)   # update included in payload
+        after = (req, execute, update_b)    # update missed the payload
+        assert observation_signature(before, "A") != observation_signature(after, "A")
+
+    def test_signature_is_transitive_across_relays(self):
+        update_c = make_update("e1", "C", "op")
+        req_cb, exec_cb = make_sync_pair("e2", "e3", "C", "B")
+        req_ba, exec_ba = make_sync_pair("e4", "e5", "B", "A")
+        included = (update_c, req_cb, exec_cb, req_ba, exec_ba)
+        missed = (req_cb, exec_cb, update_c, req_ba, exec_ba)
+        assert observation_signature(included, "A") != observation_signature(missed, "A")
+
+    def test_figure4_style_merge(self):
+        # Events at A after the last sync into B cannot affect B.
+        req, execute = make_sync_pair("s1", "x1", "A", "B")
+        trailing = [make_update(f"t{i}", "A", "op") for i in range(3)]
+        pruner = ReplicaSpecificPruner("B")
+        base = (req, execute, *trailing)
+        assert not pruner.is_redundant(base)
+        for perm in permutations(trailing):
+            candidate = (req, execute, *perm)
+            if candidate == base:
+                continue
+            assert pruner.is_redundant(candidate)
+
+    def test_empty_replica_id_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicaSpecificPruner("")
+
+    def test_unpaired_exec_is_empty_delivery(self):
+        _, execute = make_sync_pair("s1", "x1", "A", "B")
+        update = make_update("e1", "A", "op")
+        signature = observation_signature((execute, update), "B")
+        assert signature == (("x1", "empty"),)
+
+
+class TestReadScopedPruner:
+    def test_motivating_example_reduction(self):
+        """5040 raw -> 24 grouped -> <=19 replayed (paper section 3.1).
+
+        Our read-scoped signature also merges post-read reorderings the
+        paper's hand count keeps separate, landing at 16 (documented in
+        EXPERIMENTS.md); the paper's conservative merge yields 19.
+        """
+        events = motivating_events()
+        grouping = group_events(events, spec_groups=MOTIVATING_GROUPS)
+        assert grouping.grouped_space == 24
+        pruner = ReadScopedPruner("A")
+        survivors = [
+            il
+            for il in interleaving_stream(grouping.units, order="lexicographic")
+            if not pruner.is_redundant(il)
+        ]
+        assert len(survivors) <= 19
+        assert len(survivors) == 16
+
+    def test_transmit_first_class_is_single(self):
+        """All 3! orders behind a leading transmit collapse to one class."""
+        events = motivating_events()
+        grouping = group_events(events, spec_groups=MOTIVATING_GROUPS)
+        read_unit = next(
+            unit for unit in grouping.units if unit[0].kind == EventKind.READ
+        )
+        others = [unit for unit in grouping.units if unit is not read_unit]
+        pruner = ReadScopedPruner("A")
+        firsts = 0
+        for perm in permutations(others):
+            candidate = flatten((read_unit, *perm))
+            if not pruner.is_redundant(candidate):
+                firsts += 1
+        assert firsts == 1
+
+    def test_falls_back_to_full_signature_without_read(self):
+        update = make_update("e1", "A", "op")
+        other = make_update("e2", "B", "op")
+        pruner = ReadScopedPruner("A")
+        assert not pruner.is_redundant((update, other))
+        assert pruner.is_redundant((other, update))
+
+
+class TestEventIndependencePruner:
+    def make_events(self):
+        return [
+            make_update("i1", "A", "set", 0),
+            make_update("i2", "B", "set", 1),
+            make_update("i3", "C", "set", 2),
+            make_update("x1", "D", "other"),
+        ]
+
+    def test_figure5_reduction(self):
+        # Three independent events: 3! orders merge into one class when no
+        # interfering event sits between them -> prunes 5 of each 6.
+        events = self.make_events()[:3]
+        pruner = EventIndependencePruner(["i1", "i2", "i3"])
+        kept = pruner.apply([tuple(p) for p in permutations(events)])
+        assert len(kept) == 1
+        assert pruner.stats.pruned == 5
+
+    def test_interfering_event_blocks_merge(self):
+        i1, i2, i3, other = self.make_events()
+        interferer = make_update("x2", "A", "clash")  # same replica as i1
+        pruner = EventIndependencePruner(["i1", "i2", "i3"])
+        base = (i1, interferer, i2, i3)
+        swapped = (i2, interferer, i1, i3)
+        assert not pruner.is_redundant(base)
+        assert not pruner.is_redundant(swapped)
+
+    def test_non_interfering_event_between_still_merges(self):
+        i1, i2, i3, other = self.make_events()
+        pruner = EventIndependencePruner(["i1", "i2", "i3"])
+        assert not pruner.is_redundant((i1, other, i2, i3))
+        assert pruner.is_redundant((i2, other, i1, i3))
+
+    def test_sync_events_always_interfere(self):
+        i1, i2, i3, _ = self.make_events()
+        req, execute = make_sync_pair("s1", "x1", "D", "E")
+        pruner = EventIndependencePruner(["i1", "i2"])
+        assert not pruner.is_redundant((i1, req, i2))
+        assert not pruner.is_redundant((i2, req, i1))
+
+    def test_requires_two_events(self):
+        with pytest.raises(ConstraintError):
+            EventIndependencePruner(["only-one"])
+
+
+class TestFailedOpsPruner:
+    def make_events(self):
+        return [
+            make_update("p1", "A", "add", "x"),
+            make_update("s1", "B", "add", "x"),
+            make_update("s2", "C", "remove", "ghost"),
+            make_update("s3", "A", "remove", "ghost2"),
+        ]
+
+    def test_figure6_reduction(self):
+        # All successors after the predecessor: their 3! orders merge.
+        pred, s1, s2, s3 = self.make_events()
+        pruner = FailedOpsPruner(["p1"], ["s1", "s2", "s3"])
+        candidates = [(pred, *perm) for perm in permutations([s1, s2, s3])]
+        kept = pruner.apply(candidates)
+        assert len(kept) == 1
+        assert pruner.stats.pruned == 5
+
+    def test_successor_before_predecessor_not_merged(self):
+        pred, s1, s2, _ = self.make_events()
+        pruner = FailedOpsPruner(["p1"], ["s1", "s2"])
+        assert not pruner.is_redundant((s1, pred, s2))
+        assert not pruner.is_redundant((s2, pred, s1))
+
+    def test_overlapping_sets_rejected(self):
+        with pytest.raises(ConstraintError):
+            FailedOpsPruner(["e1"], ["e1", "e2"])
+
+    def test_empty_sets_rejected(self):
+        with pytest.raises(ConstraintError):
+            FailedOpsPruner([], ["e1"])
+
+
+class TestPrunerPipeline:
+    def test_union_of_equivalences(self):
+        i1 = make_update("i1", "A", "op")
+        i2 = make_update("i2", "B", "op")
+        other = make_update("x1", "C", "op")
+        pipeline = PrunerPipeline(
+            [
+                EventIndependencePruner(["i1", "i2"]),
+                FailedOpsPruner(["x1"], ["i1", "i2"]),
+            ]
+        )
+        assert not pipeline.is_redundant((other, i1, i2))
+        # Redundant under BOTH views; either suffices.
+        assert pipeline.is_redundant((other, i2, i1))
+
+    def test_stats_per_pruner(self):
+        i1 = make_update("i1", "A", "op")
+        i2 = make_update("i2", "B", "op")
+        pipeline = PrunerPipeline([EventIndependencePruner(["i1", "i2"])])
+        pipeline.is_redundant((i1, i2))
+        pipeline.is_redundant((i2, i1))
+        stats = pipeline.stats()
+        assert stats["event_independence"].examined == 2
+        assert stats["event_independence"].pruned == 1
+        assert stats["event_independence"].kept == 1
+
+    def test_reset(self):
+        i1 = make_update("i1", "A", "op")
+        i2 = make_update("i2", "B", "op")
+        pipeline = PrunerPipeline([EventIndependencePruner(["i1", "i2"])])
+        pipeline.is_redundant((i1, i2))
+        pipeline.reset()
+        assert not pipeline.is_redundant((i1, i2))

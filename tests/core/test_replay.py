@@ -1,0 +1,150 @@
+"""Tests for the replay engine and its executors."""
+
+import pytest
+
+from repro.core.errors import ReplayError
+from repro.core.events import make_read, make_sync_pair, make_update
+from repro.core.replay import (
+    LockSteppedExecutor,
+    ReplayEngine,
+    SequentialExecutor,
+)
+from repro.net.cluster import Cluster
+from repro.rdl.crdts_lib import CRDTLibrary
+from repro.redisim.farm import RedisimFarm
+
+
+def make_cluster():
+    cluster = Cluster()
+    for rid in ("A", "B"):
+        cluster.add_replica(rid, CRDTLibrary(rid))
+    return cluster
+
+
+def workload_events():
+    return (
+        make_update("e1", "A", "set_add", "s", "x"),
+        *make_sync_pair("e2", "e3", "A", "B"),
+        make_update("e4", "B", "set_add", "s", "y"),
+        *make_sync_pair("e5", "e6", "B", "A"),
+        make_read("e7", "A", "set_value", "s"),
+    )
+
+
+class TestReplayEngine:
+    def test_replay_requires_checkpoint(self):
+        engine = ReplayEngine(make_cluster())
+        with pytest.raises(ReplayError):
+            engine.replay(workload_events())
+
+    def test_replay_executes_in_order(self):
+        cluster = make_cluster()
+        engine = ReplayEngine(cluster)
+        engine.checkpoint()
+        outcome = engine.replay(workload_events())
+        assert outcome.reads()["e7"] == frozenset({"x", "y"})
+        assert not outcome.failed_ops
+        assert [res.lamport for res in outcome.event_results] == list(range(1, 8))
+
+    def test_replay_resets_between_interleavings(self):
+        cluster = make_cluster()
+        engine = ReplayEngine(cluster)
+        engine.checkpoint()
+        engine.replay(workload_events())
+        outcome = engine.replay(workload_events())
+        # If state leaked across replays the set would accumulate items.
+        assert outcome.states["A"] == {"s": frozenset({"x", "y"})}
+
+    def test_reordered_sync_delivers_nothing(self):
+        events = workload_events()
+        reordered = (events[1], events[2], *events[:1], *events[3:])
+        cluster = make_cluster()
+        engine = ReplayEngine(cluster)
+        engine.checkpoint()
+        outcome = engine.replay(reordered)
+        # The sync ran before the update: B never received "x".
+        assert outcome.states["B"] == {"s": frozenset({"y"})}
+
+    def test_failing_op_recorded_not_raised(self):
+        events = (make_read("e1", "A", "set_value", "missing"),)
+        engine = ReplayEngine(make_cluster())
+        engine.checkpoint()
+        outcome = engine.replay(events)
+        assert len(outcome.failed_ops) == 1
+        assert "missing" in outcome.failed_ops[0].error
+
+    def test_unknown_method_is_engine_error(self):
+        events = (make_update("e1", "A", "no_such_op"),)
+        engine = ReplayEngine(make_cluster())
+        engine.checkpoint()
+        with pytest.raises(ReplayError):
+            engine.replay(events)
+
+    def test_assertions_populate_violations(self):
+        engine = ReplayEngine(make_cluster())
+        engine.checkpoint()
+        outcome = engine.replay(
+            workload_events(), assertions=[lambda out: "always wrong"]
+        )
+        assert outcome.violated
+        assert outcome.violations == ["always wrong"]
+
+    def test_duration_measured(self):
+        engine = ReplayEngine(make_cluster())
+        engine.checkpoint()
+        outcome = engine.replay(workload_events())
+        assert outcome.duration_s >= 0
+
+    def test_restore_resets_cluster(self):
+        cluster = make_cluster()
+        engine = ReplayEngine(cluster)
+        engine.checkpoint()
+        engine.replay(workload_events())
+        engine.restore()
+        assert cluster.rdl("A").value() == {}
+
+
+class TestLockSteppedExecutor:
+    def test_matches_sequential_results(self):
+        events = workload_events()
+        sequential_cluster = make_cluster()
+        sequential = ReplayEngine(sequential_cluster, SequentialExecutor())
+        sequential.checkpoint()
+        expected = sequential.replay(events)
+
+        threaded_cluster = make_cluster()
+        executor = LockSteppedExecutor(farm=RedisimFarm(3))
+        threaded = ReplayEngine(threaded_cluster, executor)
+        threaded.checkpoint()
+        actual = threaded.replay(events)
+
+        assert actual.states == expected.states
+        assert actual.reads() == expected.reads()
+        assert [r.event.event_id for r in actual.event_results] == [
+            r.event.event_id for r in expected.event_results
+        ]
+
+    def test_enforces_global_order_across_replica_workers(self):
+        # An order where correctness depends on strict alternation between
+        # the two replicas' workers.
+        events = (
+            make_update("e1", "A", "set_add", "s", "a1"),
+            *make_sync_pair("e2", "e3", "A", "B"),
+            make_update("e4", "B", "set_add", "s", "b1"),
+            *make_sync_pair("e5", "e6", "B", "A"),
+            make_update("e7", "A", "set_add", "s", "a2"),
+            *make_sync_pair("e8", "e9", "A", "B"),
+            make_read("e10", "B", "set_value", "s"),
+        )
+        engine = ReplayEngine(make_cluster(), LockSteppedExecutor())
+        engine.checkpoint()
+        outcome = engine.replay(events)
+        assert outcome.reads()["e10"] == frozenset({"a1", "b1", "a2"})
+
+    def test_repeated_replays_reuse_farm(self):
+        executor = LockSteppedExecutor()
+        engine = ReplayEngine(make_cluster(), executor)
+        engine.checkpoint()
+        for _ in range(3):
+            outcome = engine.replay(workload_events())
+            assert outcome.reads()["e7"] == frozenset({"x", "y"})

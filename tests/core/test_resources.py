@@ -1,0 +1,42 @@
+"""Tests for the resource meter (Figure-10 substrate)."""
+
+import pytest
+
+from repro.core.errors import ResourceExhausted
+from repro.core.resources import ResourceMeter, interleaving_footprint
+
+
+class TestResourceMeter:
+    def test_unlimited_by_default(self):
+        meter = ResourceMeter()
+        meter.charge("anything", 10**9)
+        assert meter.used_bytes == 10**9
+        assert meter.remaining_bytes is None
+
+    def test_budget_enforced(self):
+        meter = ResourceMeter(budget_bytes=100)
+        meter.charge("cache", 60)
+        assert meter.remaining_bytes == 40
+        with pytest.raises(ResourceExhausted):
+            meter.charge("cache", 50)
+
+    def test_categories_tracked(self):
+        meter = ResourceMeter()
+        meter.charge("a", 10)
+        meter.charge("b", 5)
+        meter.charge("a", 1)
+        assert meter.by_category == {"a": 11, "b": 5}
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceMeter().charge("x", -1)
+
+    def test_reset(self):
+        meter = ResourceMeter(budget_bytes=100)
+        meter.charge("x", 99)
+        meter.reset()
+        assert meter.used_bytes == 0
+        meter.charge("x", 99)  # no raise after reset
+
+    def test_footprint_scales_with_events(self):
+        assert interleaving_footprint(10) > interleaving_footprint(5) > 0

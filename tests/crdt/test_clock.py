@@ -1,0 +1,175 @@
+"""Unit tests for logical clocks (Lamport, vector, dots)."""
+
+import pytest
+
+from repro.crdt.clock import Dot, DotContext, LamportClock, Stamp, VectorClock, stamp_sequence
+
+
+class TestLamportClock:
+    def test_starts_at_zero(self):
+        assert LamportClock().time == 0
+
+    def test_custom_start(self):
+        assert LamportClock(5).time == 5
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            LamportClock(-1)
+
+    def test_tick_increments(self):
+        clock = LamportClock()
+        assert clock.tick() == 1
+        assert clock.tick() == 2
+
+    def test_observe_takes_max_plus_one(self):
+        clock = LamportClock(3)
+        assert clock.observe(10) == 11
+
+    def test_observe_of_older_time_still_advances(self):
+        clock = LamportClock(7)
+        assert clock.observe(2) == 8
+
+    def test_observe_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LamportClock().observe(-1)
+
+    def test_copy_is_independent(self):
+        clock = LamportClock(4)
+        copy = clock.copy()
+        clock.tick()
+        assert copy.time == 4
+
+
+class TestStamp:
+    def test_orders_by_time_first(self):
+        assert Stamp(1, "Z") < Stamp(2, "A")
+
+    def test_ties_break_on_replica_id(self):
+        assert Stamp(3, "A") < Stamp(3, "B")
+
+    def test_equal_stamps(self):
+        assert Stamp(3, "A") == Stamp(3, "A")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            Stamp(-1, "A")
+
+    def test_hashable(self):
+        assert len({Stamp(1, "A"), Stamp(1, "A"), Stamp(2, "A")}) == 2
+
+    def test_stamp_sequence_is_monotone(self):
+        stream = stamp_sequence("A")
+        first, second = next(stream), next(stream)
+        assert first < second
+        assert first.replica_id == "A"
+
+
+class TestVectorClock:
+    def test_empty_clocks_equal(self):
+        assert VectorClock() == VectorClock()
+
+    def test_increment(self):
+        clock = VectorClock()
+        assert clock.increment("A") == 1
+        assert clock.increment("A") == 2
+        assert clock.get("A") == 2
+        assert clock.get("B") == 0
+
+    def test_merge_takes_pointwise_max(self):
+        left = VectorClock({"A": 3, "B": 1})
+        right = VectorClock({"A": 1, "B": 5, "C": 2})
+        left.merge(right)
+        assert left.as_dict() == {"A": 3, "B": 5, "C": 2}
+
+    def test_merged_does_not_mutate(self):
+        left = VectorClock({"A": 1})
+        right = VectorClock({"B": 1})
+        combined = left.merged(right)
+        assert left.as_dict() == {"A": 1}
+        assert combined.as_dict() == {"A": 1, "B": 1}
+
+    def test_dominates(self):
+        bigger = VectorClock({"A": 2, "B": 2})
+        smaller = VectorClock({"A": 1, "B": 2})
+        assert bigger.dominates(smaller)
+        assert not smaller.dominates(bigger)
+
+    def test_concurrent(self):
+        left = VectorClock({"A": 1})
+        right = VectorClock({"B": 1})
+        assert left.concurrent_with(right)
+        assert right.concurrent_with(left)
+
+    def test_partial_order_operators(self):
+        smaller = VectorClock({"A": 1})
+        bigger = VectorClock({"A": 2})
+        assert smaller < bigger
+        assert smaller <= bigger
+        assert not bigger < bigger
+        assert bigger <= bigger
+
+    def test_negative_entry_rejected(self):
+        with pytest.raises(ValueError):
+            VectorClock({"A": -1})
+
+    def test_zero_entries_normalised(self):
+        assert VectorClock({"A": 0}) == VectorClock()
+
+    def test_hash_consistent_with_eq(self):
+        assert hash(VectorClock({"A": 1})) == hash(VectorClock({"A": 1}))
+
+
+class TestDotContext:
+    def test_next_dot_mints_sequentially(self):
+        context = DotContext()
+        assert context.next_dot("A") == Dot("A", 1)
+        assert context.next_dot("A") == Dot("A", 2)
+
+    def test_contains_minted_dots(self):
+        context = DotContext()
+        dot = context.next_dot("A")
+        assert context.contains(dot)
+        assert not context.contains(Dot("A", 5))
+
+    def test_out_of_order_dots_compact_when_gap_fills(self):
+        context = DotContext()
+        context.add(Dot("A", 2))
+        assert context.contains(Dot("A", 2))
+        assert not context.contains(Dot("A", 1))
+        context.add(Dot("A", 1))
+        assert context.contains(Dot("A", 1))
+        # After compaction, the next minted dot continues the prefix.
+        assert context.next_dot("A") == Dot("A", 3)
+
+    def test_merge_unions_observations(self):
+        left, right = DotContext(), DotContext()
+        left.next_dot("A")
+        right.next_dot("B")
+        left.merge(right)
+        assert left.contains(Dot("A", 1))
+        assert left.contains(Dot("B", 1))
+
+    def test_merge_is_idempotent(self):
+        left, right = DotContext(), DotContext()
+        right.next_dot("B")
+        left.merge(right)
+        before = left.observed()
+        left.merge(right)
+        assert left.observed() == before
+
+    def test_observed_expands_prefix(self):
+        context = DotContext()
+        context.next_dot("A")
+        context.next_dot("A")
+        assert context.observed() == frozenset({Dot("A", 1), Dot("A", 2)})
+
+    def test_dot_counter_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Dot("A", 0)
+
+    def test_copy_is_independent(self):
+        context = DotContext()
+        context.next_dot("A")
+        clone = context.copy()
+        context.next_dot("A")
+        assert not clone.contains(Dot("A", 2))

@@ -1,0 +1,115 @@
+"""Unit tests for counter CRDTs."""
+
+import pytest
+
+from repro.crdt.base import CRDTError
+from repro.crdt.counters import GCounter, PNCounter
+
+
+class TestGCounter:
+    def test_starts_at_zero(self):
+        assert GCounter("A").value() == 0
+
+    def test_increment(self):
+        counter = GCounter("A")
+        assert counter.increment() == 1
+        assert counter.increment(4) == 5
+
+    def test_rejects_non_positive(self):
+        counter = GCounter("A")
+        with pytest.raises(CRDTError):
+            counter.increment(0)
+        with pytest.raises(CRDTError):
+            counter.increment(-2)
+
+    def test_merge_sums_across_replicas(self):
+        a, b = GCounter("A"), GCounter("B")
+        a.increment(3)
+        b.increment(4)
+        a.merge(b)
+        assert a.value() == 7
+
+    def test_merge_is_idempotent(self):
+        a, b = GCounter("A"), GCounter("B")
+        a.increment(3)
+        b.increment(4)
+        a.merge(b)
+        a.merge(b)
+        assert a.value() == 7
+
+    def test_merge_keeps_max_per_component(self):
+        a = GCounter("A")
+        a.increment(5)
+        stale = a.clone()
+        a.increment(2)
+        a.merge(stale)
+        assert a.value() == 7
+
+    def test_component_inspection(self):
+        a, b = GCounter("A"), GCounter("B")
+        a.increment(2)
+        b.increment(3)
+        a.merge(b)
+        assert a.component("A") == 2
+        assert a.component("B") == 3
+        assert a.component("C") == 0
+
+    def test_checkpoint_restore(self):
+        counter = GCounter("A")
+        counter.increment(3)
+        snapshot = counter.checkpoint()
+        counter.increment(10)
+        counter.restore(snapshot)
+        assert counter.value() == 3
+
+
+class TestPNCounter:
+    def test_increment_and_decrement(self):
+        counter = PNCounter("A")
+        counter.increment(10)
+        counter.decrement(4)
+        assert counter.value() == 6
+
+    def test_negative_values_possible(self):
+        counter = PNCounter("A")
+        counter.decrement(3)
+        assert counter.value() == -3
+
+    def test_negative_amounts_flip_direction(self):
+        counter = PNCounter("A")
+        counter.increment(-2)
+        assert counter.value() == -2
+        counter.decrement(-5)
+        assert counter.value() == 3
+
+    def test_zero_amount_is_noop(self):
+        counter = PNCounter("A")
+        counter.increment(0)
+        counter.decrement(0)
+        assert counter.value() == 0
+
+    def test_merge_combines_both_halves(self):
+        a, b = PNCounter("A"), PNCounter("B")
+        a.increment(5)
+        b.decrement(2)
+        a.merge(b)
+        b.merge(a)
+        assert a.value() == b.value() == 3
+
+    def test_concurrent_increments_both_count(self):
+        a, b = PNCounter("A"), PNCounter("B")
+        a.increment(1)
+        b.increment(1)
+        a.merge(b)
+        assert a.value() == 2
+
+    def test_merge_commutative(self):
+        a, b = PNCounter("A"), PNCounter("B")
+        a.increment(7)
+        a.decrement(2)
+        b.increment(1)
+        left = a.clone()
+        left.merge(b)
+        right = b.clone()
+        right.merge(a)
+        assert left.value() == right.value() == 6

@@ -1,0 +1,168 @@
+"""Unit tests for the JSON document CRDT."""
+
+import pytest
+
+from repro.crdt.base import CRDTError
+from repro.crdt.jsondoc import JSONDocument
+
+
+class TestLocalEditing:
+    def test_set_and_get_scalar(self):
+        doc = JSONDocument("A")
+        doc.set_path(["title"], "hello")
+        assert doc.get_path(["title"]) == "hello"
+
+    def test_set_nested_creates_parents(self):
+        doc = JSONDocument("A")
+        doc.set_path(["user", "name"], "alice")
+        assert doc.value() == {"user": {"name": "alice"}}
+
+    def test_set_object_value(self):
+        doc = JSONDocument("A")
+        doc.set_path(["cfg"], {"a": 1, "b": {"c": 2}})
+        assert doc.get_path(["cfg", "b", "c"]) == 2
+
+    def test_set_root_rejected(self):
+        with pytest.raises(CRDTError):
+            JSONDocument("A").set_path([], {"x": 1})
+
+    def test_get_default_for_missing(self):
+        assert JSONDocument("A").get_path(["nope"], "dflt") == "dflt"
+
+    def test_delete_path(self):
+        doc = JSONDocument("A")
+        doc.set_path(["x"], 1)
+        doc.set_path(["y"], 2)
+        doc.delete_path(["x"])
+        assert doc.value() == {"y": 2}
+
+    def test_non_string_object_key_rejected(self):
+        doc = JSONDocument("A")
+        with pytest.raises(CRDTError):
+            doc.set_path([5], "x")
+
+    def test_to_json_round_trip(self):
+        import json
+
+        doc = JSONDocument("A")
+        doc.set_path(["a"], [1, 2, {"b": True}])
+        assert json.loads(doc.to_json()) == {"a": [1, 2, {"b": True}]}
+
+
+class TestArrays:
+    def test_list_value_becomes_array(self):
+        doc = JSONDocument("A")
+        doc.set_path(["items"], ["x", "y"])
+        assert doc.get_path(["items"]) == ["x", "y"]
+
+    def test_array_append_insert_delete(self):
+        doc = JSONDocument("A")
+        doc.set_path(["items"], ["a"])
+        doc.array_append(["items"], "c")
+        doc.array_insert(["items"], 1, "b")
+        assert doc.get_path(["items"]) == ["a", "b", "c"]
+        doc.array_delete(["items"], 0)
+        assert doc.get_path(["items"]) == ["b", "c"]
+
+    def test_array_ops_on_non_array_rejected(self):
+        doc = JSONDocument("A")
+        doc.set_path(["x"], 1)
+        with pytest.raises(CRDTError):
+            doc.array_append(["x"], "y")
+
+    def test_array_move(self):
+        doc = JSONDocument("A")
+        doc.set_path(["items"], ["a", "b", "c"])
+        doc.array_move(["items"], 0, 2)
+        assert doc.get_path(["items"]) == ["b", "c", "a"]
+
+    def test_index_into_array_path(self):
+        doc = JSONDocument("A")
+        doc.set_path(["rows"], [{"v": 1}, {"v": 2}])
+        assert doc.get_path(["rows", 1, "v"]) == 2
+
+
+class TestMerge:
+    def test_disjoint_keys_union(self):
+        a, b = JSONDocument("A"), JSONDocument("B")
+        a.set_path(["x"], 1)
+        b.set_path(["y"], 2)
+        a.merge(b)
+        b.merge(a)
+        assert a.value() == b.value() == {"x": 1, "y": 2}
+
+    def test_conflicting_scalar_lww(self):
+        a, b = JSONDocument("A"), JSONDocument("B")
+        a.set_path(["k"], "from-a")
+        b.set_path(["k"], "from-b")
+        b.set_path(["k"], "from-b2")  # later local write, higher stamp
+        a.merge(b)
+        b.merge(a)
+        assert a.value() == b.value()
+
+    def test_deep_merge_keeps_concurrent_nested_keys(self):
+        a, b = JSONDocument("A"), JSONDocument("B")
+        a.set_path(["cfg"], {"base": 1})
+        b.merge(a)
+        a.set_path(["cfg", "y"], 2)
+        b.set_path(["cfg", "z"], 3)
+        a.merge(b)
+        b.merge(a)
+        assert a.get_path(["cfg"]) == b.get_path(["cfg"]) == {
+            "base": 1,
+            "y": 2,
+            "z": 3,
+        }
+
+    def test_shallow_mode_clobbers_nested_siblings(self):
+        # Yorkie issue #663: concurrent nested writes lose one side.
+        a = JSONDocument("A", deep_set_supported=False)
+        b = JSONDocument("B", deep_set_supported=False)
+        a.set_path(["cfg"], {"base": 1})
+        b.merge(a)
+        a.set_path(["cfg", "y"], 2)
+        b.set_path(["cfg", "z"], 3)
+        a.merge(b)
+        b.merge(a)
+        a.merge(b)
+        cfg = a.get_path(["cfg"])
+        assert cfg == b.get_path(["cfg"])
+        assert not ("y" in cfg and "z" in cfg)
+
+    def test_deletion_tombstones_propagate(self):
+        a, b = JSONDocument("A"), JSONDocument("B")
+        a.set_path(["x"], 1)
+        b.merge(a)
+        b.delete_path(["x"])
+        a.merge(b)
+        assert a.value() == {}
+
+    def test_array_merge_converges(self):
+        a, b = JSONDocument("A"), JSONDocument("B")
+        a.set_path(["items"], ["x"])
+        b.merge(a)
+        a.array_append(["items"], "from-a")
+        b.array_append(["items"], "from-b")
+        a.merge(b)
+        b.merge(a)
+        assert a.get_path(["items"]) == b.get_path(["items"])
+
+    def test_merge_idempotent(self):
+        a, b = JSONDocument("A"), JSONDocument("B")
+        a.set_path(["x"], {"deep": [1, 2]})
+        b.merge(a)
+        before = b.value()
+        b.merge(a)
+        assert b.value() == before
+
+    def test_adopted_arrays_are_rehomed(self):
+        a, b = JSONDocument("A"), JSONDocument("B")
+        a.set_path(["items"], ["x"])
+        b.merge(a)
+        # Stamps minted by B after adoption must not collide with A's.
+        a.array_append(["items"], "a-item")
+        b.array_append(["items"], "b-item")
+        a.merge(b)
+        b.merge(a)
+        assert a.get_path(["items"]) == b.get_path(["items"])
+        assert set(a.get_path(["items"])) == {"x", "a-item", "b-item"}

@@ -1,0 +1,76 @@
+"""Unit tests for the OR-Map."""
+
+from repro.crdt.ormap import ORMap
+
+
+class TestORMap:
+    def test_put_get(self):
+        ormap = ORMap("A")
+        ormap.put("k", 1)
+        assert ormap.get("k") == 1
+        assert "k" in ormap
+
+    def test_get_default(self):
+        assert ORMap("A").get("missing", 42) == 42
+
+    def test_overwrite(self):
+        ormap = ORMap("A")
+        ormap.put("k", 1)
+        ormap.put("k", 2)
+        assert ormap.get("k") == 2
+
+    def test_discard(self):
+        ormap = ORMap("A")
+        ormap.put("k", 1)
+        assert ormap.discard("k") is True
+        assert ormap.get("k") is None
+        assert ormap.discard("k") is False
+
+    def test_keys_and_len(self):
+        ormap = ORMap("A")
+        ormap.put("x", 1)
+        ormap.put("y", 2)
+        assert ormap.keys() == frozenset({"x", "y"})
+        assert len(ormap) == 2
+
+    def test_value_projection(self):
+        ormap = ORMap("A")
+        ormap.put("x", 1)
+        ormap.put("y", 2)
+        ormap.discard("x")
+        assert ormap.value() == {"y": 2}
+
+    def test_merge_unions_entries(self):
+        a, b = ORMap("A"), ORMap("B")
+        a.put("x", 1)
+        b.put("y", 2)
+        a.merge(b)
+        assert a.value() == {"x": 1, "y": 2}
+
+    def test_concurrent_put_wins_over_discard(self):
+        a, b = ORMap("A"), ORMap("B")
+        a.put("k", 1)
+        b.merge(a)
+        b.discard("k")
+        a.put("k", 2)  # concurrent re-put (new dot)
+        a.merge(b)
+        b.merge(a)
+        assert a.get("k") == 2
+        assert b.get("k") == 2
+
+    def test_observed_discard_propagates(self):
+        a, b = ORMap("A"), ORMap("B")
+        a.put("k", 1)
+        b.merge(a)
+        b.discard("k")
+        a.merge(b)
+        assert "k" not in a
+
+    def test_converges_both_directions(self):
+        a, b = ORMap("A"), ORMap("B")
+        a.put("x", 1)
+        b.put("x", 9)
+        b.put("y", 2)
+        a.merge(b)
+        b.merge(a)
+        assert a.value() == b.value()

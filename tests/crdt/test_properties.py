@@ -1,0 +1,240 @@
+"""Property-based tests: CRDT merge must be a semilattice join.
+
+For every structure we check, with hypothesis-generated op sequences, the
+three CvRDT laws over observable state:
+
+* commutativity:  apply(a, merge b) == apply(b, merge a)
+* idempotence:    merging the same state twice changes nothing
+* convergence:    any two replicas that exchange states end equal
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crdt.clock import Stamp
+from repro.crdt.counters import GCounter, PNCounter
+from repro.crdt.jsondoc import JSONDocument
+from repro.crdt.lwwset import LWWElementSet
+from repro.crdt.ormap import ORMap
+from repro.crdt.orset import ORSet
+from repro.crdt.registers import LWWRegister, MVRegister
+from repro.crdt.rga import RGAList
+from repro.crdt.sets import GSet, TwoPSet
+
+ITEMS = st.sampled_from(["a", "b", "c", "d", "e"])
+
+
+def apply_set_ops(structure, ops):
+    for kind, item in ops:
+        if kind == "add":
+            structure.add(item)
+        else:
+            structure.remove(item)
+
+
+set_ops = st.lists(
+    st.tuples(st.sampled_from(["add", "remove"]), ITEMS), max_size=8
+)
+
+
+@st.composite
+def orset_pair(draw):
+    a, b = ORSet("A"), ORSet("B")
+    apply_set_ops(a, draw(set_ops))
+    apply_set_ops(b, draw(set_ops))
+    return a, b
+
+
+@given(orset_pair())
+@settings(max_examples=60, deadline=None)
+def test_orset_merge_commutative(pair):
+    a, b = pair
+    left = a.clone()
+    left.merge(b)
+    right = b.clone()
+    right.merge(a)
+    assert left.value() == right.value()
+
+
+@given(orset_pair())
+@settings(max_examples=60, deadline=None)
+def test_orset_merge_idempotent(pair):
+    a, b = pair
+    a.merge(b)
+    before = a.value()
+    a.merge(b)
+    assert a.value() == before
+
+
+@given(orset_pair(), set_ops)
+@settings(max_examples=60, deadline=None)
+def test_orset_convergence_after_exchange(pair, more_ops):
+    a, b = pair
+    a.merge(b)
+    apply_set_ops(b, more_ops)
+    b.merge(a)
+    a.merge(b)
+    assert a.value() == b.value()
+
+
+counter_ops = st.lists(st.integers(min_value=-5, max_value=5), max_size=8)
+
+
+@given(counter_ops, counter_ops)
+@settings(max_examples=60, deadline=None)
+def test_pncounter_converges(ops_a, ops_b):
+    a, b = PNCounter("A"), PNCounter("B")
+    for amount in ops_a:
+        a.increment(amount)
+    for amount in ops_b:
+        b.increment(amount)
+    a.merge(b)
+    b.merge(a)
+    assert a.value() == b.value() == sum(ops_a) + sum(ops_b)
+
+
+@given(counter_ops)
+@settings(max_examples=40, deadline=None)
+def test_gcounter_merge_monotone(ops):
+    a = GCounter("A")
+    total = 0
+    for amount in ops:
+        if amount > 0:
+            a.increment(amount)
+            total += amount
+    snapshot = a.clone()
+    a.increment(1)
+    a.merge(snapshot)  # merging an older state never loses progress
+    assert a.value() == total + 1
+
+
+lww_writes = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=9), ITEMS), max_size=6
+)
+
+
+@given(lww_writes, lww_writes)
+@settings(max_examples=60, deadline=None)
+def test_lww_register_converges(writes_a, writes_b):
+    a, b = LWWRegister("A"), LWWRegister("B")
+    for time, value in writes_a:
+        a.set(value, Stamp(time, "A"))
+    for time, value in writes_b:
+        b.set(value, Stamp(time, "B"))
+    a.merge(b)
+    b.merge(a)
+    assert a.value() == b.value()
+
+
+stamped_ops = st.lists(
+    st.tuples(st.sampled_from(["add", "remove"]), ITEMS, st.integers(1, 9)),
+    max_size=8,
+)
+
+
+@given(stamped_ops, stamped_ops)
+@settings(max_examples=60, deadline=None)
+def test_lww_set_converges(ops_a, ops_b):
+    a, b = LWWElementSet("A"), LWWElementSet("B")
+    for kind, item, time in ops_a:
+        getattr(a, kind)(item, Stamp(time, "A"))
+    for kind, item, time in ops_b:
+        getattr(b, kind)(item, Stamp(time, "B"))
+    a.merge(b)
+    b.merge(a)
+    assert a.value() == b.value()
+
+
+@given(set_ops, set_ops)
+@settings(max_examples=60, deadline=None)
+def test_twopset_converges(ops_a, ops_b):
+    a, b = TwoPSet("A"), TwoPSet("B")
+    apply_set_ops(a, ops_a)
+    apply_set_ops(b, ops_b)
+    a.merge(b)
+    b.merge(a)
+    assert a.value() == b.value()
+
+
+map_ops = st.lists(st.tuples(ITEMS, st.integers(0, 9)), max_size=8)
+
+
+@given(map_ops, map_ops)
+@settings(max_examples=60, deadline=None)
+def test_ormap_converges(ops_a, ops_b):
+    a, b = ORMap("A"), ORMap("B")
+    for key, value in ops_a:
+        a.put(key, value)
+    for key, value in ops_b:
+        b.put(key, value)
+    a.merge(b)
+    b.merge(a)
+    assert a.value() == b.value()
+
+
+rga_script = st.lists(
+    st.tuples(st.sampled_from(["insert", "delete", "move"]), st.integers(0, 6), ITEMS),
+    max_size=6,
+)
+
+
+def run_rga_script(rga, script):
+    for kind, index, item in script:
+        size = len(rga)
+        if kind == "insert":
+            rga.insert(min(index, size), item)
+        elif kind == "delete" and size:
+            rga.delete(index % size)
+        elif kind == "move" and size >= 2:
+            ids = rga.element_ids()
+            rga.move_after(ids[index % size], ids[(index + 1) % size])
+
+
+@given(rga_script, rga_script)
+@settings(max_examples=60, deadline=None)
+def test_rga_converges_including_moves(script_a, script_b):
+    base = RGAList("A")
+    for item in "xyz":
+        base.append(item)
+    a = base
+    b = RGAList("B")
+    b.merge(base)
+    run_rga_script(a, script_a)
+    run_rga_script(b, script_b)
+    a.merge(b)
+    b.merge(a)
+    a.merge(b)
+    assert a.value() == b.value()
+
+
+json_paths = st.lists(
+    st.tuples(st.sampled_from(["p", "q", "r"]), st.sampled_from(["x", "y"]), st.integers(0, 9)),
+    max_size=6,
+)
+
+
+@given(json_paths, json_paths)
+@settings(max_examples=60, deadline=None)
+def test_jsondoc_converges(writes_a, writes_b):
+    a, b = JSONDocument("A"), JSONDocument("B")
+    for top, nested, value in writes_a:
+        a.set_path([top, nested], value)
+    for top, nested, value in writes_b:
+        b.set_path([top, nested], value)
+    a.merge(b)
+    b.merge(a)
+    a.merge(b)
+    assert a.value() == b.value()
+
+
+@given(set_ops)
+@settings(max_examples=40, deadline=None)
+def test_mvregister_merge_idempotent(ops):
+    a = MVRegister("A")
+    for _, item in ops:
+        a.set(item)
+    b = MVRegister("B")
+    b.set("other")
+    a.merge(b)
+    before = a.value()
+    a.merge(b)
+    assert a.value() == before

@@ -1,0 +1,109 @@
+"""Unit tests for register CRDTs."""
+
+from repro.crdt.clock import Stamp
+from repro.crdt.registers import LWWRegister, MVRegister
+
+
+class TestLWWRegister:
+    def test_initially_none(self):
+        assert LWWRegister("A").value() is None
+
+    def test_later_stamp_wins(self):
+        register = LWWRegister("A")
+        register.set("old", Stamp(1, "A"))
+        register.set("new", Stamp(2, "A"))
+        assert register.value() == "new"
+
+    def test_earlier_stamp_ignored(self):
+        register = LWWRegister("A")
+        register.set("new", Stamp(5, "A"))
+        register.set("stale", Stamp(2, "B"))
+        assert register.value() == "new"
+
+    def test_tie_breaks_on_replica_id(self):
+        register = LWWRegister("A")
+        register.set("from-a", Stamp(3, "A"))
+        register.set("from-b", Stamp(3, "B"))
+        assert register.value() == "from-b"  # "B" > "A"
+
+    def test_tie_break_order_independent(self):
+        left = LWWRegister("X")
+        left.set("from-b", Stamp(3, "B"))
+        left.set("from-a", Stamp(3, "A"))
+        right = LWWRegister("Y")
+        right.set("from-a", Stamp(3, "A"))
+        right.set("from-b", Stamp(3, "B"))
+        assert left.value() == right.value() == "from-b"
+
+    def test_broken_tie_break_is_arrival_dependent(self):
+        # The Roshi-2-style defect: first arrival wins on ties.
+        left = LWWRegister("X", break_ties=False)
+        left.set("first", Stamp(3, "A"))
+        left.set("second", Stamp(3, "B"))
+        right = LWWRegister("Y", break_ties=False)
+        right.set("second", Stamp(3, "B"))
+        right.set("first", Stamp(3, "A"))
+        assert left.value() == "first"
+        assert right.value() == "second"
+
+    def test_merge_is_set_of_other_state(self):
+        a, b = LWWRegister("A"), LWWRegister("B")
+        a.set("x", Stamp(1, "A"))
+        b.set("y", Stamp(2, "B"))
+        a.merge(b)
+        b.merge(a)
+        assert a.value() == b.value() == "y"
+
+
+class TestMVRegister:
+    def test_initially_empty(self):
+        assert MVRegister("A").value() == frozenset()
+
+    def test_local_overwrite_discards_old(self):
+        register = MVRegister("A")
+        register.set("v1")
+        register.set("v2")
+        assert register.value() == frozenset({"v2"})
+
+    def test_concurrent_writes_coexist(self):
+        a, b = MVRegister("A"), MVRegister("B")
+        a.set("from-a")
+        b.set("from-b")
+        a.merge(b)
+        assert a.value() == frozenset({"from-a", "from-b"})
+        assert a.has_conflict()
+
+    def test_causal_overwrite_resolves_conflict(self):
+        a, b = MVRegister("A"), MVRegister("B")
+        a.set("from-a")
+        b.set("from-b")
+        a.merge(b)
+        a.set("resolved")
+        assert a.value() == frozenset({"resolved"})
+        assert not a.has_conflict()
+
+    def test_single_value_helper(self):
+        register = MVRegister("A")
+        register.set("x")
+        assert register.single_value() == "x"
+        other = MVRegister("B")
+        other.set("y")
+        register.merge(other)
+        assert register.single_value() is None
+
+    def test_merge_idempotent(self):
+        a, b = MVRegister("A"), MVRegister("B")
+        a.set("x")
+        b.set("y")
+        a.merge(b)
+        before = a.value()
+        a.merge(b)
+        assert a.value() == before
+
+    def test_merge_converges_both_directions(self):
+        a, b = MVRegister("A"), MVRegister("B")
+        a.set("x")
+        b.set("y")
+        a.merge(b)
+        b.merge(a)
+        assert a.value() == b.value()

@@ -1,0 +1,218 @@
+"""Unit tests for the RGA list CRDT (inserts, deletes, moves, merge)."""
+
+import pytest
+
+from repro.crdt.base import CRDTError
+from repro.crdt.clock import Stamp
+from repro.crdt.rga import HEAD, RGAList
+
+
+def make_list(replica_id="A", items="abc"):
+    rga = RGAList(replica_id)
+    for item in items:
+        rga.append(item)
+    return rga
+
+
+class TestLocalOps:
+    def test_append_and_value(self):
+        rga = make_list(items="abc")
+        assert rga.value() == ["a", "b", "c"]
+        assert len(rga) == 3
+
+    def test_insert_at_positions(self):
+        rga = make_list(items="ac")
+        rga.insert(1, "b")
+        assert rga.value() == ["a", "b", "c"]
+        rga.insert(0, "start")
+        assert rga.value() == ["start", "a", "b", "c"]
+
+    def test_insert_out_of_range(self):
+        with pytest.raises(IndexError):
+            make_list().insert(99, "x")
+
+    def test_delete(self):
+        rga = make_list(items="abc")
+        rga.delete(1)
+        assert rga.value() == ["a", "c"]
+
+    def test_delete_by_id(self):
+        rga = make_list(items="ab")
+        target = rga.element_ids()[0]
+        rga.delete_by_id(target)
+        assert rga.value() == ["b"]
+
+    def test_delete_by_unknown_id(self):
+        with pytest.raises(CRDTError):
+            make_list().delete_by_id(Stamp(99, "Z"))
+
+    def test_iter(self):
+        assert list(make_list(items="xy")) == ["x", "y"]
+
+
+class TestMoveSemantics:
+    def test_move_forward(self):
+        rga = make_list(items="abcd")
+        rga.move(0, 2)
+        assert rga.value() == ["b", "c", "a", "d"]
+
+    def test_move_backward(self):
+        rga = make_list(items="abcd")
+        rga.move(3, 1)
+        assert rga.value() == ["a", "d", "b", "c"]
+
+    def test_naive_concurrent_move_duplicates(self):
+        a = make_list("A", "xyz")
+        b = RGAList("B")
+        b.merge(a)
+        a.move(0, 2)
+        b.move(0, 1)
+        a.merge(b)
+        b.merge(a)
+        assert a.value() == b.value()
+        assert a.value().count("x") == 2  # misconception #3
+
+    def test_move_with_winner_collapses_duplicates(self):
+        a = make_list("A", "xyz")
+        b = RGAList("B")
+        b.merge(a)
+        a.move_with_winner(0, 2)
+        b.move_with_winner(0, 1)
+        a.merge(b)
+        b.merge(a)
+        a.merge(b)
+        assert a.value() == b.value()
+        assert a.value().count("x") == 1
+
+    def test_move_after_lww_converges(self):
+        a = make_list("A", "abc")
+        b = RGAList("B")
+        b.merge(a)
+        ids = a.element_ids()
+        a.move_after(ids[0], ids[2])
+        b_ids = b.element_ids()
+        b.move_after(b_ids[0], b_ids[1])
+        a.merge(b)
+        b.merge(a)
+        assert a.value() == b.value()
+
+    def test_move_after_respects_splice(self):
+        rga = make_list(items="abcd")
+        ids = rga.element_ids()
+        rga.move_after(ids[0], ids[3])
+        assert rga.value() == ["b", "c", "d", "a"]
+
+    def test_move_after_to_front(self):
+        rga = make_list(items="abc")
+        ids = rga.element_ids()
+        rga.move_after(ids[2], None)
+        assert rga.value() == ["c", "a", "b"]
+
+    def test_move_after_self_is_noop(self):
+        rga = make_list(items="ab")
+        ids = rga.element_ids()
+        assert rga.move_after(ids[0], ids[0]) is None
+        assert rga.value() == ["a", "b"]
+
+    def test_move_after_unknown_element(self):
+        rga = make_list(items="ab")
+        with pytest.raises(CRDTError):
+            rga.move_after(Stamp(99, "Z"), None)
+
+    def test_non_lww_move_is_arrival_dependent(self):
+        a = make_list("A", "abc")
+        b = RGAList("B")
+        b.merge(a)
+        ids = a.element_ids()
+        stamp_a = a.move_after(ids[0], ids[2], lww=False)
+        stamp_b = b.move_after(ids[0], ids[1], lww=False)
+        # Each replica now applies the other's move last (arrival order).
+        a.move_after(ids[0], ids[1], stamp=stamp_b, lww=False)
+        b.move_after(ids[0], ids[2], stamp=stamp_a, lww=False)
+        assert a.value() != b.value()  # Yorkie issue #676
+
+
+class TestOpShipping:
+    def test_apply_insert_op(self):
+        source = RGAList("A")
+        op = source.append("x")
+        target = RGAList("B")
+        target.apply_op(op)
+        assert target.value() == ["x"]
+
+    def test_apply_op_idempotent(self):
+        source = RGAList("A")
+        op = source.append("x")
+        target = RGAList("B")
+        target.apply_op(op)
+        target.apply_op(op)
+        assert target.value() == ["x"]
+
+    def test_apply_delete_op(self):
+        source = make_list("A", "ab")
+        op = source.delete(0)
+        target = RGAList("B")
+        target.merge(make_list("A", "ab"))
+        target.apply_op(op)
+        assert target.value() == ["b"]
+
+    def test_unknown_op_kind_rejected(self):
+        with pytest.raises(CRDTError):
+            RGAList("A").apply_op({"kind": "explode"})
+
+    def test_insert_with_missing_anchor_falls_back_to_head(self):
+        source = make_list("A", "ab")
+        op = source.insert(2, "c")  # anchored after "b"
+        target = RGAList("B")      # has never seen "a"/"b"
+        target.apply_op(op)
+        assert target.value() == ["c"]
+
+
+class TestMerge:
+    def test_concurrent_inserts_converge(self):
+        a, b = RGAList("A"), RGAList("B")
+        a.append("x")
+        b.merge(a)
+        a.insert(1, "from-a")
+        b.insert(1, "from-b")
+        a.merge(b)
+        b.merge(a)
+        assert a.value() == b.value()
+        assert set(a.value()) == {"x", "from-a", "from-b"}
+
+    def test_tombstones_propagate(self):
+        a = make_list("A", "ab")
+        b = RGAList("B")
+        b.merge(a)
+        a.delete(0)
+        b.merge(a)
+        assert b.value() == ["b"]
+
+    def test_merge_does_not_alias_payloads(self):
+        a = RGAList("A")
+        a.append({"nested": []})
+        b = RGAList("B")
+        b.merge(a)
+        b.value()[0]["nested"].append("mutation")
+        assert a.value()[0]["nested"] == []
+
+    def test_merge_idempotent(self):
+        a = make_list("A", "abc")
+        b = RGAList("B")
+        b.merge(a)
+        b.merge(a)
+        assert b.value() == ["a", "b", "c"]
+
+    def test_three_replicas_converge(self):
+        a = make_list("A", "ab")
+        b, c = RGAList("B"), RGAList("C")
+        b.merge(a)
+        c.merge(a)
+        a.insert(0, "a0")
+        b.insert(1, "b1")
+        c.delete(1)
+        for left in (a, b, c):
+            for right in (a, b, c):
+                if left is not right:
+                    left.merge(right)
+        assert a.value() == b.value() == c.value()

@@ -1,0 +1,186 @@
+"""Unit tests for GSet / TwoPSet / LWWElementSet / ORSet."""
+
+import pytest
+
+from repro.crdt.base import PreconditionFailed
+from repro.crdt.clock import Stamp
+from repro.crdt.lwwset import BIAS_ADD, BIAS_REMOVE, LWWElementSet
+from repro.crdt.orset import ORSet
+from repro.crdt.sets import GSet, TwoPSet
+
+
+class TestGSet:
+    def test_add_and_contains(self):
+        gset = GSet("A")
+        assert gset.add("x") is True
+        assert gset.contains("x")
+        assert len(gset) == 1
+
+    def test_duplicate_add_reports_failure(self):
+        gset = GSet("A")
+        gset.add("x")
+        assert gset.add("x") is False
+
+    def test_merge_is_union(self):
+        a, b = GSet("A"), GSet("B")
+        a.add("x")
+        b.add("y")
+        a.merge(b)
+        assert a.value() == frozenset({"x", "y"})
+
+
+class TestTwoPSet:
+    def test_add_remove_lifecycle(self):
+        tpset = TwoPSet("A")
+        tpset.add("x")
+        assert tpset.contains("x")
+        tpset.remove("x")
+        assert not tpset.contains("x")
+
+    def test_no_readding_after_remove(self):
+        tpset = TwoPSet("A")
+        tpset.add("x")
+        tpset.remove("x")
+        assert tpset.add("x") is False
+        assert not tpset.contains("x")
+
+    def test_remove_of_absent_item_fails_softly(self):
+        tpset = TwoPSet("A")
+        assert tpset.remove("ghost") is False
+
+    def test_strict_mode_raises_preconditions(self):
+        tpset = TwoPSet("A", strict=True)
+        with pytest.raises(PreconditionFailed):
+            tpset.remove("ghost")
+        tpset.add("x")
+        with pytest.raises(PreconditionFailed):
+            tpset.add("x")
+        tpset.remove("x")
+        with pytest.raises(PreconditionFailed):
+            tpset.add("x")
+
+    def test_merge_tombstones_win(self):
+        a, b = TwoPSet("A"), TwoPSet("B")
+        a.add("x")
+        b.merge(a)
+        b.remove("x")
+        a.merge(b)
+        assert not a.contains("x")
+
+
+class TestLWWElementSet:
+    def test_add_then_remove_later_wins(self):
+        lww = LWWElementSet("A")
+        lww.add("x", Stamp(1, "A"))
+        lww.remove("x", Stamp(2, "A"))
+        assert not lww.contains("x")
+
+    def test_readd_after_remove(self):
+        lww = LWWElementSet("A")
+        lww.add("x", Stamp(1, "A"))
+        lww.remove("x", Stamp(2, "A"))
+        lww.add("x", Stamp(3, "A"))
+        assert lww.contains("x")
+
+    def test_stale_operations_ignored(self):
+        lww = LWWElementSet("A")
+        lww.add("x", Stamp(5, "A"))
+        lww.remove("x", Stamp(1, "B"))
+        assert lww.contains("x")
+
+    def test_add_bias_keeps_element_on_tie(self):
+        lww = LWWElementSet("A", bias=BIAS_ADD)
+        lww.add("x", Stamp(3, "A"))
+        lww.remove("x", Stamp(3, "B"))
+        assert lww.contains("x")
+
+    def test_remove_bias_drops_element_on_tie(self):
+        lww = LWWElementSet("A", bias=BIAS_REMOVE)
+        lww.add("x", Stamp(3, "A"))
+        lww.remove("x", Stamp(3, "B"))
+        assert not lww.contains("x")
+
+    def test_unknown_bias_rejected(self):
+        with pytest.raises(ValueError):
+            LWWElementSet("A", bias="sideways")
+
+    def test_merge_converges(self):
+        a, b = LWWElementSet("A"), LWWElementSet("B")
+        a.add("x", Stamp(1, "A"))
+        b.remove("x", Stamp(2, "B"))
+        b.add("y", Stamp(3, "B"))
+        a.merge(b)
+        b.merge(a)
+        assert a.value() == b.value() == frozenset({"y"})
+
+    def test_stamp_of_reports_both_sides(self):
+        lww = LWWElementSet("A")
+        lww.add("x", Stamp(1, "A"))
+        lww.remove("x", Stamp(2, "A"))
+        add_stamp, remove_stamp = lww.stamp_of("x")
+        assert add_stamp == Stamp(1, "A")
+        assert remove_stamp == Stamp(2, "A")
+        assert lww.stamp_of("ghost") is None
+
+
+class TestORSet:
+    def test_add_and_contains(self):
+        orset = ORSet("A")
+        orset.add("x")
+        assert "x" in orset
+        assert orset.value() == frozenset({"x"})
+
+    def test_remove_observed(self):
+        orset = ORSet("A")
+        orset.add("x")
+        orset.remove("x")
+        assert not orset.contains("x")
+
+    def test_remove_absent_is_noop(self):
+        orset = ORSet("A")
+        assert orset.remove("ghost") == frozenset()
+
+    def test_add_wins_over_concurrent_remove(self):
+        a, b = ORSet("A"), ORSet("B")
+        a.add("x")
+        b.merge(a)
+        # Concurrently: B removes x, A re-adds x (new dot B hasn't observed).
+        b.remove("x")
+        a.add("x")
+        a.merge(b)
+        b.merge(a)
+        assert a.contains("x")
+        assert b.contains("x")
+
+    def test_observed_remove_propagates(self):
+        a, b = ORSet("A"), ORSet("B")
+        a.add("x")
+        b.merge(a)
+        b.remove("x")
+        a.merge(b)
+        assert not a.contains("x")
+
+    def test_motivating_example_outcome(self):
+        # Resident A reports a trash bin; B reports a pothole, then removes
+        # the (fixed) trash bin.  Fully synced, only the pothole remains.
+        a, b = ORSet("A"), ORSet("B")
+        a.add("trash-bin")
+        b.merge(a)
+        b.add("pothole")
+        b.remove("trash-bin")
+        a.merge(b)
+        assert a.value() == frozenset({"pothole"})
+
+    def test_merge_idempotent_and_commutative(self):
+        a, b = ORSet("A"), ORSet("B")
+        a.add("x")
+        b.add("y")
+        b.remove("y")
+        left = a.clone()
+        left.merge(b)
+        right = b.clone()
+        right.merge(a)
+        assert left.value() == right.value() == frozenset({"x"})
+        again = left.clone()
+        again.merge(b)
+        assert again.value() == left.value()

@@ -1,0 +1,154 @@
+"""Tests for the text CRDT and the enable-wins flag."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crdt.base import CRDTError
+from repro.crdt.text import EWFlag, TextCRDT
+
+
+class TestLocalEditing:
+    def test_initial_value(self):
+        assert TextCRDT("A", "hello").value() == "hello"
+        assert str(TextCRDT("A")) == ""
+
+    def test_insert(self):
+        text = TextCRDT("A", "held")
+        text.insert(3, "lo wor")
+        assert text.value() == "hello word"[:9] + "d"  # "hello word"?  no:
+        # "held" + insert "lo wor" at 3 -> "hel" + "lo wor" + "d"
+        assert text.value() == "hello word"
+
+    def test_append(self):
+        text = TextCRDT("A", "ab")
+        text.append("cd")
+        assert text.value() == "abcd"
+
+    def test_insert_out_of_range(self):
+        with pytest.raises(CRDTError):
+            TextCRDT("A", "ab").insert(5, "x")
+
+    def test_delete_returns_removed(self):
+        text = TextCRDT("A", "abcdef")
+        assert text.delete(1, 3) == "bcd"
+        assert text.value() == "aef"
+
+    def test_delete_out_of_range(self):
+        with pytest.raises(CRDTError):
+            TextCRDT("A", "ab").delete(1, 5)
+        with pytest.raises(CRDTError):
+            TextCRDT("A", "ab").delete(0, -1)
+
+    def test_replace(self):
+        text = TextCRDT("A", "the cat sat")
+        text.replace(4, 3, "dog")
+        assert text.value() == "the dog sat"
+
+    def test_splice_word(self):
+        text = TextCRDT("A", "hello world")
+        assert text.splice_word("world", "there") is True
+        assert text.value() == "hello there"
+        assert text.splice_word("absent", "x") is False
+
+    def test_len(self):
+        assert len(TextCRDT("A", "abc")) == 3
+
+
+class TestReplication:
+    def test_concurrent_inserts_converge_without_loss(self):
+        a = TextCRDT("A", "helloworld")
+        b = TextCRDT("B")
+        b.merge(a)
+        a.insert(5, " ")          # "hello world"
+        b.insert(10, "!")         # "helloworld!"
+        a.merge(b)
+        b.merge(a)
+        assert a.value() == b.value()
+        assert sorted(a.value()) == sorted("hello world!")
+
+    def test_concurrent_edits_of_disjoint_words(self):
+        a = TextCRDT("A", "the cat sat on the mat")
+        b = TextCRDT("B")
+        b.merge(a)
+        a.splice_word("cat", "dog")
+        b.splice_word("mat", "rug")
+        a.merge(b)
+        b.merge(a)
+        assert a.value() == b.value() == "the dog sat on the rug"
+
+    def test_delete_propagates(self):
+        a = TextCRDT("A", "abc")
+        b = TextCRDT("B")
+        b.merge(a)
+        a.delete(1)
+        b.merge(a)
+        assert b.value() == "ac"
+
+    def test_checkpoint_restore(self):
+        text = TextCRDT("A", "before")
+        snapshot = text.checkpoint()
+        text.append(" after")
+        text.restore(snapshot)
+        assert text.value() == "before"
+
+
+edit_scripts = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete"]),
+        st.integers(0, 10),
+        st.sampled_from(["x", "yz", "q"]),
+    ),
+    max_size=6,
+)
+
+
+def run_script(text, script):
+    for kind, position, payload in script:
+        size = len(text)
+        if kind == "insert":
+            text.insert(min(position, size), payload)
+        elif size:
+            start = position % size
+            text.delete(start, min(1, size - start))
+
+
+@given(edit_scripts, edit_scripts)
+@settings(max_examples=50, deadline=None)
+def test_text_converges(script_a, script_b):
+    a = TextCRDT("A", "base")
+    b = TextCRDT("B")
+    b.merge(a)
+    run_script(a, script_a)
+    run_script(b, script_b)
+    a.merge(b)
+    b.merge(a)
+    assert a.value() == b.value()
+
+
+class TestEWFlag:
+    def test_enable_disable(self):
+        flag = EWFlag("A")
+        assert flag.value() is False
+        flag.enable()
+        assert flag.value() is True
+        flag.disable()
+        assert flag.value() is False
+
+    def test_concurrent_enable_wins(self):
+        a, b = EWFlag("A"), EWFlag("B")
+        a.enable()
+        b.merge(a)
+        b.disable()
+        a.enable()  # concurrent with the disable
+        a.merge(b)
+        b.merge(a)
+        assert a.value() is True
+        assert b.value() is True
+
+    def test_observed_disable_propagates(self):
+        a, b = EWFlag("A"), EWFlag("B")
+        a.enable()
+        b.merge(a)
+        b.disable()
+        a.merge(b)
+        assert a.value() is False

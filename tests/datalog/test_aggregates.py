@@ -1,0 +1,85 @@
+"""Tests for Datalog aggregates."""
+
+import pytest
+
+from repro.datalog.aggregates import AggregateError, count, histogram, max_, min_, sum_
+from repro.datalog.engine import Database
+
+
+def sales_db():
+    db = Database()
+    for region, product, amount in [
+        ("eu", "bolts", 10),
+        ("eu", "nuts", 5),
+        ("us", "bolts", 7),
+        ("us", "nuts", 3),
+        ("us", "screws", 2),
+    ]:
+        db.add("sale", region, product, amount)
+    return db
+
+
+class TestCount:
+    def test_global(self):
+        assert count(sales_db(), "sale") == {(): 5}
+
+    def test_grouped(self):
+        assert count(sales_db(), "sale", group_by=[0]) == {("eu",): 2, ("us",): 3}
+
+    def test_multi_column_group(self):
+        grouped = count(sales_db(), "sale", group_by=[0, 1])
+        assert grouped[("eu", "bolts")] == 1
+        assert len(grouped) == 5
+
+    def test_empty_relation(self):
+        assert count(Database(), "nothing") == {(): 0}
+
+    def test_out_of_range_group(self):
+        with pytest.raises(AggregateError):
+            count(sales_db(), "sale", group_by=[9])
+
+
+class TestReductions:
+    def test_sum(self):
+        assert sum_(sales_db(), "sale", 2, group_by=[0]) == {("eu",): 15, ("us",): 12}
+
+    def test_sum_global(self):
+        assert sum_(sales_db(), "sale", 2) == {(): 27}
+
+    def test_min_max(self):
+        db = sales_db()
+        assert min_(db, "sale", 2, group_by=[0]) == {("eu",): 5, ("us",): 2}
+        assert max_(db, "sale", 2, group_by=[0]) == {("eu",): 10, ("us",): 7}
+
+    def test_out_of_range_value(self):
+        with pytest.raises(AggregateError):
+            sum_(sales_db(), "sale", 9)
+
+
+class TestHistogram:
+    def test_frequency(self):
+        assert histogram(sales_db(), "sale", 1) == {"bolts": 2, "nuts": 2, "screws": 1}
+
+    def test_out_of_range(self):
+        with pytest.raises(AggregateError):
+            histogram(sales_db(), "sale", 7)
+
+
+class TestOnInterleavingStore:
+    def test_explored_verdict_histogram(self):
+        from repro.datalog.store import InterleavingStore
+
+        store = InterleavingStore()
+        for index in range(4):
+            il_id = store.persist_interleaving([f"e{index}"])
+            store.mark_explored(il_id, "violation" if index == 0 else "ok")
+        assert histogram(store.db, "explored", 1) == {"ok": 3, "violation": 1}
+
+    def test_interleaving_lengths(self):
+        from repro.datalog.store import InterleavingStore
+
+        store = InterleavingStore()
+        store.persist_interleaving(["e1", "e2"])
+        store.persist_interleaving(["e1", "e2", "e3"])
+        assert max_(store.db, "il_meta", 1) == {(): 3}
+        assert min_(store.db, "il_meta", 1) == {(): 2}

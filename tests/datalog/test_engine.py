@@ -1,0 +1,202 @@
+"""Tests for the Datalog engine: matching, fixpoints, stratified negation."""
+
+import pytest
+
+from repro.datalog.engine import Database, DatalogError, Program, query
+from repro.datalog.terms import Atom, Comparison, Literal, Rule, Variable, vars_
+
+
+class TestDatabase:
+    def test_add_and_rows(self):
+        db = Database()
+        assert db.add("edge", 1, 2) is True
+        assert db.add("edge", 1, 2) is False
+        assert db.rows("edge") == frozenset({(1, 2)})
+
+    def test_contains(self):
+        db = Database()
+        db.add("edge", 1, 2)
+        assert db.contains(Atom("edge", 1, 2))
+        assert not db.contains(Atom("edge", 2, 1))
+
+    def test_non_ground_atom_rejected(self):
+        db = Database()
+        with pytest.raises(DatalogError):
+            db.add_atom(Atom("edge", Variable("X"), 2))
+
+    def test_size_and_relations(self):
+        db = Database()
+        db.add("a", 1)
+        db.add("b", 1)
+        db.add("b", 2)
+        assert db.size() == 3
+        assert db.size("b") == 2
+        assert db.relations() == ["a", "b"]
+
+    def test_copy_independent(self):
+        db = Database()
+        db.add("a", 1)
+        clone = db.copy()
+        db.add("a", 2)
+        assert clone.size("a") == 1
+
+
+class TestQuery:
+    def test_query_binds_variables(self):
+        db = Database()
+        db.add("edge", 1, 2)
+        db.add("edge", 1, 3)
+        x, y = vars_("X Y")
+        bindings = query(db, Atom("edge", 1, y))
+        assert {b[y] for b in bindings} == {2, 3}
+
+    def test_query_with_repeated_variable(self):
+        db = Database()
+        db.add("pair", 1, 1)
+        db.add("pair", 1, 2)
+        x = Variable("X")
+        bindings = query(db, Atom("pair", x, x))
+        assert len(bindings) == 1
+        assert bindings[0][x] == 1
+
+
+class TestEvaluation:
+    def test_transitive_closure(self):
+        db = Database()
+        for edge in [(1, 2), (2, 3), (3, 4)]:
+            db.add("edge", *edge)
+        x, y, z = vars_("X Y Z")
+        program = Program(
+            [
+                Rule(Atom("path", x, y), Literal(Atom("edge", x, y))),
+                Rule(
+                    Atom("path", x, z),
+                    Literal(Atom("edge", x, y)),
+                    Literal(Atom("path", y, z)),
+                ),
+            ]
+        )
+        program.evaluate(db)
+        assert (1, 4) in db.rows("path")
+        assert db.size("path") == 6
+
+    def test_semi_naive_matches_naive_on_cycle(self):
+        db = Database()
+        for edge in [(1, 2), (2, 3), (3, 1)]:
+            db.add("edge", *edge)
+        x, y, z = vars_("X Y Z")
+        program = Program(
+            [
+                Rule(Atom("path", x, y), Literal(Atom("edge", x, y))),
+                Rule(
+                    Atom("path", x, z),
+                    Literal(Atom("path", x, y)),
+                    Literal(Atom("path", y, z)),
+                ),
+            ]
+        )
+        program.evaluate(db)
+        assert db.size("path") == 9  # complete digraph over the 3-cycle
+
+    def test_comparison_filters(self):
+        db = Database()
+        for value in (1, 5, 9):
+            db.add("n", value)
+        x = Variable("X")
+        program = Program(
+            [Rule(Atom("big", x), Literal(Atom("n", x)), Comparison(x, ">", 4))]
+        )
+        program.evaluate(db)
+        assert db.rows("big") == frozenset({(5,), (9,)})
+
+    def test_negation_stratified(self):
+        db = Database()
+        db.add("node", 1)
+        db.add("node", 2)
+        db.add("edge", 1, 2)
+        x, y = vars_("X Y")
+        program = Program(
+            [
+                Rule(Atom("has_out", x), Literal(Atom("edge", x, y))),
+                Rule(
+                    Atom("sink", x),
+                    Literal(Atom("node", x)),
+                    Literal(Atom("has_out", x), negated=True),
+                ),
+            ]
+        )
+        program.evaluate(db)
+        assert db.rows("sink") == frozenset({(2,)})
+
+    def test_unstratifiable_program_rejected(self):
+        x = Variable("X")
+        with pytest.raises(DatalogError):
+            Program(
+                [
+                    Rule(
+                        Atom("p", x),
+                        Literal(Atom("q", x)),
+                        Literal(Atom("p", x), negated=True),
+                    ),
+                    Rule(Atom("q", x), Literal(Atom("p", x))),
+                ]
+            )
+
+    def test_unsafe_head_variable_rejected(self):
+        x, y = vars_("X Y")
+        with pytest.raises(ValueError):
+            Program([Rule(Atom("p", x, y), Literal(Atom("q", x)))])
+
+    def test_unsafe_negation_rejected(self):
+        x, y = vars_("X Y")
+        with pytest.raises(ValueError):
+            Program(
+                [
+                    Rule(
+                        Atom("p", x),
+                        Literal(Atom("q", x)),
+                        Literal(Atom("r", x, y), negated=True),
+                    )
+                ]
+            )
+
+    def test_facts_as_rules(self):
+        db = Database()
+        program = Program([Rule(Atom("unit", 1))])
+        program.evaluate(db)
+        assert db.rows("unit") == frozenset({(1,)})
+
+    def test_constants_in_body(self):
+        db = Database()
+        db.add("edge", 1, 2)
+        db.add("edge", 2, 3)
+        y = Variable("Y")
+        program = Program(
+            [Rule(Atom("from_one", y), Literal(Atom("edge", 1, y)))]
+        )
+        program.evaluate(db)
+        assert db.rows("from_one") == frozenset({(2,)})
+
+    def test_multi_stratum_chain(self):
+        db = Database()
+        db.add("base", 1)
+        db.add("base", 2)
+        db.add("special", 1)
+        x = Variable("X")
+        program = Program(
+            [
+                Rule(
+                    Atom("plain", x),
+                    Literal(Atom("base", x)),
+                    Literal(Atom("special", x), negated=True),
+                ),
+                Rule(
+                    Atom("odd_one_out", x),
+                    Literal(Atom("base", x)),
+                    Literal(Atom("plain", x), negated=True),
+                ),
+            ]
+        )
+        program.evaluate(db)
+        assert db.rows("plain") == frozenset({(2,)})
+        assert db.rows("odd_one_out") == frozenset({(1,)})

@@ -1,0 +1,128 @@
+"""Tests for the Datalog text parser."""
+
+import pytest
+
+from repro.datalog.engine import Database
+from repro.datalog.parser import (
+    DatalogSyntaxError,
+    evaluate_text,
+    parse_program,
+    tokenize,
+)
+from repro.datalog.terms import Atom, Comparison, Literal, Variable
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        kinds = [kind for kind, _ in tokenize('path(X, 1) :- edge(X, "a").')]
+        assert kinds == [
+            "NAME", "LPAREN", "VARIABLE", "COMMA", "NUMBER", "RPAREN",
+            "IMPLIES", "NAME", "LPAREN", "VARIABLE", "COMMA", "STRING",
+            "RPAREN", "DOT",
+        ]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("// a comment\nfact(1). % trailing\n")
+        assert [kind for kind, _ in tokens] == ["NAME", "LPAREN", "NUMBER", "RPAREN", "DOT"]
+
+    def test_bad_input_rejected(self):
+        with pytest.raises(DatalogSyntaxError):
+            tokenize("fact(@).")
+
+
+class TestParser:
+    def test_fact(self):
+        rules = parse_program('edge(1, 2).')
+        assert len(rules) == 1
+        assert rules[0].is_fact()
+        assert rules[0].head == Atom("edge", 1, 2)
+
+    def test_rule_with_variables(self):
+        rules = parse_program("path(X, Y) :- edge(X, Y).")
+        rule = rules[0]
+        assert rule.head == Atom("path", Variable("X"), Variable("Y"))
+        assert rule.body == (Literal(Atom("edge", Variable("X"), Variable("Y"))),)
+
+    def test_negation(self):
+        rules = parse_program("lonely(X) :- node(X), !connected(X).")
+        literal = rules[0].body[1]
+        assert literal.negated
+        assert literal.atom == Atom("connected", Variable("X"))
+
+    def test_comparison(self):
+        rules = parse_program("big(X) :- n(X), X > 4.")
+        comparison = rules[0].body[1]
+        assert isinstance(comparison, Comparison)
+        assert comparison.op == ">"
+        assert comparison.right == 4
+
+    def test_equality_alias(self):
+        rules = parse_program("same(X, Y) :- n(X), n(Y), X = Y.")
+        assert rules[0].body[2].op == "=="
+
+    def test_strings_with_escapes(self):
+        rules = parse_program('msg("he said \\"hi\\"").')
+        assert rules[0].head.args == ('he said "hi"',)
+
+    def test_multiple_clauses(self):
+        rules = parse_program(
+            """
+            edge(1, 2).
+            edge(2, 3).
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- edge(X, Y), path(Y, Z).
+            """
+        )
+        assert len(rules) == 4
+
+    def test_missing_dot_rejected(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_program("edge(1, 2)")
+
+    def test_dangling_body_rejected(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_program("p(X) :- .")
+
+
+class TestEvaluateText:
+    def test_transitive_closure_end_to_end(self):
+        db = evaluate_text(
+            """
+            edge(1, 2).
+            edge(2, 3).
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- edge(X, Y), path(Y, Z).
+            """
+        )
+        assert (1, 3) in db.rows("path")
+
+    def test_negation_end_to_end(self):
+        db = evaluate_text(
+            """
+            node(1).
+            node(2).
+            edge(1, 2).
+            has_out(X) :- edge(X, Y).
+            sink(X) :- node(X), !has_out(X).
+            """
+        )
+        assert db.rows("sink") == frozenset({(2,)})
+
+    def test_comparison_end_to_end(self):
+        db = evaluate_text(
+            """
+            n(1). n(5). n(9).
+            big(X) :- n(X), X >= 5.
+            """
+        )
+        assert db.rows("big") == frozenset({(5,), (9,)})
+
+    def test_extends_existing_database(self):
+        db = Database()
+        db.add("edge", "a", "b")
+        evaluate_text('reach(X, Y) :- edge(X, Y).', db)
+        assert db.rows("reach") == frozenset({("a", "b")})
+
+    def test_facts_only(self):
+        db = evaluate_text("a(1). a(2).")
+        assert db.size("a") == 2

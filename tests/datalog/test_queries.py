@@ -1,0 +1,101 @@
+"""Datalog pruning queries must agree with the direct (fast-path) pruning."""
+
+from itertools import permutations
+
+from repro.core.events import make_sync_pair, make_update
+from repro.core.interleavings import group_events
+from repro.core.pruning.grouping import EventGroupPruner
+from repro.datalog.queries import (
+    events_of_kind,
+    grouping_violations,
+    interleavings_with_prefix,
+    replica_projection,
+)
+from repro.datalog.store import InterleavingStore
+
+
+def make_events():
+    update_a = make_update("e1", "A", "add", "x")
+    req, execute = make_sync_pair("e2", "e3", "A", "B")
+    update_b = make_update("e4", "B", "add", "y")
+    return [update_a, req, execute, update_b]
+
+
+def populate(store, events, interleavings):
+    for event in events:
+        store.persist_event(
+            event.event_id, event.replica_id, event.kind.value, event.op_name
+        )
+    grouping = group_events(events)
+    for first, second in grouping.grouped_pairs:
+        store.persist_sync_pair(first, second)
+    ids = {}
+    for il in interleavings:
+        ids[tuple(e.event_id for e in il)] = store.persist_interleaving(
+            [e.event_id for e in il]
+        )
+    return ids
+
+
+class TestGroupingAgreement:
+    def test_violations_match_fast_path(self):
+        events = make_events()
+        store = InterleavingStore()
+        all_perms = list(permutations(events))
+        ids = populate(store, events, all_perms)
+
+        datalog_bad = set(grouping_violations(store))
+
+        pruner = EventGroupPruner()
+        pruner.prepare(events)
+        # Fast path: an interleaving respects grouping iff the pair appears
+        # adjacent with the request first.
+        def respects(il):
+            order = [e.event_id for e in il]
+            req_pos = order.index("e2")
+            return req_pos + 1 < len(order) and order[req_pos + 1] == "e3"
+
+        fast_bad = {
+            ids[tuple(e.event_id for e in il)]
+            for il in all_perms
+            if not respects(il)
+        }
+        assert datalog_bad == fast_bad
+
+    def test_well_grouped_interleaving_not_flagged(self):
+        events = make_events()
+        store = InterleavingStore()
+        populate(store, events, [tuple(events)])
+        assert grouping_violations(store) == []
+
+
+class TestProjectionsAndHelpers:
+    def test_replica_projection(self):
+        events = make_events()
+        store = InterleavingStore()
+        ids = populate(store, events, [tuple(events)])
+        projection = replica_projection(store, "B")
+        il_id = next(iter(ids.values()))
+        assert projection[il_id] == [(2, "e3"), (3, "e4")]
+
+    def test_events_of_kind(self):
+        events = make_events()
+        store = InterleavingStore()
+        populate(store, events, [])
+        assert events_of_kind(store, "sync_req") == {"e2"}
+        assert events_of_kind(store, "update") == {"e1", "e4"}
+
+    def test_interleavings_with_prefix(self):
+        events = make_events()
+        store = InterleavingStore()
+        forward = tuple(events)
+        backward = tuple(reversed(events))
+        ids = populate(store, events, [forward, backward])
+        matched = interleavings_with_prefix(store, ["e1", "e2"])
+        assert matched == [ids[tuple(e.event_id for e in forward)]]
+
+    def test_empty_prefix_matches_all(self):
+        events = make_events()
+        store = InterleavingStore()
+        ids = populate(store, events, [tuple(events)])
+        assert interleavings_with_prefix(store, []) == sorted(ids.values())

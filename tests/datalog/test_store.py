@@ -1,0 +1,69 @@
+"""Tests for the interleaving persistence store."""
+
+from repro.datalog.store import InterleavingStore
+
+
+def make_store():
+    store = InterleavingStore()
+    store.persist_event("e1", "A", "update", "add")
+    store.persist_event("e2", "A", "sync_req", "send_sync")
+    store.persist_event("e3", "B", "exec_sync", "execute_sync")
+    store.persist_sync_pair("e2", "e3")
+    return store
+
+
+class TestEvents:
+    def test_event_ids(self):
+        assert make_store().event_ids() == ["e1", "e2", "e3"]
+
+
+class TestInterleavings:
+    def test_persist_and_read_back(self):
+        store = make_store()
+        il_id = store.persist_interleaving(["e1", "e2", "e3"])
+        assert store.interleaving(il_id) == ["e1", "e2", "e3"]
+
+    def test_ids_are_sequential(self):
+        store = make_store()
+        first = store.persist_interleaving(["e1"])
+        second = store.persist_interleaving(["e2"])
+        assert second == first + 1
+        assert store.count() == 2
+
+    def test_persist_many(self):
+        store = make_store()
+        ids = store.persist_many([["e1", "e2"], ["e2", "e1"]])
+        assert len(ids) == 2
+        assert store.interleaving(ids[1]) == ["e2", "e1"]
+
+
+class TestPruningMarks:
+    def test_mark_and_survivors(self):
+        store = make_store()
+        kept = store.persist_interleaving(["e1", "e2", "e3"])
+        pruned = store.persist_interleaving(["e2", "e1", "e3"])
+        store.mark_pruned(pruned, "event_grouping")
+        assert store.pruned_ids() == [pruned]
+        assert store.pruned_ids("event_grouping") == [pruned]
+        assert store.pruned_ids("other") == []
+        assert store.surviving_ids() == [kept]
+
+
+class TestExplorationBookkeeping:
+    def test_explored_and_violations(self):
+        store = make_store()
+        ok_id = store.persist_interleaving(["e1", "e2", "e3"])
+        bad_id = store.persist_interleaving(["e1", "e3", "e2"])
+        store.mark_explored(ok_id, "ok")
+        store.mark_explored(bad_id, "violation")
+        assert store.explored() == {ok_id: "ok", bad_id: "violation"}
+        assert store.violations() == [bad_id]
+
+    def test_unexplored_excludes_pruned_and_explored(self):
+        store = make_store()
+        a = store.persist_interleaving(["e1"])
+        b = store.persist_interleaving(["e2"])
+        c = store.persist_interleaving(["e3"])
+        store.mark_pruned(b, "x")
+        store.mark_explored(a, "ok")
+        assert store.unexplored_ids() == [c]

@@ -1,0 +1,82 @@
+"""Tests for misconception seeding/detection (paper Table 2)."""
+
+import pytest
+
+from repro.misconceptions import (
+    ALL_SEEDS,
+    MISCONCEPTIONS,
+    PAPER_TABLE_2,
+    SUBJECTS,
+    detect,
+    seed_for,
+)
+from repro.misconceptions.detectors import DETECTED, NOT_APPLICABLE, NOT_DETECTED
+
+EXPECTED_CHECKMARKS = [
+    (subject, number)
+    for subject in SUBJECTS
+    for number in MISCONCEPTIONS
+    if PAPER_TABLE_2[subject][number]
+]
+EXPECTED_BLANKS = [
+    (subject, number)
+    for subject in SUBJECTS
+    for number in MISCONCEPTIONS
+    if not PAPER_TABLE_2[subject][number]
+]
+
+
+class TestSeedRegistry:
+    def test_every_cell_has_a_seed(self):
+        for subject in SUBJECTS:
+            for number in MISCONCEPTIONS:
+                assert seed_for(subject, number) is not None
+
+    def test_unknown_cell_rejected(self):
+        with pytest.raises(KeyError):
+            seed_for("MongoDB", 1)
+
+    def test_no_duplicate_cells(self):
+        cells = [(seed.subject, seed.misconception) for seed in ALL_SEEDS]
+        assert len(cells) == len(set(cells)) == 25
+
+    def test_blank_cells_carry_reasons(self):
+        for subject, number in EXPECTED_BLANKS:
+            seed = seed_for(subject, number)
+            if seed.inapplicable_reason:
+                assert len(seed.inapplicable_reason) > 10
+
+
+@pytest.mark.parametrize("subject,number", EXPECTED_CHECKMARKS)
+def test_paper_checkmark_cells_detected(subject, number):
+    result = detect(seed_for(subject, number), cap=600)
+    assert result.verdict == DETECTED, (
+        f"{subject} #{number} should be detected: {result.detail}"
+    )
+    assert result.detail
+
+
+@pytest.mark.parametrize("subject,number", EXPECTED_BLANKS)
+def test_paper_blank_cells_not_detected(subject, number):
+    result = detect(seed_for(subject, number), cap=300)
+    assert result.verdict in (NOT_APPLICABLE, NOT_DETECTED)
+    assert not result.detected
+
+
+class TestDetectionDetails:
+    def test_detection_reports_explored_count(self):
+        result = detect(seed_for("CRDTs", 5), cap=600)
+        assert result.explored >= 1
+
+    def test_motivating_example_is_misconception_5(self):
+        result = detect(seed_for("CRDTs", 5), cap=600)
+        assert result.detected
+        assert "distinct values" in result.detail
+
+    def test_sequential_id_clash_message(self):
+        result = detect(seed_for("CRDTs", 4), cap=600)
+        assert "clash" in result.detail
+
+    def test_move_duplication_message(self):
+        result = detect(seed_for("Roshi", 3), cap=600)
+        assert "duplicates" in result.detail

@@ -1,0 +1,96 @@
+"""Tests for the causal broadcast layer (the misconception-#1 fix)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.causal import CausalEndpoint, CausalGroup, CausalMessage
+
+
+class TestEndpointBasics:
+    def test_fifo_from_one_sender(self):
+        group = CausalGroup(["A", "B"])
+        first = group.broadcast("A", "m1")
+        second = group.broadcast("A", "m2")
+        # Deliver out of order: m2 must buffer until m1 arrives.
+        assert group.endpoints["B"].receive(second) == []
+        assert group.endpoints["B"].pending == 1
+        delivered = group.endpoints["B"].receive(first)
+        assert [m.payload for m in delivered] == ["m1", "m2"]
+        assert group.logs["B"] == ["m1", "m2"]
+
+    def test_own_messages_ignored_on_receive(self):
+        group = CausalGroup(["A", "B"])
+        message = group.broadcast("A", "m1")
+        assert group.endpoints["A"].receive(message) == []
+
+    def test_causal_dependency_across_senders(self):
+        group = CausalGroup(["A", "B", "C"])
+        question = group.broadcast("A", "question")
+        group.endpoints["B"].receive(question)
+        answer = group.broadcast("B", "answer")  # causally after the question
+        # C receives the answer first: it must wait for the question.
+        assert group.endpoints["C"].receive(answer) == []
+        delivered = group.endpoints["C"].receive(question)
+        assert group.logs["C"] == ["question", "answer"]
+        assert len(delivered) == 2
+
+    def test_concurrent_messages_deliver_in_arrival_order(self):
+        group = CausalGroup(["A", "B", "C"])
+        from_a = group.broadcast("A", "from-a")
+        from_b = group.broadcast("B", "from-b")
+        group.endpoints["C"].receive(from_b)
+        group.endpoints["C"].receive(from_a)
+        assert set(group.logs["C"]) == {"from-a", "from-b"}
+
+    def test_empty_replica_id_rejected(self):
+        with pytest.raises(ValueError):
+            CausalEndpoint("", lambda m: None)
+
+    def test_buffer_watermark(self):
+        group = CausalGroup(["A", "B"])
+        messages = [group.broadcast("A", f"m{i}") for i in range(4)]
+        for message in reversed(messages[1:]):
+            group.endpoints["B"].receive(message)
+        assert group.endpoints["B"].buffered_high_watermark == 3
+        group.endpoints["B"].receive(messages[0])
+        assert group.logs["B"] == ["m0", "m1", "m2", "m3"]
+
+
+class TestCausalOrderProperty:
+    def scenario_messages(self):
+        """question(A) -> answer(B) -> followup(A), plus a concurrent aside(C)."""
+        group = CausalGroup(["A", "B", "C", "D"])
+        question = group.broadcast("A", "question")
+        group.endpoints["B"].receive(question)
+        answer = group.broadcast("B", "answer")
+        group.endpoints["A"].receive(answer)
+        followup = group.broadcast("A", "followup")
+        aside = group.broadcast("C", "aside")
+        return [question, answer, followup, aside]
+
+    def test_every_arrival_order_respects_causality(self):
+        messages = self.scenario_messages()
+        for order in itertools.permutations(range(len(messages))):
+            receiver_group = CausalGroup(["A", "B", "C", "D"])
+            endpoint = receiver_group.endpoints["D"]
+            for index in order:
+                endpoint.receive(messages[index])
+            log = receiver_group.logs["D"]
+            assert len(log) == 4, f"arrival order {order} lost messages"
+            assert log.index("question") < log.index("answer")
+            assert log.index("answer") < log.index("followup")
+
+
+@given(st.permutations(list(range(5))))
+@settings(max_examples=60, deadline=None)
+def test_chain_of_five_always_totally_ordered(order):
+    # A sends m0..m4 in sequence; any arrival order delivers FIFO.
+    group = CausalGroup(["A", "B"])
+    messages = [group.broadcast("A", f"m{i}") for i in range(5)]
+    endpoint = group.endpoints["B"]
+    for index in order:
+        endpoint.receive(messages[index])
+    assert group.logs["B"] == [f"m{i}" for i in range(5)]
+    assert endpoint.pending == 0

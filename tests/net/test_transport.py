@@ -1,0 +1,123 @@
+"""Tests for transport and network conditions."""
+
+import pytest
+
+from repro.net.conditions import NetworkConditions
+from repro.net.transport import Transport, TransportError
+
+
+class TestBasicDelivery:
+    def test_send_and_deliver_fifo(self):
+        transport = Transport()
+        transport.send("A", "B", "first")
+        transport.send("A", "B", "second")
+        assert transport.deliver_next("A", "B").payload == "first"
+        assert transport.deliver_next("A", "B").payload == "second"
+
+    def test_deliver_on_empty_channel_raises(self):
+        with pytest.raises(TransportError):
+            Transport().deliver_next("A", "B")
+
+    def test_pending_counts(self):
+        transport = Transport()
+        transport.send("A", "B", 1)
+        transport.send("C", "B", 2)
+        assert transport.pending("A", "B") == 1
+        assert transport.pending_for("B") == 2
+
+    def test_deliver_all(self):
+        transport = Transport()
+        for index in range(3):
+            transport.send("A", "B", index)
+        payloads = [m.payload for m in transport.deliver_all("A", "B")]
+        assert payloads == [0, 1, 2]
+
+    def test_drain_covers_every_channel(self):
+        transport = Transport()
+        transport.send("A", "B", "ab")
+        transport.send("B", "A", "ba")
+        assert {m.payload for m in transport.drain()} == {"ab", "ba"}
+
+    def test_counters(self):
+        transport = Transport()
+        transport.send("A", "B", 1)
+        transport.deliver_next("A", "B")
+        assert transport.sent_count == 1
+        assert transport.delivered_count == 1
+
+    def test_reset_clears_queues(self):
+        transport = Transport()
+        transport.send("A", "B", 1)
+        transport.reset()
+        assert transport.pending("A", "B") == 0
+
+
+class TestConditions:
+    def test_partition_blocks_send(self):
+        conditions = NetworkConditions()
+        conditions.partition("A", "B")
+        transport = Transport(conditions)
+        assert transport.send("A", "B", 1) is None
+        assert transport.dropped_count == 1
+        conditions.heal("A", "B")
+        assert transport.send("A", "B", 1) is not None
+
+    def test_partition_is_symmetric(self):
+        conditions = NetworkConditions()
+        conditions.partition("A", "B")
+        transport = Transport(conditions)
+        assert transport.send("B", "A", 1) is None
+
+    def test_heal_everything(self):
+        conditions = NetworkConditions()
+        conditions.partition("A", "B")
+        conditions.partition("B", "C")
+        conditions.heal()
+        assert not conditions.partitions
+
+    def test_heal_one_argument_rejected(self):
+        conditions = NetworkConditions()
+        with pytest.raises(ValueError):
+            conditions.heal("A")
+
+    def test_drop_rate_all(self):
+        transport = Transport(NetworkConditions(drop_rate=1.0))
+        assert transport.send("A", "B", 1) is None
+
+    def test_drop_rate_validation(self):
+        with pytest.raises(ValueError):
+            NetworkConditions(drop_rate=1.5)
+
+    def test_latency_defers_delivery(self):
+        transport = Transport(NetworkConditions(latency_ticks=2))
+        transport.send("A", "B", "slow")
+        with pytest.raises(TransportError):
+            transport.deliver_next("A", "B")
+        transport.tick(2)
+        assert transport.deliver_next("A", "B").payload == "slow"
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkConditions(latency_ticks=-1)
+
+    def test_non_fifo_is_seeded_deterministic(self):
+        def run(seed):
+            transport = Transport(NetworkConditions(fifo=False, seed=seed))
+            for index in range(5):
+                transport.send("A", "B", index)
+            return [m.payload for m in transport.deliver_all("A", "B")]
+
+        assert run(7) == run(7)
+
+    def test_non_fifo_can_reorder(self):
+        orders = set()
+        for seed in range(10):
+            transport = Transport(NetworkConditions(fifo=False, seed=seed))
+            for index in range(4):
+                transport.send("A", "B", index)
+            orders.add(tuple(m.payload for m in transport.deliver_all("A", "B")))
+        assert len(orders) > 1
+
+    def test_cannot_tick_backwards(self):
+        with pytest.raises(ValueError):
+            Transport().tick(-1)

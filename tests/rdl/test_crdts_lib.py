@@ -1,0 +1,177 @@
+"""Tests for the CRDT-collection subject (Subject 5)."""
+
+import pytest
+
+from repro.net.cluster import Cluster
+from repro.rdl.base import RDLError
+from repro.rdl.crdts_lib import CRDTLibrary
+
+
+def pair(defects=frozenset()):
+    cluster = Cluster()
+    for rid in ("A", "B"):
+        cluster.add_replica(rid, CRDTLibrary(rid, defects=set(defects)))
+    return cluster, cluster.rdl("A"), cluster.rdl("B")
+
+
+class TestStructureManagement:
+    def test_create_and_reuse(self):
+        _, a, _ = pair()
+        first = a.create("s", "orset")
+        second = a.create("s", "orset")
+        assert first is second
+
+    def test_create_conflicting_kind_rejected(self):
+        _, a, _ = pair()
+        a.create("s", "orset")
+        with pytest.raises(RDLError):
+            a.create("s", "gcounter")
+
+    def test_unknown_kind_rejected(self):
+        _, a, _ = pair()
+        with pytest.raises(RDLError):
+            a.create("s", "btree")
+
+    def test_unknown_structure_lookup(self):
+        _, a, _ = pair()
+        with pytest.raises(RDLError):
+            a.structure("ghost")
+
+    def test_names(self):
+        _, a, _ = pair()
+        a.set_add("s1", "x")
+        a.counter_increment("c1")
+        assert a.names() == ["c1", "s1"]
+
+
+class TestOperations:
+    def test_counter(self):
+        cluster, a, b = pair()
+        a.counter_increment("c", 3)
+        b.counter_increment("c", 4)
+        cluster.sync("A", "B")
+        cluster.sync("B", "A")
+        assert a.structure("c").value() == b.structure("c").value() == 7
+
+    def test_set_add_remove(self):
+        cluster, a, b = pair()
+        a.set_add("s", "x")
+        cluster.sync("A", "B")
+        b.set_remove("s", "x")
+        cluster.sync("B", "A")
+        assert a.set_value("s") == frozenset()
+
+    def test_register(self):
+        cluster, a, b = pair()
+        a.register_set("r", "v1")
+        cluster.sync("A", "B")
+        b.register_set("r", "v2")
+        cluster.sync("B", "A")
+        assert a.register_get("r") == "v2"
+
+    def test_list_operations(self):
+        _, a, _ = pair()
+        a.list_append("l", "x")
+        a.list_insert("l", 0, "w")
+        assert a.list_value("l") == ["w", "x"]
+        a.list_delete("l", 0)
+        assert a.list_value("l") == ["x"]
+
+    def test_list_value_on_non_list(self):
+        _, a, _ = pair()
+        a.set_add("s", "x")
+        with pytest.raises(RDLError):
+            a.list_value("s")
+
+    def test_map_operations(self):
+        cluster, a, b = pair()
+        a.map_put("m", "k", 1)
+        cluster.sync("A", "B")
+        assert b.map_get("m", "k") == 1
+        assert b.map_value("m") == {"k": 1}
+
+    def test_adopted_structures_are_rehomed(self):
+        cluster, a, b = pair()
+        a.list_append("l", "x")
+        cluster.sync("A", "B")
+        a.list_append("l", "from-a")
+        b.list_append("l", "from-b")
+        cluster.sync("A", "B")
+        cluster.sync("B", "A")
+        assert a.list_value("l") == b.list_value("l")
+        assert set(a.list_value("l")) == {"x", "from-a", "from-b"}
+
+
+class TestTodoHelpers:
+    def test_sequential_ids_clash_under_concurrency(self):
+        cluster, a, b = pair()
+        a.todo_create("t", "first")
+        cluster.sync("A", "B")
+        first_a = a.todo_create("t", "from-a")
+        first_b = b.todo_create("t", "from-b")
+        assert first_a == first_b == 2  # the clash (misconception #4)
+        cluster.sync("A", "B")
+        cluster.sync("B", "A")
+        assert len(a.map_value("t")) == 2  # one to-do silently lost
+
+    def test_safe_ids_never_clash(self):
+        cluster, a, b = pair()
+        a.todo_create_safe("t", "from-a", nonce="aaa")
+        b.todo_create_safe("t", "from-b", nonce="bbb")
+        cluster.sync("A", "B")
+        cluster.sync("B", "A")
+        assert len(a.map_value("t")) == 2
+
+
+class TestDefects:
+    def test_no_conflict_resolution_is_last_sync_wins(self):
+        _, a, _ = pair()
+        source = CRDTLibrary("B")
+        source.set_add("s", "x")
+        stale = source.sync_payload("A")
+        source.set_add("s", "y")
+        fresh = source.sync_payload("A")
+        broken = CRDTLibrary("A", defects={"no_conflict_resolution"})
+        broken.apply_sync(fresh, "B")
+        broken.apply_sync(stale, "B")
+        assert broken.set_value("s") == frozenset({"x"})  # regressed!
+
+    def test_unsorted_list_reads_expose_arrival_order(self):
+        cluster = Cluster()
+        a = CRDTLibrary("A", defects={"unsorted_list_reads"})
+        b = CRDTLibrary("B", defects={"unsorted_list_reads"})
+        cluster.add_replica("A", a)
+        cluster.add_replica("B", b)
+        a.list_append("l", "x")
+        cluster.sync("A", "B")
+        b.list_append("l", "y")
+        a.list_append("l", "z")
+        cluster.sync("B", "A")
+        cluster.sync("A", "B")
+        # CRDT order is identical, but arrival order differs per replica.
+        assert set(a.list_value("l")) == set(b.list_value("l"))
+        assert a.list_value("l") != b.list_value("l")
+
+    def test_naive_move_duplicates(self):
+        cluster, a, b = pair()
+        for item in "xyz":
+            a.list_append("l", item)
+        cluster.sync("A", "B")
+        a.list_move("l", 0, 2)
+        b.list_move("l", 0, 1)
+        cluster.sync("A", "B")
+        cluster.sync("B", "A")
+        assert a.list_value("l").count("x") == 2
+
+    def test_safe_move_does_not_duplicate(self):
+        cluster, a, b = pair()
+        for item in "xyz":
+            a.list_append("l", item)
+        cluster.sync("A", "B")
+        a.list_move("l", 0, 2, safe=True)
+        b.list_move("l", 0, 1, safe=True)
+        cluster.sync("A", "B")
+        cluster.sync("B", "A")
+        cluster.sync("A", "B")
+        assert a.list_value("l").count("x") == 1
+        assert a.list_value("l") == b.list_value("l")

@@ -1,0 +1,204 @@
+"""Tests for the OrbitDB subject (op-log store)."""
+
+import pytest
+
+from repro.net.cluster import Cluster
+from repro.rdl.base import RDLError
+from repro.rdl.orbitdb import MAX_REASONABLE_CLOCK, OrbitDBStore
+
+
+def pair(defects_a=frozenset(), defects_b=frozenset(), **kwargs):
+    cluster = Cluster()
+    a = OrbitDBStore("A", defects=set(defects_a), **kwargs)
+    b = OrbitDBStore("B", defects=set(defects_b), **kwargs)
+    cluster.add_replica("A", a)
+    cluster.add_replica("B", b)
+    a.grant_access("B")
+    b.grant_access("A")
+    return cluster, a, b
+
+
+class TestEventlog:
+    def test_append_and_value(self):
+        _, a, _ = pair()
+        a.append("one")
+        a.append("two")
+        assert a.value() == ["one", "two"]
+
+    def test_entries_carry_hash_links(self):
+        _, a, _ = pair()
+        first = a.append("one")
+        a.append("two")
+        entries = a.entries()
+        assert entries[1]["parents"] == (first,)
+
+    def test_clock_advances(self):
+        _, a, _ = pair()
+        a.append("x")
+        assert a.clock_time() == 1
+
+    def test_unauthorised_writer_rejected(self):
+        _, a, _ = pair()
+        with pytest.raises(RDLError):
+            a.append("x", identity="mallory")
+
+    def test_sync_merges_logs_deterministically(self):
+        cluster, a, b = pair()
+        a.append("from-a")
+        b.append("from-b")
+        cluster.sync("A", "B")
+        cluster.sync("B", "A")
+        assert a.value() == b.value()
+        assert set(a.value()) == {"from-a", "from-b"}
+
+    def test_sync_idempotent(self):
+        cluster, a, b = pair()
+        a.append("x")
+        cluster.sync("A", "B")
+        cluster.sync("A", "B")
+        assert b.value() == ["x"]
+
+    def test_tampered_entry_rejected(self):
+        _, a, b = pair()
+        a.append("x")
+        payload = a.sync_payload("B")
+        payload["entries"][0]["payload"] = "evil"
+        with pytest.raises(RDLError):
+            b.apply_sync(payload, "A")
+
+
+class TestKVStore:
+    def test_put_get_del(self):
+        cluster = Cluster()
+        a = OrbitDBStore("A", store_type="kvstore")
+        cluster.add_replica("A", a)
+        a.put("k", 1)
+        assert a.get("k") == 1
+        a.del_key("k")
+        assert a.get("k") is None
+
+    def test_kv_reduces_in_log_order(self):
+        cluster = Cluster()
+        a = OrbitDBStore("A", store_type="kvstore")
+        b = OrbitDBStore("B", store_type="kvstore")
+        cluster.add_replica("A", a)
+        cluster.add_replica("B", b)
+        a.grant_access("B")
+        b.grant_access("A")
+        a.put("k", "from-a")
+        cluster.sync("A", "B")
+        b.put("k", "from-b")
+        cluster.sync("B", "A")
+        assert a.get("k") == b.get("k") == "from-b"
+
+    def test_get_on_eventlog_rejected(self):
+        _, a, _ = pair()
+        with pytest.raises(RDLError):
+            a.get("k")
+
+    def test_bad_store_type(self):
+        with pytest.raises(ValueError):
+            OrbitDBStore("A", store_type="graph")
+
+
+class TestOpenClose:
+    def test_closed_store_rejects_ops(self):
+        _, a, _ = pair()
+        a.close_store()
+        with pytest.raises(RDLError):
+            a.append("x")
+
+    def test_reopen_works_without_defect(self):
+        cluster, a, b = pair()
+        b.append("x")
+        cluster.send_sync("B", "A")
+        a.close_store()
+        cluster.execute_sync("B", "A")  # fixed lib: scoped lock, no leak
+        a.open_store()
+        a.append("after-reopen")
+        assert "after-reopen" in a.value()
+
+
+class TestDefects:
+    def test_undefined_tiebreak_diverges_on_clock_identity_tie(self):
+        cluster, a, b = pair(
+            {"undefined_tiebreak"}, {"undefined_tiebreak"}
+        )
+        a.identity = b.identity = "user"
+        a.grant_access("user")
+        b.grant_access("user")
+        a.append("p")  # clock 1
+        b.append("q")  # clock 1, same identity -> tie
+        cluster.sync("A", "B")
+        cluster.sync("B", "A")
+        assert a.value() != b.value()
+
+    def test_fixed_tiebreak_converges_on_tie(self):
+        cluster, a, b = pair()
+        a.identity = b.identity = "user"
+        a.grant_access("user")
+        b.grant_access("user")
+        a.append("p")
+        b.append("q")
+        cluster.sync("A", "B")
+        cluster.sync("B", "A")
+        assert a.value() == b.value()
+
+    def test_clock_future_halt(self):
+        _, a, _ = pair(defects_a={"clock_future_halt"})
+        a.inject_future_entry("evil", MAX_REASONABLE_CLOCK * 2)
+        with pytest.raises(RDLError, match="halted"):
+            a.append("next")
+
+    def test_future_entry_without_defect_does_not_halt(self):
+        _, a, _ = pair()
+        a.inject_future_entry("evil", MAX_REASONABLE_CLOCK * 2)
+        a.append("still-works")
+        assert "still-works" in a.value()
+
+    def test_unchecked_append_rejects_entry_before_grant(self):
+        cluster, a, b = pair(defects_b={"unchecked_append"})
+        a.grant_access("deploy")
+        a.append("deploy-write", identity="deploy")
+        with pytest.raises(RDLError, match="write access is granted"):
+            cluster.sync("A", "B")
+
+    def test_fixed_receiver_admits_grant_in_payload(self):
+        cluster, a, b = pair()
+        a.grant_access("deploy")
+        a.append("deploy-write", identity="deploy")
+        cluster.sync("A", "B")
+        assert b.value() == ["deploy-write"]
+
+    def test_torn_head_errors_on_unflushed_append(self):
+        cluster, a, b = pair(defects_a={"torn_head"})
+        a.append("one")
+        a.flush()
+        a.append("two")  # cached heads now stale
+        with pytest.raises(RDLError, match="head hash"):
+            cluster.sync("A", "B")
+
+    def test_torn_head_safe_after_flush(self):
+        cluster, a, b = pair(defects_a={"torn_head"})
+        a.append("one")
+        a.flush()
+        cluster.sync("A", "B")
+        assert b.value() == ["one"]
+
+    def test_lock_leak_blocks_reopen(self):
+        cluster, a, b = pair(defects_a={"lock_leak"})
+        b.append("x")
+        cluster.send_sync("B", "A")
+        a.close_store()
+        cluster.execute_sync("B", "A")  # background write leaks the lock
+        with pytest.raises(RDLError, match="locked"):
+            a.open_store()
+
+    def test_lock_leak_needs_new_entries(self):
+        cluster, a, b = pair(defects_a={"lock_leak"})
+        a.append("x")
+        cluster.sync("A", "B")
+        cluster.send_sync("B", "A")  # payload holds nothing new for A
+        a.close_store()
+        cluster.execute_sync("B", "A")
+        a.open_store()  # no leak: the no-op sync took no lock

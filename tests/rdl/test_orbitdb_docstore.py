@@ -1,0 +1,82 @@
+"""Tests for the OrbitDB docstore type."""
+
+import pytest
+
+from repro.net.cluster import Cluster
+from repro.rdl.base import RDLError
+from repro.rdl.orbitdb import OrbitDBStore
+
+
+def docstore_pair():
+    cluster = Cluster()
+    a = OrbitDBStore("A", store_type="docstore")
+    b = OrbitDBStore("B", store_type="docstore")
+    cluster.add_replica("A", a)
+    cluster.add_replica("B", b)
+    a.grant_access("B")
+    b.grant_access("A")
+    return cluster, a, b
+
+
+class TestDocstore:
+    def test_put_get(self):
+        _, a, _ = docstore_pair()
+        a.put_doc({"_id": "u1", "name": "ana"})
+        assert a.get("u1") == {"_id": "u1", "name": "ana"}
+
+    def test_id_required(self):
+        _, a, _ = docstore_pair()
+        with pytest.raises(RDLError):
+            a.put_doc({"name": "no-id"})
+
+    def test_upsert(self):
+        _, a, _ = docstore_pair()
+        a.put_doc({"_id": "u1", "v": 1})
+        a.put_doc({"_id": "u1", "v": 2})
+        assert a.get("u1")["v"] == 2
+
+    def test_delete(self):
+        _, a, _ = docstore_pair()
+        a.put_doc({"_id": "u1", "v": 1})
+        a.del_doc("u1")
+        assert a.get("u1") is None
+
+    def test_query_by_field(self):
+        _, a, _ = docstore_pair()
+        a.put_doc({"_id": "u1", "role": "admin"})
+        a.put_doc({"_id": "u2", "role": "user"})
+        a.put_doc({"_id": "u3", "role": "admin"})
+        admins = {doc["_id"] for doc in a.query("role", "admin")}
+        assert admins == {"u1", "u3"}
+
+    def test_docstore_ops_rejected_on_eventlog(self):
+        store = OrbitDBStore("A")  # eventlog
+        with pytest.raises(RDLError):
+            store.put_doc({"_id": "x"})
+        with pytest.raises(RDLError):
+            store.query("role", "admin")
+
+    def test_replication_converges(self):
+        cluster, a, b = docstore_pair()
+        a.put_doc({"_id": "u1", "name": "ana"})
+        b.put_doc({"_id": "u2", "name": "ben"})
+        cluster.sync("A", "B")
+        cluster.sync("B", "A")
+        assert a.value() == b.value()
+        assert set(a.value()) == {"u1", "u2"}
+
+    def test_concurrent_upsert_resolves_by_log_order(self):
+        cluster, a, b = docstore_pair()
+        a.put_doc({"_id": "u1", "v": "from-a"})
+        b.put_doc({"_id": "u1", "v": "from-b"})
+        cluster.sync("A", "B")
+        cluster.sync("B", "A")
+        assert a.get("u1") == b.get("u1")
+
+    def test_delete_propagates(self):
+        cluster, a, b = docstore_pair()
+        a.put_doc({"_id": "u1", "v": 1})
+        cluster.sync("A", "B")
+        b.del_doc("u1")
+        cluster.sync("B", "A")
+        assert a.get("u1") is None

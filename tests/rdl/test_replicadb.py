@@ -1,0 +1,161 @@
+"""Tests for the ReplicaDB subject (bulk source->sink transfers)."""
+
+import pytest
+
+from repro.net.cluster import Cluster
+from repro.rdl.base import RDLError
+from repro.rdl.replicadb import ReplicaDBJob
+
+
+def job(**kwargs):
+    return ReplicaDBJob("A", **kwargs)
+
+
+class TestSourceTable:
+    def test_insert_update_delete(self):
+        j = job()
+        j.source_insert(1, {"v": "a"})
+        j.source_update(1, {"v": "b"})
+        assert j.source_rows() == {1: {"v": "b"}}
+        j.source_delete(1)
+        assert j.source_rows() == {}
+
+    def test_update_missing_row_rejected(self):
+        with pytest.raises(RDLError):
+            job().source_update(1, {"v": "x"})
+
+    def test_delete_missing_row_rejected(self):
+        with pytest.raises(RDLError):
+            job().source_delete(1)
+
+    def test_reinsert_after_delete(self):
+        j = job()
+        j.source_insert(1, {"v": "a"})
+        j.source_delete(1)
+        j.source_insert(1, {"v": "b"})
+        assert j.source_rows() == {1: {"v": "b"}}
+
+
+class TestTransfers:
+    def test_complete_mode_replaces_sink(self):
+        j = job()
+        j.source_insert(1, {"v": "a"})
+        assert j.replicate("complete") == 1
+        assert j.sink_matches_source()
+        j.source_delete(1)
+        j.source_insert(2, {"v": "b"})
+        j.replicate("complete")
+        assert j.sink_rows() == {2: {"v": "b"}}
+
+    def test_incremental_upserts(self):
+        j = job()
+        j.source_insert(1, {"v": "a"})
+        j.replicate("incremental")
+        j.source_insert(2, {"v": "b"})
+        j.replicate("incremental")
+        assert j.sink_matches_source()
+
+    def test_incremental_propagates_deletes_when_fixed(self):
+        j = job()
+        j.source_insert(1, {"v": "a"})
+        j.replicate("incremental")
+        j.source_delete(1)
+        j.replicate("incremental")
+        assert j.sink_rows() == {}
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(RDLError):
+            job().replicate("sideways")
+
+    def test_chunked_fetch_stays_within_budget(self):
+        j = job(fetch_size=2, memory_budget_rows=3)
+        for index in range(10):
+            j.source_insert(index, {"v": index})
+        j.replicate("complete")
+        assert j.peak_memory_rows <= 2
+        assert j.sink_matches_source()
+
+    def test_rows_transferred_counter(self):
+        j = job()
+        j.source_insert(1, {"v": "a"})
+        j.source_insert(2, {"v": "b"})
+        j.replicate("complete")
+        assert j.rows_transferred == 2
+
+
+class TestDefects:
+    def test_unbounded_fetch_oom(self):
+        j = ReplicaDBJob(
+            "A", defects={"unbounded_fetch"}, fetch_size=2, memory_budget_rows=3
+        )
+        for index in range(5):
+            j.source_insert(index, {"v": index})
+        with pytest.raises(RDLError, match="OutOfMemoryError"):
+            j.replicate("complete")
+
+    def test_unbounded_fetch_ok_when_small(self):
+        j = ReplicaDBJob(
+            "A", defects={"unbounded_fetch"}, fetch_size=2, memory_budget_rows=3
+        )
+        j.source_insert(1, {"v": 1})
+        j.replicate("complete")
+        assert j.sink_matches_source()
+
+    def test_no_sink_deletes_leaves_ghost_rows(self):
+        j = ReplicaDBJob("A", defects={"no_sink_deletes"})
+        j.source_insert(1, {"v": "a"})
+        j.replicate("incremental")
+        j.source_delete(1)
+        j.replicate("incremental")
+        assert j.sink_rows() == {1: {"v": "a"}}
+        assert not j.sink_matches_source()
+
+
+class TestUpstreamReplication:
+    def make_pair(self, defects=frozenset()):
+        cluster = Cluster()
+        for rid in ("A", "B"):
+            cluster.add_replica(rid, ReplicaDBJob(rid, defects=set(defects)))
+        return cluster, cluster.rdl("A"), cluster.rdl("B")
+
+    def test_rows_replicate(self):
+        cluster, a, b = self.make_pair()
+        a.source_insert(1, {"v": "x"})
+        cluster.sync("A", "B")
+        assert b.source_rows() == {1: {"v": "x"}}
+
+    def test_newer_version_wins(self):
+        cluster, a, b = self.make_pair()
+        a.source_insert(1, {"v": "old"})
+        cluster.sync("A", "B")
+        b.source_update(1, {"v": "new"})
+        cluster.sync("B", "A")
+        assert a.source_rows()[1]["v"] == "new"
+
+    def test_tombstone_beats_older_row(self):
+        cluster, a, b = self.make_pair()
+        a.source_insert(1, {"v": "x"})
+        cluster.sync("A", "B")
+        b.source_delete(1)
+        cluster.sync("B", "A")
+        assert a.source_rows() == {}
+        # A stale payload carrying the old row must not resurrect it.
+        cluster.sync("A", "B")
+        assert b.source_rows() == {}
+
+    def test_raw_apply_is_arrival_order_dependent(self):
+        source = ReplicaDBJob("B", defects={"raw_apply"})
+        source.source_insert(1, {"v": "old"})
+        stale_payload = source.sync_payload("A")
+        source.source_update(1, {"v": "new"})
+        fresh_payload = source.sync_payload("A")
+
+        in_order = ReplicaDBJob("A1", defects={"raw_apply"})
+        in_order.apply_sync(stale_payload, "B")
+        in_order.apply_sync(fresh_payload, "B")
+        reordered = ReplicaDBJob("A2", defects={"raw_apply"})
+        reordered.apply_sync(fresh_payload, "B")
+        reordered.apply_sync(stale_payload, "B")
+        # Misconception #1 seed: final state depends on delivery order.
+        assert in_order.source_rows()[1]["v"] == "new"
+        assert reordered.source_rows()[1]["v"] == "old"

@@ -1,0 +1,126 @@
+"""Tests for the Roshi subject (LWW time-series over a Redis farm)."""
+
+import pytest
+
+from repro.net.cluster import Cluster
+from repro.rdl.roshi import RoshiReplica
+
+
+def pair(defects=frozenset()):
+    cluster = Cluster()
+    for rid in ("A", "B"):
+        cluster.add_replica(rid, RoshiReplica(rid, defects=set(defects)))
+    return cluster, cluster.rdl("A"), cluster.rdl("B")
+
+
+class TestLocalSemantics:
+    def test_insert_select(self):
+        _, a, _ = pair()
+        a.insert("k", "x", 1.0)
+        a.insert("k", "y", 2.0)
+        assert a.select("k") == ["y", "x"]  # newest first
+
+    def test_select_pagination(self):
+        _, a, _ = pair()
+        for index in range(5):
+            a.insert("k", f"m{index}", float(index))
+        assert a.select("k", offset=1, limit=2) == ["m3", "m2"]
+
+    def test_delete_wins_with_later_timestamp(self):
+        _, a, _ = pair()
+        a.insert("k", "x", 1.0)
+        assert a.delete("k", "x", 2.0) is True
+        assert a.select("k") == []
+
+    def test_delete_loses_with_earlier_timestamp(self):
+        _, a, _ = pair()
+        a.insert("k", "x", 5.0)
+        assert a.delete("k", "x", 1.0) is False  # fixed lib reports truth
+        assert a.select("k") == ["x"]
+
+    def test_readd_after_delete(self):
+        _, a, _ = pair()
+        a.insert("k", "x", 1.0)
+        a.delete("k", "x", 2.0)
+        a.insert("k", "x", 3.0)
+        assert a.select("k") == ["x"]
+
+    def test_score(self):
+        _, a, _ = pair()
+        a.insert("k", "x", 4.5)
+        assert a.score("k", "x") == 4.5
+        assert a.score("k", "ghost") is None
+
+    def test_equal_timestamp_add_bias(self):
+        _, a, _ = pair()
+        a.insert("k", "x", 3.0)
+        a.delete("k", "x", 3.0)
+        assert a.select("k") == ["x"]  # fixed Roshi: add-wins bias
+
+    def test_writes_hit_all_farm_instances(self):
+        _, a, _ = pair()
+        a.insert("k", "x", 1.0)
+        for instance in a.farm:
+            assert instance.zscore("k+", "x") == 1.0
+
+
+class TestReplication:
+    def test_sync_converges(self):
+        cluster, a, b = pair()
+        a.insert("k", "x", 1.0)
+        b.insert("k", "y", 2.0)
+        cluster.sync("A", "B")
+        cluster.sync("B", "A")
+        assert cluster.converged()
+        assert a.select("k") == ["y", "x"]
+
+    def test_delete_propagates(self):
+        cluster, a, b = pair()
+        a.insert("k", "x", 1.0)
+        cluster.sync("A", "B")
+        b.delete("k", "x", 2.0)
+        cluster.sync("B", "A")
+        assert a.select("k") == []
+
+    def test_stale_sync_does_not_regress(self):
+        cluster, a, b = pair()
+        a.insert("k", "x", 1.0)
+        cluster.send_sync("A", "B")
+        a.insert("k", "x", 9.0)
+        cluster.sync("A", "B")      # fresh state arrives first
+        cluster.execute_sync("A", "B")  # stale payload arrives second
+        assert b.score("k", "x") == 9.0
+
+    def test_checkpoint_restore(self):
+        cluster, a, _ = pair()
+        a.insert("k", "x", 1.0)
+        snapshot = a.checkpoint()
+        a.insert("k", "y", 2.0)
+        a.restore(snapshot)
+        assert a.select("k") == ["x"]
+
+
+class TestDefects:
+    def test_no_tie_break_diverges_on_opposite_arrival(self):
+        cluster, a, b = pair({"no_tie_break"})
+        a.insert("k", "x", 5.0)
+        b.delete("k", "x", 5.0)
+        cluster.sync("A", "B")  # B sees delete then add
+        cluster.sync("B", "A")  # A sees add then delete
+        assert a.select("k") != b.select("k")
+
+    def test_wrong_deleted_field_lies_when_delete_loses(self):
+        _, a, _ = pair({"wrong_deleted_field"})
+        a.insert("k", "x", 5.0)
+        assert a.delete("k", "x", 1.0) is True  # the lie (issue #18)
+        assert a.select("k") == ["x"]
+
+    def test_unordered_select_exposes_arrival_order(self):
+        _, a, _ = pair({"unordered_select"})
+        a.insert("k", "old", 1.0)
+        a.insert("k", "new", 2.0)
+        assert a.select("k") == ["old", "new"]  # arrival, not score order
+
+    def test_unknown_defect_rejected(self):
+        with pytest.raises(ValueError):
+            RoshiReplica("A", defects={"nonsense"})

@@ -1,0 +1,49 @@
+"""Tests for the redisim client facade."""
+
+import pytest
+
+from repro.redisim.client import RedisimClient
+from repro.redisim.server import RedisimServer
+
+
+@pytest.fixture
+def client():
+    return RedisimClient(RedisimServer())
+
+
+class TestClientCommands:
+    def test_string_round_trip(self, client):
+        assert client.set("k", "v") is True
+        assert client.get("k") == "v"
+        assert client.exists("k")
+        assert client.delete("k") == 1
+        assert client.get("k") is None
+
+    def test_nx_and_px_forwarded(self, client):
+        client.set("k", "v", nx=True)
+        assert client.set("k", "other", nx=True) is False
+
+    def test_zset_round_trip(self, client):
+        client.zadd("z", "b", 2.0)
+        client.zadd("z", "a", 1.0)
+        assert client.zrange("z") == ["a", "b"]
+        assert client.zrange_withscores("z", desc=True)[0] == ("b", 2.0)
+        assert client.zscore("z", "a") == 1.0
+        assert client.zcard("z") == 2
+        assert client.zrangebyscore("z", 1.5, 3.0) == ["b"]
+        assert client.zrem("z", "a") is True
+
+    def test_only_if_higher_forwarded(self, client):
+        client.zadd("z", "m", 5.0)
+        assert client.zadd("z", "m", 1.0, only_if_higher=True) is False
+        assert client.zscore("z", "m") == 5.0
+
+    def test_round_trips_counted(self, client):
+        before = client.round_trips
+        client.set("k", "v")
+        client.get("k")
+        client.zadd("z", "m", 1.0)
+        assert client.round_trips == before + 3
+
+    def test_server_accessible(self, client):
+        assert client.server.get("anything") is None

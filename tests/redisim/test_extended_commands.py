@@ -1,0 +1,102 @@
+"""Tests for the counter and hash command families."""
+
+import pytest
+
+from repro.redisim.errors import WrongTypeError
+from repro.redisim.server import RedisimServer
+
+
+class TestIncrDecr:
+    def test_incr_from_missing(self):
+        server = RedisimServer()
+        assert server.incr("c") == 1
+        assert server.incr("c") == 2
+
+    def test_incr_by_amount(self):
+        server = RedisimServer()
+        assert server.incr("c", 10) == 10
+        assert server.decr("c", 4) == 6
+
+    def test_decr_below_zero(self):
+        server = RedisimServer()
+        assert server.decr("c", 5) == -5
+
+    def test_incr_on_non_integer_rejected(self):
+        server = RedisimServer()
+        server.set("c", "not-a-number")
+        with pytest.raises(WrongTypeError):
+            server.incr("c")
+
+    def test_incr_on_zset_rejected(self):
+        server = RedisimServer()
+        server.zadd("z", "m", 1.0)
+        with pytest.raises(WrongTypeError):
+            server.incr("z")
+
+    def test_incr_result_readable_as_string(self):
+        server = RedisimServer()
+        server.incr("c", 41)
+        server.incr("c")
+        assert server.get("c") == "42"
+
+
+class TestHashes:
+    def test_hset_hget(self):
+        server = RedisimServer()
+        assert server.hset("h", "f", "v") is True
+        assert server.hset("h", "f", "v2") is False  # overwrite, not create
+        assert server.hget("h", "f") == "v2"
+
+    def test_hget_missing(self):
+        server = RedisimServer()
+        assert server.hget("nope", "f") is None
+        server.hset("h", "f", "v")
+        assert server.hget("h", "other") is None
+
+    def test_hdel(self):
+        server = RedisimServer()
+        server.hset("h", "a", "1")
+        server.hset("h", "b", "2")
+        assert server.hdel("h", "a", "ghost") == 1
+        assert server.hgetall("h") == {"b": "2"}
+        assert server.hdel("nope", "a") == 0
+
+    def test_empty_hash_key_removed(self):
+        server = RedisimServer()
+        server.hset("h", "a", "1")
+        server.hdel("h", "a")
+        assert not server.exists("h")
+
+    def test_hlen(self):
+        server = RedisimServer()
+        server.hset("h", "a", "1")
+        server.hset("h", "b", "2")
+        assert server.hlen("h") == 2
+        assert server.hlen("missing") == 0
+
+    def test_wrongtype_guards(self):
+        server = RedisimServer()
+        server.set("s", "v")
+        with pytest.raises(WrongTypeError):
+            server.hset("s", "f", "v")
+        server.hset("h", "f", "v")
+        with pytest.raises(WrongTypeError):
+            server.get("h")
+        with pytest.raises(WrongTypeError):
+            server.zadd("h", "m", 1.0)
+
+    def test_hgetall_returns_copy(self):
+        server = RedisimServer()
+        server.hset("h", "f", "v")
+        snapshot = server.hgetall("h")
+        snapshot["f"] = "mutated"
+        assert server.hget("h", "f") == "v"
+
+    def test_snapshot_restore_covers_hashes(self):
+        server = RedisimServer()
+        server.hset("h", "f", "v")
+        snapshot = server.snapshot()
+        server.hset("h", "f", "changed")
+        server.hset("h", "g", "new")
+        server.restore(snapshot)
+        assert server.hgetall("h") == {"f": "v"}

@@ -1,0 +1,155 @@
+"""Tests for the Redlock-style distributed mutex and the sequence gate."""
+
+import threading
+
+import pytest
+
+from repro.redisim.errors import LockError
+from repro.redisim.farm import RedisimFarm
+from repro.redisim.lock import DistributedLock, SequenceGate
+
+
+class TestFarm:
+    def test_quorum_sizes(self):
+        assert RedisimFarm(1).quorum == 1
+        assert RedisimFarm(3).quorum == 2
+        assert RedisimFarm(5).quorum == 3
+
+    def test_partition_and_heal(self):
+        farm = RedisimFarm(3)
+        farm.partition([0, 2])
+        assert len(farm.healthy_instances()) == 1
+        farm.heal()
+        assert len(farm.healthy_instances()) == 3
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            RedisimFarm(0)
+
+    def test_snapshot_restore(self):
+        farm = RedisimFarm(2)
+        farm[0].set("k", "v")
+        snapshot = farm.snapshot()
+        farm.flushall()
+        farm.restore(snapshot)
+        assert farm[0].get("k") == "v"
+
+
+class TestDistributedLock:
+    def test_acquire_release(self):
+        farm = RedisimFarm(3)
+        lock = DistributedLock(farm, "key")
+        assert lock.try_acquire() is True
+        assert lock.held
+        lock.release()
+        assert not lock.held
+
+    def test_mutual_exclusion(self):
+        farm = RedisimFarm(3)
+        first = DistributedLock(farm, "key")
+        second = DistributedLock(farm, "key")
+        assert first.try_acquire() is True
+        assert second.try_acquire() is False
+        first.release()
+        assert second.try_acquire() is True
+
+    def test_acquire_times_out(self):
+        farm = RedisimFarm(3)
+        holder = DistributedLock(farm, "key")
+        holder.acquire()
+        blocked = DistributedLock(farm, "key")
+        with pytest.raises(LockError):
+            blocked.acquire(timeout_s=0.05)
+
+    def test_release_without_hold_rejected(self):
+        lock = DistributedLock(RedisimFarm(3), "key")
+        with pytest.raises(LockError):
+            lock.release()
+
+    def test_survives_minority_failure(self):
+        farm = RedisimFarm(3)
+        farm.partition([2])
+        lock = DistributedLock(farm, "key")
+        assert lock.try_acquire() is True
+        lock.release()
+
+    def test_fails_on_majority_failure(self):
+        farm = RedisimFarm(3)
+        farm.partition([1, 2])
+        lock = DistributedLock(farm, "key")
+        assert lock.try_acquire() is False
+
+    def test_ttl_expiry_frees_lock(self):
+        farm = RedisimFarm(3)
+        stuck = DistributedLock(farm, "key", ttl_ms=1)
+        stuck.acquire()
+        import time
+
+        time.sleep(0.01)
+        fresh = DistributedLock(farm, "key")
+        assert fresh.try_acquire() is True
+
+    def test_stale_release_cannot_free_new_holder(self):
+        farm = RedisimFarm(3)
+        stale = DistributedLock(farm, "key", ttl_ms=1)
+        stale.acquire()
+        import time
+
+        time.sleep(0.01)
+        fresh = DistributedLock(farm, "key")
+        fresh.acquire()
+        stale.release()  # compare-and-delete misses: token changed
+        blocked = DistributedLock(farm, "key")
+        assert blocked.try_acquire() is False
+
+    def test_context_manager(self):
+        farm = RedisimFarm(3)
+        with DistributedLock(farm, "key") as lock:
+            assert lock.held
+        assert DistributedLock(farm, "key").try_acquire() is True
+
+
+class TestSequenceGate:
+    def test_turns_advance_in_order(self):
+        gate = SequenceGate(RedisimFarm(3), "session")
+        gate.wait_for_turn(0)
+        gate.complete_turn(0)
+        gate.wait_for_turn(1)
+        assert gate.current() == 1
+
+    def test_out_of_order_completion_rejected(self):
+        gate = SequenceGate(RedisimFarm(3), "session")
+        with pytest.raises(LockError):
+            gate.complete_turn(3)
+
+    def test_wait_times_out(self):
+        gate = SequenceGate(RedisimFarm(3), "session")
+        with pytest.raises(LockError):
+            gate.wait_for_turn(5, timeout_s=0.05)
+
+    def test_threads_serialise_through_gate(self):
+        gate = SequenceGate(RedisimFarm(3), "session")
+        order = []
+
+        def worker(positions):
+            for position in positions:
+                gate.wait_for_turn(position, timeout_s=5)
+                order.append(position)
+                gate.complete_turn(position)
+
+        threads = [
+            threading.Thread(target=worker, args=([1, 2, 5],)),
+            threading.Thread(target=worker, args=([0, 3, 4],)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert order == [0, 1, 2, 3, 4, 5]
+
+    def test_reset_rewinds_cursor(self):
+        gate = SequenceGate(RedisimFarm(3), "session")
+        gate.wait_for_turn(0)
+        gate.complete_turn(0)
+        gate.reset()
+        assert gate.current() == 0

@@ -1,0 +1,162 @@
+"""Unit tests for the redisim server."""
+
+import pytest
+
+from repro.redisim.errors import InstanceDownError, WrongTypeError
+from repro.redisim.server import RedisimServer
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestStrings:
+    def test_set_get(self):
+        server = RedisimServer()
+        assert server.set("k", "v") is True
+        assert server.get("k") == "v"
+
+    def test_get_missing(self):
+        assert RedisimServer().get("nope") is None
+
+    def test_set_nx_only_if_absent(self):
+        server = RedisimServer()
+        assert server.set("k", "v1", nx=True) is True
+        assert server.set("k", "v2", nx=True) is False
+        assert server.get("k") == "v1"
+
+    def test_delete(self):
+        server = RedisimServer()
+        server.set("a", "1")
+        server.set("b", "2")
+        assert server.delete("a", "b", "ghost") == 2
+        assert not server.exists("a")
+
+    def test_compare_and_delete(self):
+        server = RedisimServer()
+        server.set("k", "token")
+        assert server.compare_and_delete("k", "wrong") is False
+        assert server.exists("k")
+        assert server.compare_and_delete("k", "token") is True
+        assert not server.exists("k")
+
+
+class TestExpiry:
+    def test_px_expires(self):
+        clock = FakeClock()
+        server = RedisimServer(clock=clock)
+        server.set("k", "v", px=1000)
+        assert server.get("k") == "v"
+        clock.advance(1.5)
+        assert server.get("k") is None
+
+    def test_ttl_ms(self):
+        clock = FakeClock()
+        server = RedisimServer(clock=clock)
+        server.set("k", "v", px=2000)
+        clock.advance(0.5)
+        assert 1400 <= server.ttl_ms("k") <= 1500
+        assert server.ttl_ms("no-expiry-key") is None
+
+    def test_overwrite_clears_expiry(self):
+        clock = FakeClock()
+        server = RedisimServer(clock=clock)
+        server.set("k", "v", px=1000)
+        server.set("k", "v2")
+        clock.advance(5)
+        assert server.get("k") == "v2"
+
+    def test_set_nx_succeeds_after_expiry(self):
+        clock = FakeClock()
+        server = RedisimServer(clock=clock)
+        server.set("k", "old", px=100)
+        clock.advance(1)
+        assert server.set("k", "new", nx=True) is True
+
+
+class TestZsetCommands:
+    def test_zadd_zrange(self):
+        server = RedisimServer()
+        server.zadd("z", "b", 2.0)
+        server.zadd("z", "a", 1.0)
+        assert server.zrange("z") == ["a", "b"]
+        assert server.zrange("z", desc=True) == ["b", "a"]
+
+    def test_zscore_zcard(self):
+        server = RedisimServer()
+        server.zadd("z", "m", 4.0)
+        assert server.zscore("z", "m") == 4.0
+        assert server.zcard("z") == 1
+        assert server.zcard("missing") == 0
+
+    def test_zrem(self):
+        server = RedisimServer()
+        server.zadd("z", "m", 1.0)
+        assert server.zrem("z", "m") is True
+        assert server.zrem("z", "m") is False
+        assert server.zrem("missing", "m") is False
+
+    def test_zrangebyscore(self):
+        server = RedisimServer()
+        for member, score in [("a", 1.0), ("b", 2.0), ("c", 3.0)]:
+            server.zadd("z", member, score)
+        assert server.zrangebyscore("z", 2.0, 3.0) == ["b", "c"]
+
+    def test_wrongtype_between_families(self):
+        server = RedisimServer()
+        server.set("k", "v")
+        with pytest.raises(WrongTypeError):
+            server.zadd("k", "m", 1.0)
+        server.zadd("z", "m", 1.0)
+        with pytest.raises(WrongTypeError):
+            server.get("z")
+
+
+class TestAdmin:
+    def test_down_instance_rejects_commands(self):
+        server = RedisimServer()
+        server.set_down(True)
+        with pytest.raises(InstanceDownError):
+            server.get("k")
+        server.set_down(False)
+        assert server.get("k") is None
+
+    def test_flushall_and_dbsize(self):
+        server = RedisimServer()
+        server.set("a", "1")
+        server.zadd("z", "m", 1.0)
+        assert server.dbsize() == 2
+        server.flushall()
+        assert server.dbsize() == 0
+
+    def test_snapshot_restore_round_trip(self):
+        server = RedisimServer()
+        server.set("s", "v")
+        server.zadd("z", "m", 1.0)
+        snapshot = server.snapshot()
+        server.flushall()
+        server.restore(snapshot)
+        assert server.get("s") == "v"
+        assert server.zscore("z", "m") == 1.0
+
+    def test_snapshot_is_deep(self):
+        server = RedisimServer()
+        server.zadd("z", "m", 1.0)
+        snapshot = server.snapshot()
+        server.zadd("z", "m2", 2.0)
+        server.restore(snapshot)
+        assert server.zcard("z") == 1
+
+    def test_command_count_increments(self):
+        server = RedisimServer()
+        before = server.command_count
+        server.set("k", "v")
+        server.get("k")
+        assert server.command_count == before + 2

@@ -1,0 +1,80 @@
+"""Unit tests for the redisim sorted set."""
+
+from repro.redisim.sortedset import SortedSet
+
+
+class TestZAdd:
+    def test_insert_and_score(self):
+        zset = SortedSet()
+        assert zset.zadd("m", 1.5) is True
+        assert zset.zscore("m") == 1.5
+
+    def test_update_score(self):
+        zset = SortedSet()
+        zset.zadd("m", 1.0)
+        assert zset.zadd("m", 2.0) is True
+        assert zset.zscore("m") == 2.0
+
+    def test_same_score_is_noop(self):
+        zset = SortedSet()
+        zset.zadd("m", 1.0)
+        assert zset.zadd("m", 1.0) is False
+
+    def test_only_if_higher_blocks_regression(self):
+        zset = SortedSet()
+        zset.zadd("m", 5.0)
+        assert zset.zadd("m", 3.0, only_if_higher=True) is False
+        assert zset.zscore("m") == 5.0
+        assert zset.zadd("m", 7.0, only_if_higher=True) is True
+
+    def test_zrem(self):
+        zset = SortedSet()
+        zset.zadd("m", 1.0)
+        assert zset.zrem("m") is True
+        assert zset.zscore("m") is None
+        assert zset.zrem("m") is False
+
+
+class TestRangeQueries:
+    def make(self):
+        zset = SortedSet()
+        for member, score in [("a", 3.0), ("b", 1.0), ("c", 2.0)]:
+            zset.zadd(member, score)
+        return zset
+
+    def test_zrange_ascending(self):
+        assert self.make().zrange() == ["b", "c", "a"]
+
+    def test_zrange_descending(self):
+        assert self.make().zrange(desc=True) == ["a", "c", "b"]
+
+    def test_zrange_slicing(self):
+        zset = self.make()
+        assert zset.zrange(0, 1) == ["b", "c"]
+        assert zset.zrange(1, -1) == ["c", "a"]
+        assert zset.zrange(-2, -1) == ["c", "a"]
+        assert zset.zrange(2, 1) == []
+
+    def test_zrange_withscores(self):
+        assert self.make().zrange_withscores(0, 0) == [("b", 1.0)]
+
+    def test_zrangebyscore(self):
+        assert self.make().zrangebyscore(1.5, 3.0) == ["c", "a"]
+
+    def test_equal_scores_order_lexicographically(self):
+        zset = SortedSet()
+        zset.zadd("y", 1.0)
+        zset.zadd("x", 1.0)
+        assert zset.zrange() == ["x", "y"]
+
+    def test_zcard_len_contains(self):
+        zset = self.make()
+        assert zset.zcard() == len(zset) == 3
+        assert "a" in zset
+        assert "zz" not in zset
+
+    def test_copy_is_independent(self):
+        zset = self.make()
+        clone = zset.copy()
+        zset.zrem("a")
+        assert "a" in clone
