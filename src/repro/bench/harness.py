@@ -18,6 +18,7 @@ from repro.core.explorers import (
     ERPiExplorer,
     Explorer,
     ExplorationResult,
+    ParallelExplorer,
     RandomExplorer,
 )
 from repro.core.pruning import (
@@ -42,10 +43,19 @@ class RecordedScenario:
     cluster: Cluster
     engine: ReplayEngine
     events: Tuple[Event, ...]
+    fixed: bool = False
 
     @property
     def event_count(self) -> int:
         return len(self.events)
+
+    def cluster_factory(self) -> Cluster:
+        """A fresh cluster in checkpoint state (for parallel workers).
+
+        ``record_scenario`` checkpoints *before* running the workload, so a
+        newly built cluster is exactly the checkpoint state.
+        """
+        return self.scenario.build_cluster(fixed=self.fixed)
 
 
 def record_scenario(scenario: BugScenario, fixed: bool = False) -> RecordedScenario:
@@ -66,7 +76,7 @@ def record_scenario(scenario: BugScenario, fixed: bool = False) -> RecordedScena
             f"{scenario.name}: workload recorded {len(events)} events, "
             f"Table 1 says {scenario.expected_events}"
         )
-    return RecordedScenario(scenario, cluster, engine, events)
+    return RecordedScenario(scenario, cluster, engine, events, fixed=fixed)
 
 
 def scenario_pruners(scenario: BugScenario) -> List[Pruner]:
@@ -107,10 +117,28 @@ def hunt(
     cap: int = DEFAULT_CAP,
     seed: int = 0,
     meter: Optional[ResourceMeter] = None,
+    workers: int = 1,
+    prefix_cache: bool = False,
 ) -> ExplorationResult:
-    """Explore until the scenario's invariant breaks (bug reproduced)."""
+    """Explore until the scenario's invariant breaks (bug reproduced).
+
+    ``prefix_cache=True`` enables incremental prefix-reuse replay;
+    ``workers > 1`` shards candidates across parallel worker engines while
+    keeping the reported first violation identical to a serial hunt.
+    """
     explorer = make_explorer(recorded, mode, seed=seed, meter=meter)
     assertions = recorded.scenario.make_assertions()
+    if workers > 1:
+        parallel = ParallelExplorer(
+            explorer,
+            workers=workers,
+            cluster_factory=recorded.cluster_factory,
+            assertions_factory=recorded.scenario.make_assertions,
+            prefix_cache=prefix_cache,
+        )
+        return parallel.explore(recorded.engine, assertions, cap=cap)
+    if prefix_cache and recorded.engine.prefix_cache is None:
+        recorded.engine.enable_prefix_cache(meter=meter)
     return explorer.explore(recorded.engine, assertions, cap=cap)
 
 

@@ -41,11 +41,24 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
 
     sc = scenario(args.bug)
     recorded = record_scenario(sc)
+    extras = []
+    if args.workers > 1:
+        extras.append(f"{args.workers} workers")
+    if args.prefix_cache:
+        extras.append("prefix cache")
+    extra_text = f" [{', '.join(extras)}]" if extras else ""
     print(
         f"{sc.name} (issue #{sc.issue}): {sc.expected_events} events recorded; "
-        f"hunting with {args.mode} (cap {args.cap:,})..."
+        f"hunting with {args.mode} (cap {args.cap:,}){extra_text}..."
     )
-    result = hunt(recorded, args.mode, cap=args.cap, seed=args.seed)
+    result = hunt(
+        recorded,
+        args.mode,
+        cap=args.cap,
+        seed=args.seed,
+        workers=args.workers,
+        prefix_cache=args.prefix_cache,
+    )
     if result.found:
         print(
             f"reproduced after {result.explored:,} interleavings "
@@ -197,7 +210,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     sc = scenario(args.bug)
     cluster = sc.build_cluster()
     profiler = ResourceProfiler(
-        cluster, spec_groups=sc.spec_groups()
+        cluster, spec_groups=sc.spec_groups(), use_prefix_cache=args.prefix_cache
     )
     profiler.start()
     sc.workload(cluster)
@@ -228,6 +241,17 @@ def build_parser() -> argparse.ArgumentParser:
     hunt.add_argument("--cap", type=int, default=10_000)
     hunt.add_argument("--seed", type=int, default=0)
     hunt.add_argument("--show-interleaving", action="store_true")
+    hunt.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard candidate replays across N worker engines (deterministic)",
+    )
+    hunt.add_argument(
+        "--prefix-cache",
+        action="store_true",
+        help="reuse cached event-prefix snapshots between replays",
+    )
 
     table1 = sub.add_parser("table1", help="regenerate Table 1")
     table1.add_argument("--cap", type=int, default=10_000)
@@ -255,6 +279,11 @@ def build_parser() -> argparse.ArgumentParser:
     profile = sub.add_parser("profile", help="resource-profile a bug workload")
     profile.add_argument("bug")
     profile.add_argument("--cap", type=int, default=300)
+    profile.add_argument(
+        "--prefix-cache",
+        action="store_true",
+        help="reuse cached event-prefix snapshots between replays",
+    )
 
     export = sub.add_parser(
         "export", help="export a bug workload's session as a Datalog program"

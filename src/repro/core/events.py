@@ -14,6 +14,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Sequence, Tuple
 
+from repro.fastcopy import register_atomic
+
 
 class EventKind(enum.Enum):
     """What kind of distributed event was intercepted."""
@@ -156,3 +158,8 @@ def assign_lamport(interleaving: Sequence[Event]) -> Tuple[StampedEvent, ...]:
     return tuple(
         StampedEvent(event, position + 1) for position, event in enumerate(interleaving)
     )
+
+
+# Events are frozen and shared across replays already (the recorder emits one
+# object per event for the engine to re-invoke); snapshots may share them too.
+register_atomic(EventKind, Event, StampedEvent)

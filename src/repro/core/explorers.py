@@ -15,15 +15,24 @@ violation (bug reproduced), on the exploration cap (the paper terminates at
 * :class:`ERPiExplorer` — ER-pi: Algorithm-1 grouping up front, minimal-change
   (SJT) enumeration over units, and the applicable post-generation pruners
   filtering equivalent interleavings before they are ever replayed.
+
+:class:`ParallelExplorer` wraps any of the three, sharding the candidate
+stream across a pool of worker replay engines (each with its own cluster)
+while committing results strictly in candidate order, so the reported first
+violation — and the explored count — are identical to a serial run.
 """
 
 from __future__ import annotations
 
 import abc
+import copy
+import queue
 import random
 import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.errors import ResourceExhausted
 from repro.core.events import Event
@@ -203,3 +212,165 @@ class ERPiExplorer(Explorer):
         for name, pstats in self.pipeline.stats().items():
             stats[name] = pstats.pruned
         return stats
+
+
+class ParallelExplorer:
+    """Shard a base explorer's candidate stream across worker engines.
+
+    Each worker owns a full cluster clone plus its own
+    :class:`~repro.core.replay.ReplayEngine` (optionally with a prefix
+    snapshot cache), so replays proceed independently.  Determinism is
+    preserved by construction:
+
+    * candidates are *generated* serially in the caller's thread (so the
+      base explorer's resource charges — and any
+      :class:`~repro.core.errors.ResourceExhausted` crash — happen exactly
+      as they would serially), then dispatched to workers;
+    * outcomes are *committed* strictly in candidate order, so the first
+      violation reported (and the explored count at that point) match a
+      serial run even when a later candidate finishes replaying first.
+
+    ``cluster_factory`` must build a fresh cluster in the same state as the
+    reference engine's checkpoint (the bench harness passes the scenario's
+    ``build_cluster``, which is exactly that state).  Without a factory the
+    reference cluster is deep-copied, which works for pure in-memory
+    subjects but not for those holding OS resources (e.g. the redisim farm
+    behind Roshi holds locks) — pass a factory for those.
+
+    ``assertions_factory`` builds a fresh assertion list per worker; use it
+    when assertions close over per-cluster state.  Stateless assertions can
+    be shared implicitly (the serial ``assertions`` argument is reused).
+    """
+
+    def __init__(
+        self,
+        base: Explorer,
+        workers: int = 4,
+        cluster_factory: Optional[Callable[[], object]] = None,
+        assertions_factory: Optional[Callable[[], Sequence[Assertion]]] = None,
+        prefix_cache: bool = False,
+        backlog_per_worker: int = 2,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.base = base
+        self.workers = workers
+        self.cluster_factory = cluster_factory
+        self.assertions_factory = assertions_factory
+        self.prefix_cache = prefix_cache
+        self.backlog_per_worker = max(backlog_per_worker, 1)
+        self.mode = f"{base.mode}+p{workers}"
+
+    # ---------------------------------------------------------------- setup
+
+    def _build_engines(
+        self, reference: ReplayEngine, assertions: Sequence[Assertion]
+    ) -> List[Tuple[ReplayEngine, Sequence[Assertion]]]:
+        engines: List[Tuple[ReplayEngine, Sequence[Assertion]]] = []
+        for _ in range(self.workers):
+            if self.cluster_factory is not None:
+                cluster = self.cluster_factory()
+            else:
+                reference.restore()
+                cluster = copy.deepcopy(reference.cluster)
+            engine = ReplayEngine(cluster)
+            if self.prefix_cache:
+                engine.enable_prefix_cache(meter=getattr(self.base, "meter", None))
+            engine.checkpoint()
+            worker_assertions = (
+                self.assertions_factory() if self.assertions_factory else assertions
+            )
+            engines.append((engine, worker_assertions))
+        return engines
+
+    # -------------------------------------------------------------- explore
+
+    def explore(
+        self,
+        engine: ReplayEngine,
+        assertions: Sequence[Assertion],
+        cap: int = DEFAULT_CAP,
+        stop_on_violation: bool = True,
+    ) -> ExplorationResult:
+        if self.workers == 1:
+            result = self.base.explore(engine, assertions, cap, stop_on_violation)
+            result.mode = self.mode
+            return result
+        started = time.perf_counter()
+        explored = 0
+        violating: Optional[InterleavingOutcome] = None
+        crashed = False
+        crash_reason: Optional[str] = None
+
+        workers = self._build_engines(engine, assertions)
+        idle: "queue.Queue[Tuple[ReplayEngine, Sequence[Assertion]]]" = queue.Queue()
+        for item in workers:
+            idle.put(item)
+
+        def replay_one(interleaving: Interleaving) -> InterleavingOutcome:
+            worker_engine, worker_assertions = idle.get()
+            try:
+                return worker_engine.replay(interleaving, worker_assertions)
+            finally:
+                idle.put((worker_engine, worker_assertions))
+
+        window = self.workers * self.backlog_per_worker
+        candidates = self.base.candidates()
+        exhausted = False
+        pending: "deque" = deque()
+        pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="erpi-worker"
+        )
+        try:
+            submitted = 0
+            while True:
+                # Keep the dispatch window full; candidates are pulled (and
+                # charged to the meter) serially, in exploration order.
+                while not exhausted and not crashed and len(pending) < window:
+                    if submitted >= cap:
+                        exhausted = True
+                        break
+                    try:
+                        interleaving = next(candidates)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    except ResourceExhausted as exc:
+                        crashed = True
+                        crash_reason = str(exc)
+                        break
+                    pending.append(pool.submit(replay_one, interleaving))
+                    submitted += 1
+                if not pending:
+                    break
+                # Commit strictly in candidate order.
+                try:
+                    outcome = pending.popleft().result()
+                except ResourceExhausted as exc:
+                    # A worker's prefix cache blew the shared budget.
+                    crashed = True
+                    crash_reason = str(exc)
+                    break
+                explored += 1
+                if outcome.violated:
+                    violating = outcome
+                    if stop_on_violation:
+                        break
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+        if violating is not None and stop_on_violation:
+            # The violation pre-empts any crash queued behind it, exactly as
+            # a serial run would have stopped before reaching that point.
+            crashed = False
+            crash_reason = None
+        elapsed = time.perf_counter() - started
+        return ExplorationResult(
+            mode=self.mode,
+            found=violating is not None,
+            explored=explored,
+            elapsed_s=elapsed,
+            crashed=crashed,
+            crash_reason=crash_reason,
+            violating=violating,
+            pruning_stats=self.base._pruning_stats(),
+        )

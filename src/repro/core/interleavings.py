@@ -196,6 +196,24 @@ def sjt_permutations(units: Sequence[Unit]) -> Iterator[Tuple[Unit, ...]]:
         yield tuple(items[i] for i in perm)
 
 
+def lehmer_rank(perm: Sequence[int]) -> int:
+    """The Lehmer-code rank of a permutation of ``0..n-1`` (0-based).
+
+    A bijection onto ``0..n!-1``: remembering a permutation costs one int
+    instead of an n-tuple, which is what keeps the ``seen`` bookkeeping of
+    :func:`relocation_permutations` compact.
+    """
+    n = len(perm)
+    rank = 0
+    for index in range(n):
+        smaller_later = 0
+        for later in range(index + 1, n):
+            if perm[later] < perm[index]:
+                smaller_later += 1
+        rank = rank * (n - index) + smaller_later
+    return rank
+
+
 def relocation_permutations(units: Sequence[Unit]) -> Iterator[Tuple[Unit, ...]]:
     """Neighbourhood-first enumeration: ER-pi's production order.
 
@@ -211,6 +229,11 @@ def relocation_permutations(units: Sequence[Unit]) -> Iterator[Tuple[Unit, ...]]
     units exactly once (verified by the exhaustiveness tests), but orders the
     near-recorded neighbourhood first, which is where replay finds
     integration bugs in practice.
+
+    Deduplication stores one Lehmer-code rank (an int) per permutation seen
+    in the relocation phases — O(n^4) ints at most — and nothing during the
+    SJT tail, whose membership checks only consult the relocation-phase set;
+    remembering every yielded n-tuple made long runs scale with n! memory.
     """
     items = list(units)
     n = len(items)
@@ -220,11 +243,11 @@ def relocation_permutations(units: Sequence[Unit]) -> Iterator[Tuple[Unit, ...]]
     seen: set = set()
 
     def emit(perm: List[int]) -> Optional[Tuple[Unit, ...]]:
-        key = tuple(perm)
-        if key in seen:
+        rank = lehmer_rank(perm)
+        if rank in seen:
             return None
-        seen.add(key)
-        return tuple(items[i] for i in key)
+        seen.add(rank)
+        return tuple(items[i] for i in perm)
 
     def relocate(perm: List[int], src: int, dst: int) -> List[int]:
         out = list(perm)
@@ -256,13 +279,14 @@ def relocation_permutations(units: Sequence[Unit]) -> Iterator[Tuple[Unit, ...]]
                 result = emit(relocate(moved, src, dst))
                 if result is not None:
                     yield result
-    # Everything else: SJT over the remaining permutations.
+    # Everything else: SJT over the remaining permutations.  SJT visits each
+    # permutation exactly once, so only the relocation-phase set needs
+    # consulting — nothing new is remembered here.
     index_of = {id(unit): index for index, unit in enumerate(items)}
     for perm_units in sjt_permutations(items):
-        perm_key = tuple(index_of[id(unit)] for unit in perm_units)
-        if perm_key in seen:
+        perm_key = [index_of[id(unit)] for unit in perm_units]
+        if lehmer_rank(perm_key) in seen:
             continue
-        seen.add(perm_key)
         yield perm_units
 
 

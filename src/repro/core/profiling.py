@@ -10,7 +10,6 @@ which single-schedule profiling by definition misses.
 
 from __future__ import annotations
 
-import sys
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -18,23 +17,13 @@ from repro.core.explorers import ERPiExplorer
 from repro.core.interleavings import Interleaving
 from repro.core.pruning.base import Pruner
 from repro.core.replay import InterleavingOutcome, ReplayEngine
+from repro.core.resources import state_footprint
 from repro.net.cluster import Cluster
 from repro.proxy.recorder import EventRecorder
 
-
-def _state_footprint(value: Any) -> int:
-    """A rough, deterministic byte estimate of an observable state."""
-    if isinstance(value, dict):
-        return 32 + sum(
-            _state_footprint(k) + _state_footprint(v) for k, v in value.items()
-        )
-    if isinstance(value, (list, tuple, set, frozenset)):
-        return 24 + sum(_state_footprint(item) for item in value)
-    if isinstance(value, str):
-        return 40 + len(value)
-    if isinstance(value, (int, float, bool)) or value is None:
-        return 24
-    return sys.getsizeof(value)
+#: Back-compat alias — the estimator moved to :mod:`repro.core.resources`
+#: so the prefix snapshot cache can charge snapshots with the same model.
+_state_footprint = state_footprint
 
 
 @dataclass
@@ -128,11 +117,14 @@ class ResourceProfiler:
         cluster: Cluster,
         pruners: Optional[Sequence[Pruner]] = None,
         spec_groups: Optional[Sequence[Tuple[str, str]]] = None,
+        use_prefix_cache: bool = False,
     ) -> None:
         self.cluster = cluster
         self.pruners = list(pruners or [])
         self.spec_groups = list(spec_groups or [])
         self._engine = ReplayEngine(cluster)
+        if use_prefix_cache:
+            self._engine.enable_prefix_cache()
         self._recorder: Optional[EventRecorder] = None
 
     def start(self) -> None:
@@ -149,21 +141,19 @@ class ResourceProfiler:
             events, spec_groups=self.spec_groups, pruners=self.pruners
         )
         report = ProfileReport()
-        transport = self.cluster.transport
         for index, interleaving in enumerate(explorer.candidates()):
             if index >= cap:
                 break
-            sent_before = transport.sent_count
-            dropped_before = transport.dropped_count
             outcome = self._engine.replay(interleaving)
+            sent, dropped, _, _ = self._engine.last_transport_stats
             report.profiles.append(
                 InterleavingProfile(
                     index=index,
                     duration_s=outcome.duration_s,
                     failed_ops=len(outcome.failed_ops),
-                    messages_sent=transport.sent_count - sent_before,
-                    messages_dropped=transport.dropped_count - dropped_before,
-                    state_bytes=_state_footprint(outcome.states),
+                    messages_sent=sent,
+                    messages_dropped=dropped,
+                    state_bytes=state_footprint(outcome.states),
                     event_ids=tuple(e.event_id for e in interleaving),
                 )
             )

@@ -19,6 +19,36 @@ Two executors enforce the event order:
   event order by the Redis-backed distributed lock
   (:class:`~repro.redisim.lock.SequenceGate`) exactly as the paper's
   middleware orders events across real machines.
+
+Prefix-reuse replay
+-------------------
+
+Exhaustive exploration replays thousands of near-identical interleavings:
+with the paper's minimal-change (SJT) enumeration, consecutive candidates
+differ by one adjacent transposition, so most of each replay re-executes a
+prefix the previous replay already executed.  :class:`PrefixSnapshotCache`
+exploits that: after each executed event the engine stores a snapshot of the
+*one replica that event touched* (plus the transport, for sync events),
+keyed by the event-id prefix.  The next candidate restores from its longest
+cached prefix and re-executes only the suffix.
+
+Replica snapshots are shared structurally between cache entries (an entry
+only replaces the snapshot of the replica its last event touched) and are
+reference-counted, so the cache's real retained bytes can be charged to —
+and released from — a :class:`~repro.core.resources.ResourceMeter`,
+keeping the Figure-10 succeed-or-crash semantics honest.  Each replica's
+snapshot splits into the RDL state (the expensive copy) and the host's two
+sync counters (two ints): a ``SYNC_REQ`` never changes the sender's RDL
+state, so its cache entry shares the previous RDL snapshot outright and
+pays only for the counter pair.
+
+Soundness: prefix reuse requires that replaying a given event sequence from
+the checkpoint is a pure function of the sequence.  That holds exactly when
+(a) events run through the :class:`SequentialExecutor` and (b) the network
+conditions are deterministic (FIFO, no random drops or duplicates), because
+a lossy/reordering transport consumes its seeded RNG monotonically across
+replays.  When either condition fails, the engine silently falls back to
+fresh full replays — results are identical either way, only slower.
 """
 
 from __future__ import annotations
@@ -31,6 +61,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.errors import ReplayError
 from repro.core.events import Event, EventKind, assign_lamport
 from repro.core.interleavings import Interleaving
+from repro.core.resources import ResourceMeter, deep_footprint
 from repro.crdt.base import CRDTError
 from repro.net.cluster import Cluster
 from repro.rdl.base import RDLError
@@ -38,7 +69,7 @@ from repro.redisim.farm import RedisimFarm
 from repro.redisim.lock import SequenceGate
 
 
-@dataclass
+@dataclass(slots=True)
 class EventResult:
     """What happened when one event replayed."""
 
@@ -49,15 +80,37 @@ class EventResult:
     error: Optional[str] = None
 
 
-@dataclass
 class InterleavingOutcome:
-    """The full result of replaying one interleaving."""
+    """The full result of replaying one interleaving.
 
-    interleaving: Interleaving
-    event_results: List[EventResult]
-    states: Dict[str, Any]
-    violations: List[str]
-    duration_s: float
+    ``states`` may be constructed lazily: the cached replay path passes a
+    zero-argument thunk over copy-on-write state views instead of eagerly
+    computing every replica's observable value — most assertions never read
+    final states, so the work is done only on first access.
+    """
+
+    __slots__ = ("interleaving", "event_results", "_states", "violations", "duration_s")
+
+    def __init__(
+        self,
+        interleaving: Interleaving,
+        event_results: List[EventResult],
+        states: Any,
+        violations: List[str],
+        duration_s: float,
+    ) -> None:
+        self.interleaving = interleaving
+        self.event_results = event_results
+        self._states = states
+        self.violations = violations
+        self.duration_s = duration_s
+
+    @property
+    def states(self) -> Dict[str, Any]:
+        states = self._states
+        if callable(states):
+            states = self._states = states()
+        return states
 
     @property
     def violated(self) -> bool:
@@ -85,10 +138,13 @@ class SequentialExecutor:
     """Run the events of an interleaving in-line, in order."""
 
     def run(self, cluster: Cluster, interleaving: Interleaving) -> List[EventResult]:
-        results: List[EventResult] = []
-        for stamped in assign_lamport(interleaving):
-            results.append(_invoke(cluster, stamped.event, stamped.lamport))
-        return results
+        # Lamport stamps along a total order are just 1-based positions
+        # (see assign_lamport); invoking directly skips the StampedEvent
+        # allocations on the hottest loop in the engine.
+        return [
+            _invoke(cluster, event, lamport)
+            for lamport, event in enumerate(interleaving, 1)
+        ]
 
 
 class LockSteppedExecutor:
@@ -126,15 +182,25 @@ class LockSteppedExecutor:
                 errors.append(exc)
 
         threads = [
-            threading.Thread(target=worker, args=(positions,), daemon=True)
-            for positions in per_replica.values()
+            (replica_id, threading.Thread(target=worker, args=(positions,), daemon=True))
+            for replica_id, positions in per_replica.items()
         ]
-        for thread in threads:
+        for _, thread in threads:
             thread.start()
-        for thread in threads:
-            thread.join(timeout=self.timeout_s * (len(stamped) + 1))
+        deadline = time.monotonic() + self.timeout_s * (len(stamped) + 1)
+        stuck: List[str] = []
+        for replica_id, thread in threads:
+            thread.join(timeout=max(deadline - time.monotonic(), 0.0))
+            if thread.is_alive():
+                stuck.append(replica_id)
         if errors:
             raise ReplayError(f"lock-stepped replay failed: {errors[0]!r}") from errors[0]
+        if stuck:
+            raise ReplayError(
+                "lock-stepped replay timed out after "
+                f"{self.timeout_s * (len(stamped) + 1):.1f}s; "
+                f"stuck replica worker(s): {', '.join(sorted(stuck))}"
+            )
         if any(slot is None for slot in slots):
             raise ReplayError("lock-stepped replay did not complete every event")
         return [slot for slot in slots if slot is not None]
@@ -143,9 +209,10 @@ class LockSteppedExecutor:
 def _invoke(cluster: Cluster, event: Event, lamport: int) -> EventResult:
     """Re-invoke one recorded event against the cluster."""
     try:
-        if event.kind == EventKind.SYNC_REQ:
+        kind = event.kind
+        if kind is EventKind.SYNC_REQ:
             result = cluster.send_sync(event.from_replica, event.to_replica)
-        elif event.kind == EventKind.EXEC_SYNC:
+        elif kind is EventKind.EXEC_SYNC:
             result = cluster.execute_sync(event.from_replica, event.to_replica)
         else:
             rdl = cluster.rdl(event.replica_id)
@@ -154,7 +221,10 @@ def _invoke(cluster: Cluster, event: Event, lamport: int) -> EventResult:
                 raise ReplayError(
                     f"replica {event.replica_id!r} has no method {event.op_name!r}"
                 )
-            result = method(*event.args, **event.kwargs_dict())
+            if event.kwargs:
+                result = method(*event.args, **dict(event.kwargs))
+            else:
+                result = method(*event.args)
         return EventResult(event=event, lamport=lamport, ok=True, result=result)
     except (RDLError, CRDTError, KeyError, IndexError, ValueError) as exc:
         # The library (or the data structure beneath it) rejected the op
@@ -165,21 +235,353 @@ def _invoke(cluster: Cluster, event: Event, lamport: int) -> EventResult:
         )
 
 
+def _states_from_views(views: Dict[str, Tuple[type, Any]]) -> Dict[str, Any]:
+    """Evaluate replica states from captured copy-on-write state views.
+
+    Rebuilds a throwaway shell of each replica class around its view dict
+    and asks it for ``value()`` — read-only by the host protocol contract.
+    """
+    out: Dict[str, Any] = {}
+    for rid, (cls, view) in views.items():
+        shim = cls.__new__(cls)
+        shim.__dict__.update(view)
+        out[rid] = shim.value()
+    return out
+
+
+# --------------------------------------------------------------------------
+# Prefix snapshot cache
+# --------------------------------------------------------------------------
+
+
+class _Snap:
+    """A reference-counted stored snapshot (one replica, or the transport).
+
+    Entries share these structurally: an entry only introduces a new snap for
+    the replica its last event touched, so the retained-byte accounting must
+    count each snap once, however many entries reference it.
+    """
+
+    __slots__ = ("data", "nbytes", "refs")
+
+    def __init__(self, data: Any, nbytes: int) -> None:
+        self.data = data
+        self.nbytes = nbytes
+        self.refs = 0
+
+
+#: Per-replica cache record: (RDL-state snap, applied_syncs, sent_syncs).
+#: The counters live outside the refcounted snap so entries that only bump a
+#: counter (``SYNC_REQ`` on the sender) can share the RDL snapshot.
+_ReplicaRecord = Tuple[_Snap, int, int]
+
+
+class _RootEntry:
+    """The trie root: full cluster state at the checkpoint.
+
+    The only entry that carries a snapshot for *every* replica — all other
+    entries are deltas against their parent chain.
+    """
+
+    __slots__ = ("entry_id", "replica_snaps", "transport_snap")
+
+    def __init__(
+        self,
+        entry_id: int,
+        replica_snaps: Dict[str, _ReplicaRecord],
+        transport_snap: _Snap,
+    ) -> None:
+        self.entry_id = entry_id
+        self.replica_snaps = replica_snaps
+        self.transport_snap = transport_snap
+
+
+class _CacheEntry:
+    """The *delta* one event applied on top of its parent prefix.
+
+    Entries form a trie: each is stored under ``(parent.entry_id,
+    last_event_id)``, so extending a prefix by one event is a single dict
+    lookup with an O(1) hash — no event-id tuples to slice or hash.  An
+    entry records only what its own event changed: the event's result, the
+    touched replica's snapshot + sync counters (``rid is None`` for a READ),
+    and a transport snapshot for sync events.  A cache hit walks the parent
+    chain once to assemble the full prefix state; storing an entry is O(1).
+    """
+
+    __slots__ = (
+        "entry_id",
+        "key",
+        "parent",
+        "result",
+        "rid",
+        "snap",
+        "applied_syncs",
+        "sent_syncs",
+        "transport_snap",
+    )
+
+    def __init__(
+        self,
+        entry_id: int,
+        key: Tuple[int, str],
+        parent: Any,
+        result: EventResult,
+        rid: Optional[str],
+        snap: Optional[_Snap],
+        applied_syncs: int,
+        sent_syncs: int,
+        transport_snap: Optional[_Snap],
+    ) -> None:
+        self.entry_id = entry_id
+        self.key = key
+        self.parent = parent
+        self.result = result
+        self.rid = rid
+        self.snap = snap
+        self.applied_syncs = applied_syncs
+        self.sent_syncs = sent_syncs
+        self.transport_snap = transport_snap
+
+
+@dataclass
+class PrefixCacheStats:
+    """Observability counters for the prefix snapshot cache."""
+
+    replays: int = 0
+    hits: int = 0
+    events_reused: int = 0
+    events_executed: int = 0
+    entries: int = 0
+    evictions: int = 0
+    retained_bytes: int = 0
+
+    @property
+    def reuse_fraction(self) -> float:
+        total = self.events_reused + self.events_executed
+        return self.events_reused / total if total else 0.0
+
+
+class PrefixSnapshotCache:
+    """Generational cache of cluster snapshots keyed by event-id prefixes.
+
+    ``max_entries`` bounds the number of retained prefixes; retained bytes
+    are charged to ``meter`` (category ``"prefix_cache"``) when one is
+    attached, and released as entries are evicted, so a budget-limited run
+    crashes honestly if the cache outgrows the machine.
+
+    Eviction is generational: when the cache fills, every entry (except the
+    root) is dropped at once and the next replays repopulate it.  Per-entry
+    LRU bookkeeping costs more than it saves here — the enumeration orders
+    replay near-neighbourhoods, so recently stored prefixes dominate hits
+    and a full clear loses at most one neighbourhood's worth of reuse.
+    """
+
+    CATEGORY = "prefix_cache"
+
+    def __init__(
+        self,
+        meter: Optional[ResourceMeter] = None,
+        max_entries: int = 8192,
+    ) -> None:
+        if max_entries < 0:
+            raise ValueError("max_entries must be >= 0")
+        self.meter = meter
+        self.max_entries = max_entries
+        self.stats = PrefixCacheStats()
+        self._entries: Dict[Tuple[int, str], _CacheEntry] = {}
+        self._next_id = 0
+        self._root: Optional[_RootEntry] = None
+        self._baseline: Tuple[int, int, int, int] = (0, 0, 0, 0)
+
+    # ------------------------------------------------------------- plumbing
+
+    @property
+    def root(self) -> Optional[_RootEntry]:
+        return self._root
+
+    @property
+    def baseline(self) -> Tuple[int, int, int, int]:
+        """Absolute transport counters at the checkpoint (root) state."""
+        return self._baseline
+
+    def make_snap(self, data: Any) -> _Snap:
+        # Footprint walks are only worth their cost when someone meters them.
+        nbytes = deep_footprint(data) if self.meter is not None else 0
+        return _Snap(data, nbytes)
+
+    def next_id(self) -> int:
+        """A fresh entry id (trie node identity for child keys)."""
+        self._next_id += 1
+        return self._next_id
+
+    def _acquire(self, snap: _Snap) -> None:
+        # Unmetered snaps have nbytes == 0: nothing to account, skip.
+        if not snap.nbytes:
+            return
+        snap.refs += 1
+        if snap.refs == 1:
+            self.stats.retained_bytes += snap.nbytes
+            if self.meter is not None:
+                self.meter.charge(self.CATEGORY, snap.nbytes)
+
+    def _release(self, snap: _Snap) -> None:
+        if not snap.nbytes:
+            return
+        snap.refs -= 1
+        if snap.refs == 0:
+            self.stats.retained_bytes -= snap.nbytes
+            if self.meter is not None:
+                self.meter.release(self.CATEGORY, snap.nbytes)
+
+    def _entry_snaps(self, entry: _CacheEntry) -> List[_Snap]:
+        snaps: List[_Snap] = []
+        if entry.snap is not None:
+            snaps.append(entry.snap)
+        if entry.transport_snap is not None:
+            snaps.append(entry.transport_snap)
+        return snaps
+
+    # ------------------------------------------------------------------ api
+
+    def set_root(self, entry: _RootEntry, baseline: Tuple[int, int, int, int]) -> None:
+        """Install the checkpoint-state entry (never evicted)."""
+        if self._root is not None:
+            self.clear()
+        for record in entry.replica_snaps.values():
+            self._acquire(record[0])
+        self._acquire(entry.transport_snap)
+        self._root = entry
+        self._baseline = baseline
+
+    def get(self, key: Tuple[int, str]) -> Optional[_CacheEntry]:
+        """Look up the child entry under ``(parent_entry_id, event_id)``."""
+        return self._entries.get(key)
+
+    def put(self, entry: _CacheEntry) -> None:
+        """Insert an entry, charging the meter; a full cache drops its whole
+        generation first.  A mid-insert budget crash rolls the entry back.
+
+        Without a meter every snap's footprint is zero, so the refcount
+        bookkeeping is an observable no-op and is skipped entirely.
+        """
+        entries = self._entries
+        if self.max_entries == 0 or entry.key in entries:
+            return
+        stats = self.stats
+        metered = self.meter is not None
+        if len(entries) >= self.max_entries:
+            if metered:
+                for evicted in entries.values():
+                    for snap in self._entry_snaps(evicted):
+                        self._release(snap)
+            stats.evictions += len(entries)
+            entries.clear()
+        if metered:
+            acquired: List[_Snap] = []
+            try:
+                for snap in self._entry_snaps(entry):
+                    self._acquire(snap)
+                    acquired.append(snap)
+            except Exception:
+                for snap in acquired:
+                    self._release(snap)
+                raise
+        entries[entry.key] = entry
+        stats.entries = len(entries)
+
+    def clear(self) -> None:
+        """Drop every entry (including the root), releasing all charges."""
+        for entry in self._entries.values():
+            for snap in self._entry_snaps(entry):
+                self._release(snap)
+        self._entries.clear()
+        root = self._root
+        if root is not None:
+            for record in root.replica_snaps.values():
+                self._release(record[0])
+            self._release(root.transport_snap)
+            self._root = None
+        self.stats.entries = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Tuple[int, str]) -> bool:
+        return key in self._entries
+
+
 class ReplayEngine:
-    """Checkpoint/replay/assert driver over a cluster."""
+    """Checkpoint/replay/assert driver over a cluster.
+
+    With ``prefix_cache`` attached (see :meth:`enable_prefix_cache`) and a
+    sound configuration (sequential executor, deterministic network), replays
+    restore from the longest cached event-id prefix and execute only the
+    suffix; otherwise every replay is a fresh full run from the checkpoint.
+    While a cache is active the engine must be the only writer to its
+    cluster between ``checkpoint()`` and the final ``restore()``.
+    """
 
     def __init__(
         self,
         cluster: Cluster,
         executor: Optional[Any] = None,
+        prefix_cache: Optional[PrefixSnapshotCache] = None,
     ) -> None:
         self.cluster = cluster
         self.executor = executor or SequentialExecutor()
+        self.prefix_cache = prefix_cache
         self._checkpoint: Optional[Dict[str, Any]] = None
+        #: Transport counter deltas for the most recent replay
+        #: (sent, dropped, delivered, duplicated).
+        self.last_transport_stats: Tuple[int, int, int, int] = (0, 0, 0, 0)
+        # Live-state version tracking: maps replica id -> the _Snap whose RDL
+        # state the replica currently holds (None/missing = unknown/dirty).
+        # Sync counters are not tracked — they are two ints, always restored.
+        self._live_rdl: Dict[str, Optional[_Snap]] = {}
+        self._live_transport: Optional[_Snap] = None
+
+    def enable_prefix_cache(
+        self,
+        meter: Optional[ResourceMeter] = None,
+        max_entries: int = 8192,
+    ) -> PrefixSnapshotCache:
+        """Attach (and return) a fresh :class:`PrefixSnapshotCache`."""
+        self.prefix_cache = PrefixSnapshotCache(meter=meter, max_entries=max_entries)
+        self._forget_live_versions()
+        return self.prefix_cache
 
     def checkpoint(self) -> None:
         """Snapshot the replicas' current states as the replay baseline."""
         self._checkpoint = self.cluster.checkpoint()
+        if self.prefix_cache is not None:
+            self.prefix_cache.clear()
+        self._forget_live_versions()
+
+    def prefix_cache_active(self) -> bool:
+        """True when replays will actually use the prefix cache.
+
+        Reuse is sound only when replaying a prefix is a pure function of
+        the event sequence: the in-line sequential executor plus a
+        deterministic transport (FIFO, no random drops/duplicates — a lossy
+        transport consumes its seeded RNG monotonically *across* replays, so
+        skipping a prefix would desynchronise the stream).
+        """
+        if self.prefix_cache is None:
+            return False
+        if type(self.executor) is not SequentialExecutor:
+            return False
+        conditions = self.cluster.transport.conditions
+        if not (
+            conditions.fifo
+            and conditions.drop_rate == 0
+            and conditions.duplicate_rate == 0
+        ):
+            return False
+        # Every replica must expose its full state through the
+        # copy-on-write view protocol (see RDLReplica.supports_state_view).
+        return all(
+            host.rdl.supports_state_view for host in self.cluster._hosts.values()
+        )
 
     def replay(
         self,
@@ -189,17 +591,10 @@ class ReplayEngine:
         """Replay one interleaving from the checkpoint and run assertions."""
         if self._checkpoint is None:
             raise ReplayError("checkpoint() must be called before replay()")
-        self.cluster.restore(self._checkpoint)
-        started = time.perf_counter()
-        event_results = self.executor.run(self.cluster, interleaving)
-        duration = time.perf_counter() - started
-        outcome = InterleavingOutcome(
-            interleaving=interleaving,
-            event_results=event_results,
-            states=self.cluster.states(),
-            violations=[],
-            duration_s=duration,
-        )
+        if self.prefix_cache_active():
+            outcome = self._replay_cached(interleaving)
+        else:
+            outcome = self._replay_fresh(interleaving)
         for assertion in assertions:
             message = assertion(outcome)
             if message is not None:
@@ -210,3 +605,234 @@ class ReplayEngine:
         """Reset the cluster to the checkpoint (used after the final replay)."""
         if self._checkpoint is not None:
             self.cluster.restore(self._checkpoint)
+        self._forget_live_versions()
+
+    # ------------------------------------------------------------- internals
+
+    def _forget_live_versions(self) -> None:
+        self._live_rdl = {}
+        self._live_transport = None
+
+    def _replay_fresh(self, interleaving: Interleaving) -> InterleavingOutcome:
+        transport = self.cluster.transport
+        before = transport.stats()
+        self.cluster.restore(self._checkpoint)
+        self._forget_live_versions()
+        started = time.perf_counter()
+        event_results = self.executor.run(self.cluster, interleaving)
+        duration = time.perf_counter() - started
+        after = transport.stats()
+        self.last_transport_stats = tuple(n - b for n, b in zip(after, before))
+        return InterleavingOutcome(
+            interleaving=interleaving,
+            event_results=event_results,
+            states=self.cluster.states(),
+            violations=[],
+            duration_s=duration,
+        )
+
+    def _ensure_root(self, cache: PrefixSnapshotCache) -> _RootEntry:
+        root = cache.root
+        if root is None:
+            cluster = self.cluster
+            cluster.restore(self._checkpoint)
+            replica_snaps: Dict[str, _ReplicaRecord] = {}
+            for rid in cluster.replica_ids():
+                host = cluster.host(rid)
+                snap = cache.make_snap(host.rdl.state_view())
+                replica_snaps[rid] = (snap, host.applied_syncs, host.sent_syncs)
+            transport_snap = cache.make_snap(cluster.transport.snapshot())
+            root = _RootEntry(cache.next_id(), replica_snaps, transport_snap)
+            cache.set_root(root, cluster.transport.stats())
+            # The live cluster state is borrowed by the snapshots just taken:
+            # the replay loop materialises a private copy before mutating.
+            self._live_rdl = {rid: rec[0] for rid, rec in replica_snaps.items()}
+            self._live_transport = transport_snap
+        return root
+
+    def _replay_cached(self, interleaving: Interleaving) -> InterleavingOutcome:
+        cache = self.prefix_cache
+        cluster = self.cluster
+        transport = cluster.transport
+        started = time.perf_counter()
+        events: Tuple[Event, ...] = (
+            interleaving if type(interleaving) is tuple else tuple(interleaving)
+        )
+        count = len(events)
+
+        root = self._ensure_root(cache)
+        entry: Any = root
+        depth = 0
+        # Longest cached proper prefix of this interleaving: walk the entry
+        # trie forward, one (parent_id, event_id) lookup per matched event.
+        lookup = cache._entries.get
+        limit = count - 1
+        while depth < limit:
+            child = lookup((entry.entry_id, events[depth].event_id))
+            if child is None:
+                break
+            entry = child
+            depth += 1
+
+        # Assemble the matched prefix's state from the entry's parent chain:
+        # entries are deltas, so the first record seen per replica walking
+        # upward is that replica's newest snapshot (root fills in the rest).
+        live = self._live_rdl
+        hosts = cluster._hosts
+        results: List[EventResult]
+        if entry is root:
+            results = []
+            records = root.replica_snaps
+            tsnap = root.transport_snap
+        else:
+            results = []
+            records = {}
+            tsnap = None
+            node = entry
+            while node is not root:
+                results.append(node.result)
+                nrid = node.rid
+                if nrid is not None and nrid not in records:
+                    records[nrid] = (node.snap, node.applied_syncs, node.sent_syncs)
+                if tsnap is None:
+                    tsnap = node.transport_snap
+                node = node.parent
+            results.reverse()
+            for rid, record in root.replica_snaps.items():
+                if rid not in records:
+                    records[rid] = record
+            if tsnap is None:
+                tsnap = root.transport_snap
+
+        # Restore only what differs from the live state, and even then only
+        # by *adopting* the cached state by reference: the suffix loop below
+        # materialises a private copy right before the first mutation of
+        # each replica (copy-on-write), so a replay pays at most one state
+        # copy per mutating event — and none for replicas it never mutates.
+        for rid, (snap, applied, sent) in records.items():
+            host = hosts[rid]
+            if live.get(rid) is not snap:
+                host.rdl.adopt(snap.data)
+                live[rid] = snap
+            host.applied_syncs = applied
+            host.sent_syncs = sent
+        if self._live_transport is not tsnap:
+            transport.restore_snapshot(tsnap.data)
+            self._live_transport = tsnap
+
+        stats = cache.stats
+        stats.replays += 1
+        if depth:
+            stats.hits += 1
+        stats.events_reused += depth
+        stats.events_executed += count - depth
+
+        cur_entry = entry
+        caching = cache.max_entries > 0
+        kind_read = EventKind.READ
+        kind_sync_req = EventKind.SYNC_REQ
+        kind_exec_sync = EventKind.EXEC_SYNC
+        append_result = results.append
+        make_snap = cache.make_snap
+        put = cache.put
+        entries_dict = cache._entries
+        metered = cache.meter is not None
+        max_entries = cache.max_entries
+        for position in range(depth, count):
+            event = events[position]
+            kind = event.kind
+            is_sync = False
+            if kind is kind_read:
+                mutating = False
+            else:
+                mutating = True
+                # UPDATE and EXEC_SYNC mutate the event's replica: if its
+                # live state is borrowed from a cached snapshot, materialise
+                # a private copy first.  SYNC_REQ leaves the sender's RDL
+                # state untouched (it only enqueues a message and bumps
+                # sent_syncs), so the sender's snap stays live and new
+                # entries share it for free.
+                if kind is not kind_sync_req:
+                    rid = event.replica_id
+                    snap = live.get(rid)
+                    if snap is not None:
+                        hosts[rid].rdl.restore(snap.data)
+                        live[rid] = None
+                is_sync = kind is kind_sync_req or kind is kind_exec_sync
+                if is_sync:
+                    self._live_transport = None
+            result = _invoke(cluster, event, position + 1)
+            append_result(result)
+            if not caching or position >= limit:
+                continue  # depth == count is never a *proper* prefix
+            # No lookup needed before storing: the forward walk above ended
+            # on a missing link, so no deeper node exists along this path,
+            # and every subsequent parent id is freshly minted.
+            key = (cur_entry.entry_id, event.event_id)
+            if mutating:
+                rid = event.replica_id
+                host = hosts[rid]
+                snap = live.get(rid)
+                if snap is None:
+                    # Snapshot by reference (outer-shallow): the live state
+                    # is borrowed until the next mutation materialises it.
+                    snap = make_snap(host.rdl.state_view())
+                    live[rid] = snap
+                tsnap = None
+                if is_sync:
+                    tsnap = self._live_transport
+                    if tsnap is None:
+                        tsnap = make_snap(transport.snapshot())
+                        self._live_transport = tsnap
+                cur_entry = _CacheEntry(
+                    cache.next_id(),
+                    key,
+                    cur_entry,
+                    result,
+                    rid,
+                    snap,
+                    host.applied_syncs,
+                    host.sent_syncs,
+                    tsnap,
+                )
+            else:
+                cur_entry = _CacheEntry(
+                    cache.next_id(), key, cur_entry, result, None, None, 0, 0, None
+                )
+            # Unmetered inserts into a non-full cache skip put()'s charging
+            # and eviction machinery; stats.entries is reconciled below.
+            if metered or len(entries_dict) >= max_entries:
+                put(cur_entry)
+            else:
+                entries_dict[key] = cur_entry
+        if caching:
+            stats.entries = len(entries_dict)
+
+        base_sent, base_dropped, base_delivered, base_duplicated = cache.baseline
+        self.last_transport_stats = (
+            transport.sent_count - base_sent,
+            transport.dropped_count - base_dropped,
+            transport.delivered_count - base_delivered,
+            transport.duplicated_count - base_duplicated,
+        )
+        duration = time.perf_counter() - started
+        # Final states are captured as copy-on-write views and evaluated
+        # lazily: the views' containers are never mutated in place again
+        # (every later mutation materialises fresh containers first), so
+        # the thunk reads stable data whenever an assertion asks.  A replica
+        # whose live state is borrowed already has a stable view — its snap.
+        views = {}
+        for rid, host in hosts.items():
+            rdl = host.rdl
+            snap = live.get(rid)
+            views[rid] = (
+                type(rdl),
+                snap.data if snap is not None else rdl.state_view(),
+            )
+        return InterleavingOutcome(
+            interleaving=interleaving,
+            event_results=results,
+            states=lambda: _states_from_views(views),
+            violations=[],
+            duration_s=duration,
+        )

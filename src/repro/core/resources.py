@@ -11,8 +11,9 @@ the budget is gone.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.core.errors import ResourceExhausted
 
@@ -36,6 +37,19 @@ class ResourceMeter:
                 f"{self.budget_bytes} bytes (while charging {category!r})"
             )
 
+    def release(self, category: str, nbytes: int) -> None:
+        """Give back bytes previously charged (e.g. a cache eviction).
+
+        Releases are clamped at zero so a double-release can never mint
+        budget out of thin air.
+        """
+        if nbytes < 0:
+            raise ValueError("cannot release negative bytes")
+        held = self.by_category.get(category, 0)
+        freed = min(nbytes, held)
+        self.by_category[category] = held - freed
+        self.used_bytes = max(self.used_bytes - freed, 0)
+
     @property
     def remaining_bytes(self) -> Optional[int]:
         if self.budget_bytes is None:
@@ -51,3 +65,51 @@ class ResourceMeter:
 #: checker server persists each explored/queued interleaving as an id list.
 def interleaving_footprint(event_count: int) -> int:
     return 24 + 8 * event_count
+
+
+def state_footprint(value: Any) -> int:
+    """A rough, deterministic byte estimate of an observable state.
+
+    Used both by the profiler (state-size distributions) and by the prefix
+    snapshot cache (charging retained snapshots to the meter).
+    """
+    return _footprint(value, None)
+
+
+def deep_footprint(value: Any) -> int:
+    """Like :func:`state_footprint` but also descends into arbitrary object
+    attributes (``__dict__``/``__slots__``), so CRDT-bearing snapshots are
+    charged for their real contents, not a shallow ``sys.getsizeof``."""
+    return _footprint(value, set())
+
+
+def _footprint(value: Any, seen: Optional[set]) -> int:
+    if isinstance(value, dict):
+        return 32 + sum(
+            _footprint(k, seen) + _footprint(v, seen) for k, v in value.items()
+        )
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return 24 + sum(_footprint(item, seen) for item in value)
+    if isinstance(value, str):
+        return 40 + len(value)
+    if isinstance(value, (int, float, bool)) or value is None:
+        return 24
+    if seen is not None:
+        oid = id(value)
+        if oid in seen:
+            return 8
+        seen.add(oid)
+        total = sys.getsizeof(value)
+        attrs = getattr(value, "__dict__", None)
+        if attrs:
+            total += sum(
+                _footprint(k, seen) + _footprint(v, seen) for k, v in attrs.items()
+            )
+        for klass in type(value).__mro__:
+            for slot in klass.__dict__.get("__slots__", ()):
+                if slot in ("__dict__", "__weakref__"):
+                    continue
+                if hasattr(value, slot):
+                    total += _footprint(getattr(value, slot), seen)
+        return total
+    return sys.getsizeof(value)

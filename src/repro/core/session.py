@@ -92,6 +92,7 @@ class ErPi:
         persist: bool = False,
         lock_stepped: bool = False,
         read_methods: Optional[Sequence[str]] = None,
+        prefix_cache: bool = False,
     ) -> None:
         """``replica_scope`` enables Algorithm-2 pruning for that replica
         (paper: pass the replica id to the Start/End higher-order functions);
@@ -102,7 +103,13 @@ class ErPi:
         deployment) instead of the fast in-line executor.
         ``read_methods`` extends the recorder's READ classification with the
         custom library's query methods (defaults cover the built-in
-        subjects)."""
+        subjects).
+        ``prefix_cache`` enables incremental prefix-reuse replay: each
+        replay restores the longest already-executed event-id prefix and
+        re-executes only the suffix.  Results are identical either way; the
+        engine falls back to fresh full replays whenever reuse would be
+        unsound (lock-stepped executor, nondeterministic network, or a
+        subject without copy-on-write state views)."""
         self.cluster = cluster
         self.replica_scope = replica_scope
         self.read_scoped = read_scoped
@@ -113,6 +120,8 @@ class ErPi:
         self._read_methods = read_methods
         executor = LockSteppedExecutor() if lock_stepped else None
         self._engine = ReplayEngine(cluster, executor)
+        if prefix_cache:
+            self._engine.enable_prefix_cache()
         self._extra_constraints: List[Constraint] = []
 
     # ------------------------------------------------------------- markers

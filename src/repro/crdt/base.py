@@ -13,6 +13,8 @@ import abc
 import copy
 from typing import Any, Generic, TypeVar
 
+from repro.fastcopy import copy_state, fast_copy
+
 S = TypeVar("S", bound="StateCRDT")
 
 
@@ -50,18 +52,27 @@ class StateCRDT(abc.ABC):
 
     def checkpoint(self) -> Any:
         """An opaque deep snapshot of this replica's full state."""
-        return copy.deepcopy(self.__dict__)
+        return copy_state(self.__dict__)
 
     def restore(self, snapshot: Any) -> None:
         """Reset this replica to a previously taken ``checkpoint``."""
         self.__dict__.clear()
-        self.__dict__.update(copy.deepcopy(snapshot))
+        self.__dict__.update(copy_state(snapshot))
 
     def clone(self: S) -> S:
         """An independent deep copy (useful for property-based merge tests)."""
         out = self.__class__.__new__(self.__class__)
-        out.__dict__.update(copy.deepcopy(self.__dict__))
+        out.__dict__.update(copy_state(self.__dict__))
         return out
+
+    def copy(self: S) -> S:
+        """A structural copy via :func:`repro.fastcopy.fast_copy`.
+
+        Equivalent in value to :meth:`clone` but uses the specialised copier
+        (and any ``__fastcopy__`` hooks subclasses define), making it cheap
+        enough for the replay engine's per-event prefix snapshots.
+        """
+        return fast_copy(self)
 
     def __repr__(self) -> str:
         return f"{self.__class__.__name__}(replica_id={self.replica_id!r}, value={self.value()!r})"

@@ -13,6 +13,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple
 
+from repro.fastcopy import register_atomic
+
 
 class LamportClock:
     """A classic Lamport scalar clock.
@@ -47,6 +49,9 @@ class LamportClock:
         return self._time
 
     def copy(self) -> "LamportClock":
+        return LamportClock(self._time)
+
+    def __fastcopy__(self, memo: dict) -> "LamportClock":
         return LamportClock(self._time)
 
     def __repr__(self) -> str:
@@ -112,6 +117,11 @@ class VectorClock:
     def copy(self) -> "VectorClock":
         return VectorClock(dict(self._vec))
 
+    def __fastcopy__(self, memo: dict) -> "VectorClock":
+        out = VectorClock.__new__(VectorClock)
+        out._vec = dict(self._vec)
+        return out
+
     def as_dict(self) -> Dict[str, int]:
         return dict(self._vec)
 
@@ -151,6 +161,12 @@ class Dot:
     def __post_init__(self) -> None:
         if self.counter < 1:
             raise ValueError("dot counters start at 1")
+        # Dots live in (frozen)sets that snapshots share and merges rebuild
+        # constantly; caching the hash keeps those set operations cheap.
+        object.__setattr__(self, "_hash", hash((self.replica_id, self.counter)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
 
 class DotContext:
@@ -159,13 +175,17 @@ class DotContext:
     Records which dots have been observed, compactly: a contiguous prefix per
     replica (``_compact``) plus a cloud of out-of-order dots that are folded
     into the prefix as gaps fill in.
+
+    The cloud is kept as a *frozenset*, rebuilt on mutation: mutations happen
+    once per workload op, while :meth:`copy` runs on every replay snapshot —
+    copy-on-write lets copies share the cloud outright.
     """
 
     __slots__ = ("_compact", "_cloud")
 
     def __init__(self) -> None:
         self._compact: Dict[str, int] = {}
-        self._cloud: Set[Dot] = set()
+        self._cloud: FrozenSet[Dot] = frozenset()
 
     def contains(self, dot: Dot) -> bool:
         return dot.counter <= self._compact.get(dot.replica_id, 0) or dot in self._cloud
@@ -178,24 +198,42 @@ class DotContext:
         return dot
 
     def add(self, dot: Dot) -> None:
-        self._cloud.add(dot)
-        self._compress()
+        compact = self._compact
+        if dot.counter == compact.get(dot.replica_id, 0) + 1:
+            # Contiguous next dot: extend the prefix directly, no cloud churn.
+            compact[dot.replica_id] = dot.counter
+            if self._cloud:
+                self._compress()
+        else:
+            self._cloud = self._cloud | {dot}
+            self._compress()
 
     def merge(self, other: "DotContext") -> None:
+        # A remote prefix is a contiguous run from 1, so absorbing it always
+        # compresses to the pointwise max — no need to materialise the run
+        # as cloud dots first.
+        compact = self._compact
         for rid, count in other._compact.items():
-            if count > self._compact.get(rid, 0):
-                # Absorb the remote prefix as cloud dots, then re-compress so
-                # any gaps against our own prefix are handled uniformly.
-                for counter in range(self._compact.get(rid, 0) + 1, count + 1):
-                    self._cloud.add(Dot(rid, counter))
-        self._cloud.update(other._cloud)
-        self._compress()
+            if count > compact.get(rid, 0):
+                compact[rid] = count
+        if other._cloud:
+            self._cloud = self._cloud | other._cloud
+        if self._cloud:
+            self._compress()
 
     def _compress(self) -> None:
+        if not self._cloud:
+            return
+        compact = self._compact
+        remaining: Optional[Set[Dot]] = None
         for dot in sorted(self._cloud):
-            if dot.counter == self._compact.get(dot.replica_id, 0) + 1:
-                self._compact[dot.replica_id] = dot.counter
-                self._cloud.discard(dot)
+            if dot.counter == compact.get(dot.replica_id, 0) + 1:
+                compact[dot.replica_id] = dot.counter
+                if remaining is None:
+                    remaining = set(self._cloud)
+                remaining.discard(dot)
+        if remaining is not None:
+            self._cloud = frozenset(remaining)
 
     def observed(self) -> FrozenSet[Dot]:
         """Every dot this context has seen (expanded; for tests/debugging)."""
@@ -205,10 +243,13 @@ class DotContext:
         return frozenset(expanded)
 
     def copy(self) -> "DotContext":
-        out = DotContext()
+        out = DotContext.__new__(DotContext)
         out._compact = dict(self._compact)
-        out._cloud = set(self._cloud)
+        out._cloud = self._cloud  # frozen: shared, rebuilt on mutation
         return out
+
+    def __fastcopy__(self, memo: dict) -> "DotContext":
+        return self.copy()
 
     def __repr__(self) -> str:
         return f"DotContext(compact={self._compact}, cloud={sorted(self._cloud)})"
@@ -217,3 +258,7 @@ class DotContext:
 def stamp_sequence(replica_id: str, start: int = 1) -> Iterator[Stamp]:
     """An infinite deterministic stream of stamps for a single replica."""
     return (Stamp(time, replica_id) for time in itertools.count(start))
+
+
+# Frozen value types: snapshots may share them instead of copying.
+register_atomic(Stamp, Dot)

@@ -30,6 +30,18 @@ class GCounter(StateCRDT):
             if count > self._counts.get(rid, 0):
                 self._counts[rid] = count
 
+    def __fastcopy__(self, memo: dict) -> "GCounter":
+        from repro.fastcopy import fast_copy
+
+        out = self.__class__.__new__(self.__class__)
+        fresh = out.__dict__
+        for name, value in self.__dict__.items():
+            if name == "_counts":
+                fresh[name] = dict(value)
+            else:
+                fresh[name] = fast_copy(value, memo)
+        return out
+
     def value(self) -> int:
         return sum(self._counts.values())
 

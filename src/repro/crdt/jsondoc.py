@@ -17,6 +17,7 @@ import json
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.crdt.base import CRDTError, StateCRDT, rehome
+from repro.fastcopy import copy_state
 from repro.crdt.clock import LamportClock, Stamp
 from repro.crdt.rga import RGAList
 
@@ -193,7 +194,7 @@ class JSONDocument(StateCRDT):
             # deep_set_supported=False this branch also swallows concurrent
             # nested-object writes — bug Yorkie-2.
             if my_stamp is None or their_stamp > my_stamp:
-                mine.children[key] = copy.deepcopy(their_child)
+                mine.children[key] = copy_state(their_child)
                 mine.stamps[key] = their_stamp
         # Deleted keys: a stamp present without a child is a tombstone.
         for key, their_stamp in theirs.stamps.items():

@@ -15,18 +15,26 @@ from repro.crdt.base import StateCRDT
 from repro.crdt.clock import Dot, DotContext
 
 
+_EMPTY: FrozenSet["Dot"] = frozenset()
+
+
 class ORSet(StateCRDT):
-    """An add-wins observed-remove set with causal-context compaction."""
+    """An add-wins observed-remove set with causal-context compaction.
+
+    Per-item dot sets are *frozensets*, rebuilt on mutation: each workload op
+    touches one item, while replay snapshots copy the whole set — copy-on-
+    write makes a copy a shallow dict copy that shares every dot set.
+    """
 
     def __init__(self, replica_id: str) -> None:
         super().__init__(replica_id)
-        self._entries: Dict[Any, Set[Dot]] = {}
+        self._entries: Dict[Any, FrozenSet[Dot]] = {}
         self._context = DotContext()
 
     def add(self, item: Any) -> Dot:
         """Add ``item`` under a freshly minted dot and return the dot."""
         dot = self._context.next_dot(self.replica_id)
-        self._entries.setdefault(item, set()).add(dot)
+        self._entries[item] = self._entries.get(item, _EMPTY) | {dot}
         return dot
 
     def remove(self, item: Any) -> FrozenSet[Dot]:
@@ -35,31 +43,80 @@ class ORSet(StateCRDT):
         Removing an absent item is a harmless no-op returning an empty set —
         the remove simply has nothing observed to delete.
         """
-        observed = frozenset(self._entries.pop(item, set()))
-        return observed
+        return self._entries.pop(item, _EMPTY)
 
     def contains(self, item: Any) -> bool:
         return bool(self._entries.get(item))
 
     def merge(self, other: "ORSet") -> None:
-        merged: Dict[Any, Set[Dot]] = {}
-        items = set(self._entries) | set(other._entries)
-        for item in items:
-            mine = self._entries.get(item, set())
-            theirs = other._entries.get(item, set())
+        merged: Dict[Any, FrozenSet[Dot]] = {}
+        mine_entries = self._entries
+        their_entries = other._entries
+        my_context = self._context
+        their_context = other._context
+        for item, mine in mine_entries.items():
+            theirs = their_entries.get(item, _EMPTY)
+            if mine == theirs:
+                # Converged item: both sides keep exactly these dots, so the
+                # per-dot observation checks below would change nothing.
+                merged[item] = mine
+                continue
             keep: Set[Dot] = set()
             # Keep my dot unless the peer has observed it and dropped it.
             for dot in mine:
-                if dot in theirs or not other._context.contains(dot):
+                if dot in theirs or not their_context.contains(dot):
                     keep.add(dot)
             # Adopt the peer's dot unless I observed it and dropped it.
             for dot in theirs:
-                if dot in mine or not self._context.contains(dot):
+                if dot in mine or not my_context.contains(dot):
                     keep.add(dot)
             if keep:
-                merged[item] = keep
+                merged[item] = frozenset(keep)
+        for item, theirs in their_entries.items():
+            if item in mine_entries:
+                continue
+            # Peer-only item: adopt each dot unless I observed and dropped it.
+            keep_theirs = frozenset(
+                dot for dot in theirs if not my_context.contains(dot)
+            )
+            if keep_theirs:
+                merged[item] = keep_theirs
         self._entries = merged
-        self._context.merge(other._context)
+        my_context.merge(their_context)
+
+    def copy(self) -> "ORSet":
+        """Direct structural copy — the replay engine's hottest copy call.
+
+        Skips the generic ``fast_copy`` dispatch: dot sets are frozen and
+        shared, so only the entries dict and the causal context need fresh
+        containers.  Subclasses with extra attributes fall back to the
+        generic path.
+        """
+        if type(self) is not ORSet:
+            return super().copy()
+        out = ORSet.__new__(ORSet)
+        fresh = out.__dict__
+        fresh["replica_id"] = self.replica_id
+        fresh["_entries"] = dict(self._entries)
+        fresh["_context"] = self._context.copy()
+        return out
+
+    def __fastcopy__(self, memo: dict) -> "ORSet":
+        # Dot sets are frozen and shared; only the entries dict and the
+        # causal context need fresh containers.  Subclass-safe: extra
+        # attributes are copied generically.
+        from repro.fastcopy import fast_copy
+
+        out = self.__class__.__new__(self.__class__)
+        fresh = out.__dict__
+        for name, value in self.__dict__.items():
+            if name == "_entries":
+                fresh[name] = dict(value)
+            elif name == "_context":
+                fresh[name] = value.copy()
+            else:
+                fresh[name] = fast_copy(value, memo)
+        return out
 
     def value(self) -> FrozenSet[Any]:
         return frozenset(self._entries)

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.crdt.base import CRDTError, StateCRDT
+from repro.fastcopy import copy_state
 from repro.crdt.clock import LamportClock, Stamp
 
 #: The virtual head anchor that physical first-position inserts hang off.
@@ -217,7 +218,7 @@ class RGAList(StateCRDT):
             if element_id not in self._nodes:
                 # Deep-copy payloads so replicas never alias mutable subtrees.
                 self._integrate_insert(
-                    element_id, copy.deepcopy(node.payload), node.origin_anchor
+                    element_id, copy_state(node.payload), node.origin_anchor
                 )
             if node.tombstone:
                 self._nodes[element_id].tombstone = True

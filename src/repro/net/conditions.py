@@ -56,6 +56,8 @@ class NetworkConditions:
         return self._rng.randrange(queue_length)
 
     def is_partitioned(self, replica_a: str, replica_b: str) -> bool:
+        if not self.partitions:
+            return False
         return frozenset((replica_a, replica_b)) in self.partitions
 
     def partition(self, replica_a: str, replica_b: str) -> None:

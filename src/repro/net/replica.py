@@ -42,5 +42,23 @@ class ReplicaHost:
     def restore(self, snapshot: Any) -> None:
         self.rdl.restore(snapshot)
 
+    def snapshot(self) -> Any:
+        """Full host snapshot: RDL state plus the host's sync counters.
+
+        Unlike :meth:`checkpoint` (RDL state only), this captures everything
+        the replay engine needs to rewind the host mid-interleaving.
+        """
+        return {
+            "rdl": self.rdl.checkpoint(),
+            "applied_syncs": self.applied_syncs,
+            "sent_syncs": self.sent_syncs,
+        }
+
+    def restore_snapshot(self, snapshot: Any) -> None:
+        """Rewind to a :meth:`snapshot`; the snapshot stays reusable."""
+        self.rdl.restore(snapshot["rdl"])
+        self.applied_syncs = snapshot["applied_syncs"]
+        self.sent_syncs = snapshot["sent_syncs"]
+
     def __repr__(self) -> str:
         return f"ReplicaHost({self.replica_id!r}, rdl={type(self.rdl).__name__})"

@@ -20,7 +20,7 @@ class TransportError(Exception):
     """Raised on misuse of the transport (unknown channel, empty delivery)."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """One in-flight sync message."""
 
@@ -90,16 +90,26 @@ class Transport:
     def deliver_next(self, sender: str, receiver: str) -> Message:
         """Pop the next deliverable message on one channel."""
         queue = self._queues[(sender, receiver)]
+        conditions = self.conditions
+        if conditions.latency_ticks == 0:
+            # Zero latency: every queued message is deliverable.
+            if not queue:
+                raise TransportError(
+                    f"no deliverable message on channel {sender!r}->{receiver!r}"
+                )
+            message = queue.pop(conditions.pick_index(len(queue)))
+            self.delivered_count += 1
+            return message
         deliverable = [
             index
             for index, message in enumerate(queue)
-            if self._tick - message.sent_at_tick >= self.conditions.latency_ticks
+            if self._tick - message.sent_at_tick >= conditions.latency_ticks
         ]
         if not deliverable:
             raise TransportError(
                 f"no deliverable message on channel {sender!r}->{receiver!r}"
             )
-        pick = self.conditions.pick_index(len(deliverable))
+        pick = conditions.pick_index(len(deliverable))
         message = queue.pop(deliverable[pick])
         self.delivered_count += 1
         return message
@@ -123,3 +133,58 @@ class Transport:
     def reset(self) -> None:
         self._queues.clear()
         self._tick = 0
+
+    # ----------------------------------------------------------- snapshots
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Capture queues, tick and counters for mid-interleaving rewind.
+
+        :class:`Message` is frozen and sync payloads obey a ship-and-forget
+        contract — senders build a fresh payload per ``sync_payload`` call and
+        receivers adopt sub-objects only by copying (or by reference to
+        write-once data) — so the snapshot shares the queued ``Message``
+        objects instead of deep-copying their payloads.  Message ids stay
+        monotonic (``_ids`` is *not* captured), matching the counter
+        convention: ids never repeat across restores.
+
+        Note: the delivery RNG inside ``conditions`` is not captured, so a
+        snapshot only rewinds faithfully under deterministic conditions
+        (FIFO, no drops/duplicates) — the prefix cache checks this before
+        relying on snapshots.
+        """
+        return {
+            "queues": {
+                channel: tuple(queue)
+                for channel, queue in self._queues.items()
+                if queue
+            },
+            "tick": self._tick,
+            "counters": (
+                self.sent_count,
+                self.dropped_count,
+                self.delivered_count,
+                self.duplicated_count,
+            ),
+        }
+
+    def restore_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Rewind to a :meth:`snapshot`; the snapshot stays reusable."""
+        self._queues.clear()
+        for channel, queue in snapshot["queues"].items():
+            self._queues[channel] = list(queue)
+        self._tick = snapshot["tick"]
+        (
+            self.sent_count,
+            self.dropped_count,
+            self.delivered_count,
+            self.duplicated_count,
+        ) = snapshot["counters"]
+
+    def stats(self) -> Tuple[int, int, int, int]:
+        """(sent, dropped, delivered, duplicated) — monotonic counters."""
+        return (
+            self.sent_count,
+            self.dropped_count,
+            self.delivered_count,
+            self.duplicated_count,
+        )

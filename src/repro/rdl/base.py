@@ -23,6 +23,8 @@ import abc
 import copy
 from typing import Any, Dict, FrozenSet, Iterable, Optional, Set
 
+from repro.fastcopy import copy_state
+
 
 class RDLError(Exception):
     """An error surfaced by a simulated library (what app code would see as
@@ -53,7 +55,15 @@ class RDLReplica(abc.ABC):
 
     @abc.abstractmethod
     def sync_payload(self, target_replica_id: str) -> Any:
-        """The payload this replica would ship to ``target_replica_id``."""
+        """The payload this replica would ship to ``target_replica_id``.
+
+        Contract: building a payload must not mutate the sender's state, and
+        the returned payload must be ship-and-forget — a fresh object per
+        call, never mutated afterwards by sender or receiver.  The replay
+        engine's prefix cache relies on both properties (it shares the
+        sender's state snapshot across a ``SYNC_REQ`` and shares queued
+        payloads between transport snapshots).
+        """
 
     @abc.abstractmethod
     def apply_sync(self, payload: Any, from_replica_id: str) -> None:
@@ -64,11 +74,36 @@ class RDLReplica(abc.ABC):
         """The observable state app code reads."""
 
     def checkpoint(self) -> Any:
-        return copy.deepcopy(self.__dict__)
+        return copy_state(self.__dict__)
 
     def restore(self, snapshot: Any) -> None:
         self.__dict__.clear()
-        self.__dict__.update(copy.deepcopy(snapshot))
+        self.__dict__.update(copy_state(snapshot))
+
+    # --- copy-on-write snapshot protocol (engine-internal) ---------------
+    #
+    # The prefix-reuse replay engine avoids paying a deep copy on every
+    # restore *and* every snapshot: it installs cached state by reference
+    # (``adopt``) and snapshots live state by reference (``state_view``),
+    # then calls ``restore`` to materialise a private copy only right
+    # before the next mutation.  Both are only sound while the engine is
+    # the replica's sole writer and it materialises before every mutation.
+
+    #: Whether ``state_view``/``adopt`` capture this replica's full state.
+    #: True for replicas whose state lives entirely in ``__dict__`` (the
+    #: base ``checkpoint``/``restore`` shape).  Subjects that keep state in
+    #: external resources or use a custom snapshot format must set this
+    #: False — the replay engine then skips prefix reuse for their cluster.
+    supports_state_view = True
+
+    def adopt(self, snapshot: Any) -> None:
+        """Install ``snapshot`` WITHOUT copying; read-only until restore."""
+        self.__dict__.clear()
+        self.__dict__.update(snapshot)
+
+    def state_view(self) -> Any:
+        """An outer-shallow state snapshot sharing all inner containers."""
+        return dict(self.__dict__)
 
     def __repr__(self) -> str:
         flags = f", defects={sorted(self.defects)}" if self.defects else ""

@@ -26,6 +26,7 @@ import copy
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.crdt.clock import Stamp
+from repro.fastcopy import copy_state
 from repro.crdt.jsondoc import JSONDocument, PathKey
 from repro.crdt.rga import RGAList
 from repro.rdl.base import RDLError, RDLReplica
@@ -117,7 +118,7 @@ class YorkieDocument(RDLReplica):
         """A change pack: full document state plus the move log."""
         return {
             "doc_key": self.doc_key,
-            "doc": copy.deepcopy(self._doc),
+            "doc": copy_state(self._doc),
             "moves": list(self._move_log),
         }
 
@@ -130,7 +131,7 @@ class YorkieDocument(RDLReplica):
             # Misconception #1/#5 seeding: the app replaces its attached
             # document with the incoming change pack instead of invoking the
             # merge — whichever sync arrives last wins wholesale.
-            self._doc = copy.deepcopy(payload["doc"])
+            self._doc = copy_state(payload["doc"])
             return
         self._doc.merge(payload["doc"])
         lww = not self.has_defect("nonconvergent_move")
