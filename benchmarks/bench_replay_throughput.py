@@ -9,6 +9,9 @@ minimal-change order, capped at 1500 candidates.  Four arms:
                   checkpoint/restore/sync payloads, no prefix cache;
 * ``fast``      — current serial engine, structural fast-copy, no cache;
 * ``cache``     — current serial engine with the prefix snapshot cache;
+* ``sanitized`` — the cache arm with the differential soundness sanitizer
+                  shadow-replaying 25% of cached results from scratch
+                  (reports the sanitizer's overhead over plain caching);
 * ``parallel4`` — a 4-worker :class:`ParallelExplorer` sweep with per-worker
                   prefix caches (reported for completeness: pure in-memory
                   replays are GIL-bound, so this arm shines only for
@@ -37,6 +40,7 @@ from typing import Iterator, List, Tuple
 from repro.core.explorers import Explorer, ParallelExplorer
 from repro.core.interleavings import Interleaving, group_events, interleaving_stream
 from repro.core.replay import ReplayEngine
+from repro.core.sanitizer import Sanitizer
 from repro.fastcopy import legacy_deepcopy
 from repro.misconceptions.seeds import CRDTsNoCoordination
 from repro.proxy.recorder import EventRecorder
@@ -118,6 +122,17 @@ def run_arm(name: str, limit: int) -> Tuple[float, dict]:
             "entries": stats.entries,
             "evictions": stats.evictions,
         }
+    elif name == "sanitized":
+        cache = engine.enable_prefix_cache()
+        sanitizer = Sanitizer(rate=0.25, seed=0)
+        sanitizer.watch_engine(engine)
+        elapsed = timed_serial(engine, candidates)
+        extra = {
+            "rate": sanitizer.checker.rate,
+            "shadow_checks": sanitizer.checker.checks,
+            "shadow_overhead_s": round(sanitizer.checker.overhead_s, 6),
+            "divergences": len(sanitizer.log),
+        }
     elif name == "parallel4":
         base = _FixedStreamExplorer(events, candidates)
         parallel = ParallelExplorer(
@@ -150,7 +165,7 @@ def main() -> int:
     limit = args.limit or (200 if args.smoke else 1500)
     reps = args.reps or (2 if args.smoke else 5)
 
-    arms = ("seed", "fast", "cache", "parallel4")
+    arms = ("seed", "fast", "cache", "sanitized", "parallel4")
     best = {name: float("inf") for name in arms}
     info = {name: {} for name in arms}
     for rep in range(reps):
@@ -180,8 +195,13 @@ def main() -> int:
     }
     speedup = best["seed"] / best["cache"]
     report["cached_speedup_vs_seed"] = round(speedup, 2)
+    sanitizer_overhead = best["sanitized"] / best["cache"]
+    report["sanitizer_overhead_vs_cache"] = round(sanitizer_overhead, 2)
     OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"\ncached speedup vs seed engine: {speedup:.2f}x  -> {OUTPUT.name}")
+    print(
+        f"\ncached speedup vs seed engine: {speedup:.2f}x, "
+        f"sanitizer overhead vs cache: {sanitizer_overhead:.2f}x  -> {OUTPUT.name}"
+    )
 
     if not args.smoke and speedup < 3.0:
         print("FAIL: acceptance criterion is >= 3x cached vs seed engine")

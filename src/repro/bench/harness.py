@@ -29,6 +29,7 @@ from repro.core.pruning import (
 )
 from repro.core.replay import ReplayEngine
 from repro.core.resources import ResourceMeter
+from repro.core.sanitizer import Sanitizer
 from repro.net.cluster import Cluster
 from repro.proxy.recorder import EventRecorder
 
@@ -119,15 +120,31 @@ def hunt(
     meter: Optional[ResourceMeter] = None,
     workers: int = 1,
     prefix_cache: bool = False,
+    sanitize: Optional[float] = None,
+    sanitize_sample_k: int = 2,
 ) -> ExplorationResult:
     """Explore until the scenario's invariant breaks (bug reproduced).
 
     ``prefix_cache=True`` enables incremental prefix-reuse replay;
     ``workers > 1`` shards candidates across parallel worker engines while
     keeping the reported first violation identical to a serial hunt.
+    ``sanitize`` runs the differential soundness sanitizer alongside the
+    hunt: a ``sanitize`` fraction of cache-accelerated replays are
+    shadow-replayed from scratch, and every pruner's equivalence classes
+    are sampled and differentially replayed afterwards.  The report lands
+    on ``result.sanitizer``.
     """
     explorer = make_explorer(recorded, mode, seed=seed, meter=meter)
     assertions = recorded.scenario.make_assertions()
+    sanitizer: Optional[Sanitizer] = None
+    if sanitize is not None:
+        sanitizer = Sanitizer(rate=sanitize, sample_k=sanitize_sample_k, seed=seed)
+        sanitizer.watch_engine(recorded.engine)
+        if isinstance(explorer, ERPiExplorer):
+            sanitizer.watch_pruners(explorer.pipeline.pruners)
+            explorer.audit_pruners.append(
+                sanitizer.grouping_auditor(recorded.events, explorer.spec_groups)
+            )
     if workers > 1:
         parallel = ParallelExplorer(
             explorer,
@@ -136,10 +153,14 @@ def hunt(
             assertions_factory=recorded.scenario.make_assertions,
             prefix_cache=prefix_cache,
         )
-        return parallel.explore(recorded.engine, assertions, cap=cap)
-    if prefix_cache and recorded.engine.prefix_cache is None:
-        recorded.engine.enable_prefix_cache(meter=meter)
-    return explorer.explore(recorded.engine, assertions, cap=cap)
+        result = parallel.explore(recorded.engine, assertions, cap=cap)
+    else:
+        if prefix_cache and recorded.engine.prefix_cache is None:
+            recorded.engine.enable_prefix_cache(meter=meter)
+        result = explorer.explore(recorded.engine, assertions, cap=cap)
+    if sanitizer is not None:
+        result.sanitizer = sanitizer.finish(recorded.engine)
+    return result
 
 
 def hunt_all_modes(

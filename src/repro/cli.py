@@ -10,6 +10,7 @@ Commands:
 * ``fuzz``                       — fuzz the CRDT-collection subject.
 * ``profile <bug>``              — resource-profile a bug workload.
 * ``export <bug> <file>``        — dump a session as a Datalog program.
+* ``sanitize``                   — differential soundness sweep over all bugs.
 """
 
 from __future__ import annotations
@@ -46,6 +47,8 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
         extras.append(f"{args.workers} workers")
     if args.prefix_cache:
         extras.append("prefix cache")
+    if args.sanitize is not None:
+        extras.append(f"sanitize {args.sanitize:g}")
     extra_text = f" [{', '.join(extras)}]" if extras else ""
     print(
         f"{sc.name} (issue #{sc.issue}): {sc.expected_events} events recorded; "
@@ -58,7 +61,9 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
         seed=args.seed,
         workers=args.workers,
         prefix_cache=args.prefix_cache,
+        sanitize=args.sanitize,
     )
+    status = 1
     if result.found:
         print(
             f"reproduced after {result.explored:,} interleavings "
@@ -68,9 +73,14 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
         if args.show_interleaving:
             for event in result.violating.interleaving:
                 print(f"  {event.describe()}")
-        return 0
-    print(f"NOT reproduced within {result.explored:,} interleavings")
-    return 1
+        status = 0
+    else:
+        print(f"NOT reproduced within {result.explored:,} interleavings")
+    if result.sanitizer is not None:
+        print(result.sanitizer.summary())
+        if not result.sanitizer.ok:
+            return 2
+    return status
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -203,6 +213,50 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    from repro.bench.harness import hunt, record_scenario
+    from repro.bench.reporting import format_table
+    from repro.bugs import all_scenarios
+
+    rows = []
+    total_divergences = 0
+    for sc in all_scenarios():
+        recorded = record_scenario(sc)
+        result = hunt(
+            recorded,
+            "erpi",
+            cap=args.cap,
+            seed=args.seed,
+            prefix_cache=args.prefix_cache,
+            sanitize=args.rate,
+            sanitize_sample_k=args.sample_k,
+        )
+        report = result.sanitizer
+        total_divergences += len(report.divergences)
+        rows.append(
+            [
+                sc.name,
+                result.explored,
+                report.classes_checked,
+                report.members_checked,
+                report.shadow_checks,
+                len(report.divergences),
+                "OK" if report.ok else "DIVERGED",
+            ]
+        )
+    print(
+        format_table(
+            ["Bug", "Replays", "Classes", "Members", "Shadow", "Div", "Verdict"],
+            rows,
+        )
+    )
+    if total_divergences:
+        print(f"\n{total_divergences} divergence(s): pruning or cache is UNSOUND")
+        return 1
+    print("\nall equivalence classes and shadow replays agree")
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.bugs import scenario
     from repro.core.profiling import ResourceProfiler
@@ -252,6 +306,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="reuse cached event-prefix snapshots between replays",
     )
+    hunt.add_argument(
+        "--sanitize",
+        nargs="?",
+        const=1.0,
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="differentially check pruning classes and (at RATE, default 1.0)"
+        " shadow-replay cache-accelerated results; exit 2 on divergence",
+    )
 
     table1 = sub.add_parser("table1", help="regenerate Table 1")
     table1.add_argument("--cap", type=int, default=10_000)
@@ -292,6 +356,21 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("output")
     export.add_argument("--cap", type=int, default=200)
 
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="differential soundness sweep: sample every pruner class and "
+        "shadow-replay cached results across all bug scenarios",
+    )
+    sanitize.add_argument("--cap", type=int, default=200)
+    sanitize.add_argument("--seed", type=int, default=0)
+    sanitize.add_argument("--rate", type=float, default=1.0)
+    sanitize.add_argument("--sample-k", type=int, default=2)
+    sanitize.add_argument(
+        "--prefix-cache",
+        action="store_true",
+        help="also exercise (and shadow-check) prefix-cache replay",
+    )
+
     return parser
 
 
@@ -305,6 +384,7 @@ _COMMANDS = {
     "fuzz": _cmd_fuzz,
     "profile": _cmd_profile,
     "export": _cmd_export,
+    "sanitize": _cmd_sanitize,
 }
 
 

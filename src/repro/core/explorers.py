@@ -63,6 +63,9 @@ class ExplorationResult:
     crash_reason: Optional[str] = None
     violating: Optional[InterleavingOutcome] = None
     pruning_stats: Dict[str, int] = field(default_factory=dict)
+    #: Filled in by callers that ran the soundness sanitizer
+    #: (a :class:`repro.core.sanitizer.SanitizerReport`).
+    sanitizer: Optional[object] = None
 
     @property
     def capped(self) -> bool:
@@ -194,10 +197,18 @@ class ERPiExplorer(Explorer):
         self.pipeline = PrunerPipeline(pruners or [])
         self.order = order
         self.grouping: GroupingResult = group_events(self.events, self.spec_groups)
+        #: Observers evaluated on *every* generated candidate (pruned or not)
+        #: without affecting which candidates are yielded — the soundness
+        #: sanitizer's grouping auditor hooks in here.
+        self.audit_pruners: List[Pruner] = []
 
     def candidates(self) -> Iterator[Interleaving]:
         self.pipeline.reset()
+        for pruner in self.audit_pruners:
+            pruner.reset()
         for interleaving in interleaving_stream(self.grouping.units, order=self.order):
+            for pruner in self.audit_pruners:
+                pruner.is_redundant(interleaving)
             if self.pipeline.is_redundant(interleaving):
                 # Pruned: never replayed, but the seen-set entry costs memory.
                 self.meter.charge("erpi_seen", 16)
@@ -276,6 +287,9 @@ class ParallelExplorer:
             engine = ReplayEngine(cluster)
             if self.prefix_cache:
                 engine.enable_prefix_cache(meter=getattr(self.base, "meter", None))
+            # Share the reference engine's shadow checker (it is thread-safe)
+            # so sanitized runs cross-check worker replays too.
+            engine.sanitizer = reference.sanitizer
             engine.checkpoint()
             worker_assertions = (
                 self.assertions_factory() if self.assertions_factory else assertions

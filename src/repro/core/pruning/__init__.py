@@ -1,6 +1,6 @@
 """ER-pi's four pruning algorithms (paper section 3)."""
 
-from repro.core.pruning.base import Pruner, PrunerPipeline, PruneStats
+from repro.core.pruning.base import ClassSampler, Pruner, PrunerPipeline, PruneStats
 from repro.core.pruning.failed_ops import FailedOpsPruner
 from repro.core.pruning.grouping import EventGroupPruner
 from repro.core.pruning.independence import EventIndependencePruner, default_interference
@@ -11,6 +11,7 @@ from repro.core.pruning.replica_specific import (
 )
 
 __all__ = [
+    "ClassSampler",
     "EventGroupPruner",
     "EventIndependencePruner",
     "FailedOpsPruner",

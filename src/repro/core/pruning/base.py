@@ -16,8 +16,9 @@ Two usage styles:
 from __future__ import annotations
 
 import abc
+import random
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.interleavings import Interleaving
 
@@ -35,6 +36,56 @@ class PruneStats:
         return self.examined - self.pruned
 
 
+class ClassSampler:
+    """Per-class bookkeeping for the differential sanitizer.
+
+    Records, for every equivalence class a pruner sees, the representative
+    (the first member — the one the explorer actually replays) and a seeded
+    reservoir sample of up to ``sample_k`` *skipped* members, so the
+    sanitizer can later replay both sides fresh and assert they agree.
+    """
+
+    def __init__(self, sample_k: int = 2, seed: int = 0) -> None:
+        if sample_k < 1:
+            raise ValueError("sample_k must be >= 1")
+        self.sample_k = sample_k
+        self._rng = random.Random(f"{seed}:class-sampler")
+        self._reps: Dict[Hashable, Interleaving] = {}
+        self._samples: Dict[Hashable, List[Interleaving]] = {}
+        self._skipped_counts: Dict[Hashable, int] = {}
+
+    def saw_representative(self, class_key: Hashable, interleaving: Interleaving) -> None:
+        self._reps[class_key] = interleaving
+
+    def saw_skipped(self, class_key: Hashable, interleaving: Interleaving) -> None:
+        count = self._skipped_counts.get(class_key, 0) + 1
+        self._skipped_counts[class_key] = count
+        bucket = self._samples.setdefault(class_key, [])
+        if len(bucket) < self.sample_k:
+            bucket.append(interleaving)
+        else:
+            # Reservoir sampling: every skipped member ends up in the sample
+            # with equal probability, however many the class accumulates.
+            slot = self._rng.randrange(count)
+            if slot < self.sample_k:
+                bucket[slot] = interleaving
+
+    def classes(self) -> Iterator[Tuple[Hashable, Interleaving, List[Interleaving]]]:
+        """Yield ``(class_key, representative, sampled_skipped_members)`` for
+        every class that actually merged at least one interleaving."""
+        for class_key, members in self._samples.items():
+            yield class_key, self._reps[class_key], list(members)
+
+    @property
+    def merged_classes(self) -> int:
+        return len(self._samples)
+
+    def clear(self) -> None:
+        self._reps.clear()
+        self._samples.clear()
+        self._skipped_counts.clear()
+
+
 class Pruner(abc.ABC):
     """One pruning algorithm: a canonical-class-key function plus stats."""
 
@@ -43,10 +94,17 @@ class Pruner(abc.ABC):
     def __init__(self) -> None:
         self._seen: Set[Hashable] = set()
         self.stats = PruneStats(name=self.name)
+        self.sampler: Optional[ClassSampler] = None
 
     @abc.abstractmethod
     def key(self, interleaving: Interleaving) -> Hashable:
         """The equivalence-class key of ``interleaving`` for this pruner."""
+
+    def enable_sampling(self, sample_k: int = 2, seed: int = 0) -> ClassSampler:
+        """Start recording class representatives + sampled skipped members
+        (the input to the differential soundness sanitizer)."""
+        self.sampler = ClassSampler(sample_k=sample_k, seed=seed)
+        return self.sampler
 
     def is_redundant(self, interleaving: Interleaving) -> bool:
         """Streaming check: True iff an equivalent interleaving was seen.
@@ -56,15 +114,22 @@ class Pruner(abc.ABC):
         """
         self.stats.examined += 1
         class_key = self.key(interleaving)
+        sampler = self.sampler
         if class_key in self._seen:
             self.stats.pruned += 1
+            if sampler is not None:
+                sampler.saw_skipped(class_key, interleaving)
             return True
         self._seen.add(class_key)
+        if sampler is not None:
+            sampler.saw_representative(class_key, interleaving)
         return False
 
     def reset(self) -> None:
         self._seen.clear()
         self.stats = PruneStats(name=self.name)
+        if self.sampler is not None:
+            self.sampler.clear()
 
     def apply(self, interleavings: Sequence[Interleaving]) -> List[Interleaving]:
         """Batch dedupe, keep-first.  Uses a fresh seen-set."""
@@ -78,6 +143,11 @@ class PrunerPipeline:
 
     def __init__(self, pruners: Iterable[Pruner]) -> None:
         self.pruners: List[Pruner] = list(pruners)
+
+    def enable_sampling(self, sample_k: int = 2, seed: int = 0) -> None:
+        """Enable class sampling on every pruner (seeds derived per pruner)."""
+        for index, pruner in enumerate(self.pruners):
+            pruner.enable_sampling(sample_k=sample_k, seed=seed + index)
 
     def is_redundant(self, interleaving: Interleaving) -> bool:
         # Evaluate every pruner so each one's seen-set and stats stay

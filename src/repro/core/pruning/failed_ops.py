@@ -42,6 +42,8 @@ class FailedOpsPruner(Pruner):
             raise ConstraintError("an event cannot be both predecessor and successor")
 
     def key(self, interleaving: Interleaving) -> Hashable:
+        # Namespaced like EventIndependencePruner.key: a raw (own-class) id
+        # sequence must never collide with a canonicalised one.
         ids = [event.event_id for event in interleaving]
         pred_positions = [
             index for index, eid in enumerate(ids) if eid in self.predecessor_ids
@@ -50,13 +52,13 @@ class FailedOpsPruner(Pruner):
             index for index, eid in enumerate(ids) if eid in self.successor_ids
         ]
         if not pred_positions or not succ_positions:
-            return tuple(ids)
+            return ("raw", tuple(ids))
         if max(pred_positions) > min(succ_positions):
             # Some successor runs before a predecessor: its precondition may
             # still hold, so orders are NOT exchangeable — own class.
-            return tuple(ids)
+            return ("raw", tuple(ids))
         # All successors are doomed; their relative order is irrelevant.
         sorted_successors = sorted(ids[index] for index in succ_positions)
         for slot, index in enumerate(succ_positions):
             ids[index] = sorted_successors[slot]
-        return tuple(ids)
+        return ("canon", tuple(ids))

@@ -54,13 +54,20 @@ class EventIndependencePruner(Pruner):
         self._interference = interference or default_interference
 
     def key(self, interleaving: Interleaving) -> Hashable:
+        # The two key kinds are namespaced: a non-exchangeable interleaving's
+        # literal id sequence ("raw") can coincide with the *canonicalised*
+        # sequence of an exchangeable class ("canon") — e.g. when a pruner
+        # built from a constraints file is applied across recordings that
+        # reuse the e1..eN id space with different event payloads.  An
+        # untagged collision would merge a non-exchangeable interleaving into
+        # the exchangeable class and silently skip a violating schedule.
         positions = [
             index
             for index, event in enumerate(interleaving)
             if event.event_id in self.independent_ids
         ]
         if len(positions) < 2:
-            return tuple(event.event_id for event in interleaving)
+            return ("raw", tuple(event.event_id for event in interleaving))
         independent_replicas = frozenset(
             interleaving[index].replica_id for index in positions
         )
@@ -72,10 +79,10 @@ class EventIndependencePruner(Pruner):
             if self._interference(event, independent_replicas):
                 # An interfering event sits inside the span: orders are not
                 # exchangeable here, keep the interleaving as its own class.
-                return tuple(event.event_id for event in interleaving)
+                return ("raw", tuple(event.event_id for event in interleaving))
         # Canonicalise: sort the independent events into their positions.
         ids = [event.event_id for event in interleaving]
         sorted_independent = sorted(ids[index] for index in positions)
         for slot, index in enumerate(positions):
             ids[index] = sorted_independent[slot]
-        return tuple(ids)
+        return ("canon", tuple(ids))

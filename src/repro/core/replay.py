@@ -530,6 +530,10 @@ class ReplayEngine:
         self.cluster = cluster
         self.executor = executor or SequentialExecutor()
         self.prefix_cache = prefix_cache
+        #: Optional online cross-checker (see repro.core.sanitizer): when
+        #: attached, a configurable fraction of cache-accelerated replays are
+        #: shadow-replayed from scratch and diffed against the cached result.
+        self.sanitizer: Optional[Any] = None
         self._checkpoint: Optional[Dict[str, Any]] = None
         #: Transport counter deltas for the most recent replay
         #: (sent, dropped, delivered, duplicated).
@@ -591,10 +595,35 @@ class ReplayEngine:
         """Replay one interleaving from the checkpoint and run assertions."""
         if self._checkpoint is None:
             raise ReplayError("checkpoint() must be called before replay()")
-        if self.prefix_cache_active():
+        cached = self.prefix_cache_active()
+        if cached:
             outcome = self._replay_cached(interleaving)
         else:
             outcome = self._replay_fresh(interleaving)
+        if cached and self.sanitizer is not None:
+            self.sanitizer.maybe_check(self, interleaving, outcome)
+        for assertion in assertions:
+            message = assertion(outcome)
+            if message is not None:
+                outcome.violations.append(message)
+        return outcome
+
+    def replay_fresh(
+        self,
+        interleaving: Interleaving,
+        assertions: Sequence[Assertion] = (),
+    ) -> InterleavingOutcome:
+        """A from-scratch replay that bypasses the prefix cache.
+
+        Used by the differential sanitizer as its ground truth: the cluster
+        is restored to the checkpoint and every event re-executes, whatever
+        caches are attached.  Safe to interleave with cached replays — the
+        engine's live-state tracking is invalidated so the next cached
+        replay restores honestly.
+        """
+        if self._checkpoint is None:
+            raise ReplayError("checkpoint() must be called before replay_fresh()")
+        outcome = self._replay_fresh(interleaving)
         for assertion in assertions:
             message = assertion(outcome)
             if message is not None:

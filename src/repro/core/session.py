@@ -40,6 +40,7 @@ from repro.core.replay import (
     LockSteppedExecutor,
     ReplayEngine,
 )
+from repro.core.sanitizer import Sanitizer, SanitizerReport
 from repro.datalog.store import InterleavingStore
 from repro.net.cluster import Cluster
 from repro.proxy.recorder import EventRecorder
@@ -56,6 +57,7 @@ class SessionReport:
     violations: List[Tuple[int, str]]  # (outcome index, message)
     cross_violations: List[Tuple[str, str]]  # (check name, message)
     pruning_stats: Dict[str, int]
+    sanitizer: Optional[SanitizerReport] = None
 
     @property
     def violated(self) -> bool:
@@ -77,6 +79,8 @@ class SessionReport:
         ]
         for name, pruned in sorted(self.pruning_stats.items()):
             lines.append(f"  pruned by {name}: {pruned:,}")
+        if self.sanitizer is not None:
+            lines.append(self.sanitizer.summary())
         return "\n".join(lines)
 
 
@@ -93,6 +97,9 @@ class ErPi:
         lock_stepped: bool = False,
         read_methods: Optional[Sequence[str]] = None,
         prefix_cache: bool = False,
+        sanitize: Optional[float] = None,
+        sanitize_sample_k: int = 2,
+        sanitize_seed: int = 0,
     ) -> None:
         """``replica_scope`` enables Algorithm-2 pruning for that replica
         (paper: pass the replica id to the Start/End higher-order functions);
@@ -109,7 +116,14 @@ class ErPi:
         re-executes only the suffix.  Results are identical either way; the
         engine falls back to fresh full replays whenever reuse would be
         unsound (lock-stepped executor, nondeterministic network, or a
-        subject without copy-on-write state views)."""
+        subject without copy-on-write state views).
+        ``sanitize`` enables the differential soundness sanitizer: it is the
+        probability (0..1) that a cache-accelerated replay is shadow-replayed
+        from scratch and diffed; independently, every pruner's equivalence
+        classes are sampled (``sanitize_sample_k`` skipped members each) and
+        differentially replayed at :meth:`end`.  Divergences land in the
+        report (and, with ``persist=True``, as ``divergence`` Datalog
+        facts)."""
         self.cluster = cluster
         self.replica_scope = replica_scope
         self.read_scoped = read_scoped
@@ -122,6 +136,15 @@ class ErPi:
         self._engine = ReplayEngine(cluster, executor)
         if prefix_cache:
             self._engine.enable_prefix_cache()
+        self._sanitizer: Optional[Sanitizer] = None
+        if sanitize is not None:
+            self._sanitizer = Sanitizer(
+                rate=sanitize,
+                sample_k=sanitize_sample_k,
+                seed=sanitize_seed,
+                store=self.store,
+            )
+            self._sanitizer.watch_engine(self._engine)
         self._extra_constraints: List[Constraint] = []
 
     # ------------------------------------------------------------- markers
@@ -202,6 +225,12 @@ class ErPi:
             pruners=pruners,
             order=order,
         )
+        if self._sanitizer is not None:
+            self._sanitizer.reset_pruners()
+            self._sanitizer.watch_pruners(explorer.pipeline.pruners)
+            explorer.audit_pruners.append(
+                self._sanitizer.grouping_auditor(events, explorer.spec_groups)
+            )
 
         outcomes: List[InterleavingOutcome] = []
         violations: List[Tuple[int, str]] = []
@@ -231,6 +260,12 @@ class ErPi:
             if message is not None:
                 cross_violations.append((check.name, message))
 
+        # Differentially replay the sampled equivalence classes before the
+        # cluster is reset (replay_fresh restores the checkpoint itself).
+        sanitizer_report: Optional[SanitizerReport] = None
+        if self._sanitizer is not None:
+            sanitizer_report = self._sanitizer.finish(self._engine)
+
         # Reset the cluster to the pre-workload checkpoint so the session can
         # be rerun (or another session started) from a clean slate.
         self._engine.restore()
@@ -258,4 +293,5 @@ class ErPi:
             violations=violations,
             cross_violations=cross_violations,
             pruning_stats=pruning_stats,
+            sanitizer=sanitizer_report,
         )

@@ -8,6 +8,9 @@ Schema (all facts):
 * ``il_meta(il_id, length)`` — per-interleaving length.
 * ``pruned(il_id, algorithm)`` — marked by the pruning passes.
 * ``explored(il_id, verdict)`` — replay bookkeeping ("ok" / "violation").
+* ``divergence(class_key, rep_id, member_id, field)`` — soundness sanitizer
+  findings: an equivalence-class member whose observables differ from its
+  representative (or a cached replay differing from a fresh one).
 
 ER-pi's runtime uses this store as its persistence layer; the exploration
 loop reads back only interleavings that are neither pruned nor explored.
@@ -99,3 +102,14 @@ class InterleavingStore:
         return sorted(
             row[0] for row in self.db.rows("explored") if row[1] == "violation"
         )
+
+    # ----------------------------------------------------------- sanitizer
+
+    def persist_divergence(
+        self, class_key: str, rep_id: str, member_id: str, field: str
+    ) -> None:
+        """Record one sanitizer finding as a queryable fact."""
+        self.db.add("divergence", class_key, rep_id, member_id, field)
+
+    def divergences(self) -> List[Tuple[str, str, str, str]]:
+        return sorted(self.db.rows("divergence"))

@@ -25,6 +25,13 @@ class NetworkConditions:
     * ``latency_ticks`` — messages become deliverable only after this many
       transport ticks.
     * ``partitions`` — unordered replica pairs that cannot exchange messages.
+
+    Each random behaviour (drop, duplicate, reorder) draws from its *own*
+    seeded stream, all derived from ``seed``.  With a single shared stream,
+    enabling any one condition would shift the random draws of the others,
+    so e.g. turning duplication on would change *which* messages get dropped
+    for the same seed — breaking seed-for-seed reproducibility across
+    configurations.
     """
 
     fifo: bool = True
@@ -41,19 +48,29 @@ class NetworkConditions:
             raise ValueError("duplicate_rate must be a probability")
         if self.latency_ticks < 0:
             raise ValueError("latency_ticks must be non-negative")
-        self._rng = random.Random(self.seed)
+        self.reseed(self.seed)
+
+    def reseed(self, seed: int) -> None:
+        """(Re)derive the per-purpose random streams from ``seed``."""
+        self.seed = seed
+        self._drop_rng = random.Random(f"{seed}:drop")
+        self._duplicate_rng = random.Random(f"{seed}:duplicate")
+        self._reorder_rng = random.Random(f"{seed}:reorder")
 
     def should_drop(self) -> bool:
-        return self.drop_rate > 0 and self._rng.random() < self.drop_rate
+        return self.drop_rate > 0 and self._drop_rng.random() < self.drop_rate
 
     def should_duplicate(self) -> bool:
-        return self.duplicate_rate > 0 and self._rng.random() < self.duplicate_rate
+        return (
+            self.duplicate_rate > 0
+            and self._duplicate_rng.random() < self.duplicate_rate
+        )
 
     def pick_index(self, queue_length: int) -> int:
         """Which queued message to deliver next (0 under FIFO)."""
         if self.fifo or queue_length <= 1:
             return 0
-        return self._rng.randrange(queue_length)
+        return self._reorder_rng.randrange(queue_length)
 
     def is_partitioned(self, replica_a: str, replica_b: str) -> bool:
         if not self.partitions:
@@ -61,6 +78,10 @@ class NetworkConditions:
         return frozenset((replica_a, replica_b)) in self.partitions
 
     def partition(self, replica_a: str, replica_b: str) -> None:
+        if replica_a == replica_b:
+            # frozenset((a, a)) collapses to a size-1 set that is_partitioned
+            # can never match: a self-pair would be silently ineffective.
+            raise ValueError("cannot partition a replica from itself")
         self.partitions.add(frozenset((replica_a, replica_b)))
 
     def heal(self, replica_a: Optional[str] = None, replica_b: Optional[str] = None) -> None:
@@ -70,4 +91,6 @@ class NetworkConditions:
             return
         if replica_a is None or replica_b is None:
             raise ValueError("heal takes zero or two replica ids")
+        if replica_a == replica_b:
+            raise ValueError("heal takes two distinct replica ids")
         self.partitions.discard(frozenset((replica_a, replica_b)))

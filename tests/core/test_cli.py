@@ -82,3 +82,25 @@ class TestCommands:
         from repro.datalog.parser import evaluate_text
         db = evaluate_text(text)
         assert db.size("explored") == 50
+
+
+class TestSanitizeCli:
+    def test_hunt_sanitize_flag_defaults(self):
+        args = build_parser().parse_args(["hunt", "Roshi-2"])
+        assert args.sanitize is None
+        args = build_parser().parse_args(["hunt", "Roshi-2", "--sanitize"])
+        assert args.sanitize == 1.0
+        args = build_parser().parse_args(["hunt", "Roshi-2", "--sanitize", "0.25"])
+        assert args.sanitize == 0.25
+
+    def test_hunt_with_sanitize_prints_report(self, capsys):
+        assert main(["hunt", "Roshi-2", "--sanitize", "--prefix-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "sanitizer: OK" in out
+
+    def test_sanitize_sweep_is_clean(self, capsys):
+        assert main(["sanitize", "--cap", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Verdict" in out
+        assert "DIVERGED" not in out
+        assert "all equivalence classes and shadow replays agree" in out

@@ -272,3 +272,53 @@ class TestPrunerPipeline:
         pipeline.is_redundant((i1, i2))
         pipeline.reset()
         assert not pipeline.is_redundant((i1, i2))
+
+
+class TestKeyNamespacing:
+    """Raw (own-class) keys must never collide with canonicalised keys.
+
+    Before the keys were tagged, both paths returned bare event-id tuples,
+    and a non-exchangeable interleaving whose literal order happens to spell
+    out a canonical order was silently merged into the exchangeable class —
+    an unsound merge that skips a schedule that can behave differently.
+    """
+
+    def test_independence_raw_key_must_not_collide_with_canonical(self):
+        pruner = EventIndependencePruner(["e1", "e3"])
+        # e2 runs at C: outside the independent replicas, no interference,
+        # so the class canonicalises to the id order (e1, e2, e3).
+        exchangeable = (
+            make_update("e3", "B", "op"),
+            make_update("e2", "C", "op"),
+            make_update("e1", "A", "op"),
+        )
+        # Same literal id sequence (e1, e2, e3) — but here e2 runs at A,
+        # inside the span, so the orders are NOT exchangeable (own class).
+        clashing = (
+            make_update("e1", "A", "op"),
+            make_update("e2", "A", "op"),
+            make_update("e3", "B", "op"),
+        )
+        canon_key = pruner.key(exchangeable)
+        raw_key = pruner.key(clashing)
+        # The id sequences coincide; only the namespace separates them.
+        assert canon_key[1] == raw_key[1] == ("e1", "e2", "e3")
+        assert canon_key != raw_key
+        # Streaming: the clashing interleaving must NOT be pruned as a
+        # duplicate of the exchangeable class.
+        assert not pruner.is_redundant(exchangeable)
+        assert not pruner.is_redundant(clashing)
+
+    def test_independence_fallback_key_is_tagged_raw(self):
+        pruner = EventIndependencePruner(["e1", "e3"])
+        only_one = (make_update("e1", "A", "op"), make_update("e2", "B", "op"))
+        assert pruner.key(only_one)[0] == "raw"
+
+    def test_failed_ops_keys_are_tagged(self):
+        e1 = make_update("e1", "A", "op")
+        e2 = make_update("e2", "B", "op")
+        e3 = make_update("e3", "B", "op")
+        pruner = FailedOpsPruner(["e1"], ["e2", "e3"])
+        assert pruner.key((e1, e3, e2))[0] == "canon"
+        assert pruner.key((e2, e1, e3))[0] == "raw"
+        assert pruner.key((e2, e3))[0] == "raw"  # predecessors absent
