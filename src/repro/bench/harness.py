@@ -27,7 +27,7 @@ from repro.core.pruning import (
     Pruner,
     ReplicaSpecificPruner,
 )
-from repro.core.replay import ReplayEngine
+from repro.core.replay import ReplayEngine, SequentialExecutor
 from repro.core.resources import ResourceMeter
 from repro.core.sanitizer import Sanitizer
 from repro.net.cluster import Cluster
@@ -96,19 +96,21 @@ def make_explorer(
     mode: str,
     seed: int = 0,
     meter: Optional[ResourceMeter] = None,
+    events: Optional[Sequence[Event]] = None,
 ) -> Explorer:
     scenario = recorded.scenario
+    schedule = tuple(events) if events is not None else recorded.events
     if mode == "erpi":
         return ERPiExplorer(
-            recorded.events,
+            schedule,
             meter=meter,
             spec_groups=scenario.spec_groups(),
             pruners=scenario_pruners(scenario),
         )
     if mode == "dfs":
-        return DFSExplorer(recorded.events, meter=meter)
+        return DFSExplorer(schedule, meter=meter)
     if mode == "rand":
-        return RandomExplorer(recorded.events, meter=meter, seed=seed)
+        return RandomExplorer(schedule, meter=meter, seed=seed)
     raise ValueError(f"unknown exploration mode {mode!r}")
 
 
@@ -122,6 +124,9 @@ def hunt(
     prefix_cache: bool = False,
     sanitize: Optional[float] = None,
     sanitize_sample_k: int = 2,
+    faults: bool = False,
+    replay_timeout_s: Optional[float] = None,
+    stop_on_violation: bool = True,
 ) -> ExplorationResult:
     """Explore until the scenario's invariant breaks (bug reproduced).
 
@@ -133,8 +138,32 @@ def hunt(
     shadow-replayed from scratch, and every pruner's equivalence classes
     are sampled and differentially replayed afterwards.  The report lands
     on ``result.sanitizer``.
+
+    ``faults=True`` compiles the scenario's :meth:`BugScenario.fault_plan`
+    into the schedule: the crash/recover (and partition/heal) events are
+    permuted alongside the recorded events, constrained by the plan's
+    anchors.  ``replay_timeout_s`` arms the per-replay watchdog; a replay
+    that exceeds it is quarantined rather than hanging the hunt.
     """
-    explorer = make_explorer(recorded, mode, seed=seed, meter=meter)
+    schedule: Optional[Sequence[Event]] = None
+    order_constraints: Tuple[Tuple[str, str], ...] = ()
+    fault_plan = None
+    if faults:
+        fault_plan = recorded.scenario.fault_plan()
+        if fault_plan is None or fault_plan.is_empty():
+            raise ValueError(
+                f"{recorded.scenario.name} declares no fault plan; "
+                "hunt with faults=False"
+            )
+        compiled = fault_plan.compile(recorded.events)
+        schedule = compiled.events
+        order_constraints = compiled.order_constraints
+    if replay_timeout_s is not None:
+        recorded.engine.executor = SequentialExecutor(timeout_s=replay_timeout_s)
+    explorer = make_explorer(recorded, mode, seed=seed, meter=meter, events=schedule)
+    explorer.order_constraints = order_constraints
+    if fault_plan is not None:
+        explorer.fault_plan_description = fault_plan.describe()
     assertions = recorded.scenario.make_assertions()
     sanitizer: Optional[Sanitizer] = None
     if sanitize is not None:
@@ -153,11 +182,15 @@ def hunt(
             assertions_factory=recorded.scenario.make_assertions,
             prefix_cache=prefix_cache,
         )
-        result = parallel.explore(recorded.engine, assertions, cap=cap)
+        result = parallel.explore(
+            recorded.engine, assertions, cap=cap, stop_on_violation=stop_on_violation
+        )
     else:
         if prefix_cache and recorded.engine.prefix_cache is None:
             recorded.engine.enable_prefix_cache(meter=meter)
-        result = explorer.explore(recorded.engine, assertions, cap=cap)
+        result = explorer.explore(
+            recorded.engine, assertions, cap=cap, stop_on_violation=stop_on_violation
+        )
     if sanitizer is not None:
         result.sanitizer = sanitizer.finish(recorded.engine)
     return result

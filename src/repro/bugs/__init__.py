@@ -1,7 +1,21 @@
 """The 12 bug benchmarks of the paper's Table 1, as replayable scenarios."""
 
 # Importing the scenario modules registers them.
-from repro.bugs import orbitdb_bugs, replicadb_bugs, roshi_bugs, yorkie_bugs  # noqa: F401
-from repro.bugs.registry import BugScenario, all_scenarios, scenario, scenario_names
+from repro.bugs import fault_bugs, orbitdb_bugs, replicadb_bugs, roshi_bugs, yorkie_bugs  # noqa: F401
+from repro.bugs.registry import (
+    BugScenario,
+    all_scenarios,
+    fault_scenario_names,
+    fault_scenarios,
+    scenario,
+    scenario_names,
+)
 
-__all__ = ["BugScenario", "all_scenarios", "scenario", "scenario_names"]
+__all__ = [
+    "BugScenario",
+    "all_scenarios",
+    "fault_scenario_names",
+    "fault_scenarios",
+    "scenario",
+    "scenario_names",
+]

@@ -1,0 +1,314 @@
+"""Seeded crash–recovery bug scenarios (one per subject).
+
+Each scenario couples a defect in the subject's *durability* story with a
+:class:`~repro.faults.plan.FaultPlan`: the recorded happy path (and its
+canonical fault placement) is clean, but displacing the crash/recover window
+relative to ordinary events exposes the bug — exactly the class of defect
+only a fault-interleaving replay can find.
+
+Design rules shared by all of them:
+
+* The canonical schedule (fault events at their anchor positions) must not
+  violate — ER-pi's first replay is the recorded run, and a user's
+  happy-path run is bug-free by construction.
+* The *fixed* library (defect flags removed) must survive every valid
+  schedule, including the fault-bearing ones: crashes on the fixed subject
+  are lossless in observables, or the plan's ``recover_before`` anchor
+  guarantees a post-recovery re-delivery for everything volatile (see
+  :func:`repro.core.assertions.delivery_knowledge` for the settledness
+  contract).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.bugs.registry import BugScenario, register
+from repro.core.assertions import (
+    assert_convergence_when_settled,
+    assert_no_failed_op_matching,
+)
+from repro.core.replay import Assertion
+from repro.faults.plan import CrashSpec, FaultPlan
+from repro.net.cluster import Cluster
+from repro.rdl.orbitdb import OrbitDBStore
+from repro.rdl.replicadb import ReplicaDBJob
+from repro.rdl.roshi import RoshiReplica
+from repro.rdl.yorkie import YorkieDocument
+
+
+@register
+class RoshiCR(BugScenario):
+    """Crash amnesia amplifying issue #11: the tie-break consults the
+    process-memory ``_last_op`` cache, which a crash erases while the Redis
+    farm (both stamps of the tie) survives.  A replica that resolved an
+    add/delete timestamp tie to "deleted" before the crash resolves the same
+    tie to "present" after it — permanent divergence from a peer that never
+    restarted.  No non-fault interleaving of this workload diverges: the tie
+    is pre-seeded identically on both replicas, so only the crash changes
+    anyone's arrival memory.
+    """
+
+    name = "Roshi-CR"
+    issue = 11
+    subject = "Roshi"
+    expected_events = 5
+    status = "seeded"
+    reason = "crash-recovery"
+    description = "crash erases the arrival cache the tie-break depends on"
+
+    def build_cluster(self, fixed: bool = False) -> Cluster:
+        defects = set() if fixed else {"no_tie_break"}
+        cluster = Cluster()
+        for rid in ("A", "B"):
+            cluster.add_replica(rid, RoshiReplica(rid, defects=set(defects)))
+        # Setup (not recorded): both replicas already indexed the event at
+        # t=5, so the only recorded update is the tying delete.
+        for rid in ("A", "B"):
+            cluster.rdl(rid).insert("feed", "m1", 5.0)
+        return cluster
+
+    def fixed_defects(self) -> frozenset:
+        return frozenset({"no_tie_break"})
+
+    def workload(self, cluster: Cluster) -> None:
+        b = cluster.rdl("B")
+        b.delete("feed", "m1", 5.0)    # e1  ties with the seeded add
+        cluster.sync("B", "A")         # e2, e3   A learns the delete
+        cluster.sync("A", "B")         # e4, e5
+        # Crash window (f1, f2): canonical position right after e1, where
+        # A has no arrival memory worth losing.  Displaced after e3, the
+        # restart wipes A's "last op was the delete" memory.
+
+    def fault_plan(self) -> FaultPlan:
+        return FaultPlan(
+            crashes=(CrashSpec("A", crash_after="e1", recover_after="e1"),)
+        )
+
+    def make_assertions(self) -> List[Assertion]:
+        return [assert_convergence_when_settled(["A", "B"])]
+
+
+@register
+class RoshiCR2(BugScenario):
+    """Roshi-CR with an extra, unrelated feed update declared independent.
+
+    Same crash-amnesia defect as :class:`RoshiCR`; the additional update e1
+    (an insert into a disjoint feed, at the other replica) is declared
+    mutually independent with the tying delete e2 via
+    :meth:`independence_constraints`, so the hunt exercises
+    :class:`~repro.core.pruning.independence.EventIndependencePruner` on
+    *fault-bearing* schedules — the sanitizer's fault-class coverage rides
+    on this scenario.
+    """
+
+    name = "Roshi-CR2"
+    issue = 11
+    subject = "Roshi"
+    expected_events = 6
+    status = "seeded"
+    reason = "crash-recovery"
+    description = "crash amnesia hunted with an independent-events declaration"
+
+    def build_cluster(self, fixed: bool = False) -> Cluster:
+        defects = set() if fixed else {"no_tie_break"}
+        cluster = Cluster()
+        for rid in ("A", "B"):
+            cluster.add_replica(rid, RoshiReplica(rid, defects=set(defects)))
+        for rid in ("A", "B"):
+            cluster.rdl(rid).insert("feed", "m1", 5.0)
+        return cluster
+
+    def fixed_defects(self) -> frozenset:
+        return frozenset({"no_tie_break"})
+
+    def workload(self, cluster: Cluster) -> None:
+        a = cluster.rdl("A")
+        b = cluster.rdl("B")
+        a.insert("other", "x1", 1.0)   # e1  disjoint feed, independent of e2
+        b.delete("feed", "m1", 5.0)    # e2  ties with the seeded add
+        cluster.sync("B", "A")         # e3, e4
+        cluster.sync("A", "B")         # e5, e6
+
+    def independence_constraints(self) -> List[Tuple[str, ...]]:
+        return [("e1", "e2")]
+
+    def fault_plan(self) -> FaultPlan:
+        return FaultPlan(
+            crashes=(CrashSpec("A", crash_after="e2", recover_after="e2"),)
+        )
+
+    def make_assertions(self) -> List[Assertion]:
+        return [assert_convergence_when_settled(["A", "B"])]
+
+
+@register
+class OrbitDBCR(BugScenario):
+    """Crash flavour of issue #557: the repo folder lock is a file, so it
+    survives the process.  A crash while the store is open leaves the stale
+    lock behind; with the defect, recovery trusts the lock file and the
+    reopen fails with "repo folder locked".  Whether the bug fires depends on
+    where the crash lands relative to the maintenance close/open pair — the
+    canonical placement (right after the close) is clean.
+    """
+
+    name = "OrbitDB-CR"
+    issue = 557
+    subject = "OrbitDB"
+    expected_events = 8
+    status = "seeded"
+    reason = "crash-recovery"
+    description = "crash while the store is open leaks the repo lock file"
+
+    def build_cluster(self, fixed: bool = False) -> Cluster:
+        defects = set() if fixed else {"crash_lock_leak"}
+        cluster = Cluster()
+        for rid in ("A", "B"):
+            store = OrbitDBStore(rid, defects=set(defects))
+            cluster.add_replica(rid, store)
+        for rid in ("A", "B"):
+            store = cluster.rdl(rid)
+            for other in ("A", "B"):
+                store.grant_access(other)
+        return cluster
+
+    def fixed_defects(self) -> frozenset:
+        return frozenset({"crash_lock_leak"})
+
+    def workload(self, cluster: Cluster) -> None:
+        a = cluster.rdl("A")
+        a.append("a1")                 # e1
+        cluster.sync("A", "B")         # e2, e3
+        a.close_store()                # e4   nightly maintenance
+        a.open_store()                 # e5
+        a.append("a2")                 # e6
+        cluster.sync("A", "B")         # e7, e8
+        # Crash window (f1, f2): canonically inside the maintenance close
+        # (store closed, lock file released — recovery is clean).  Displaced
+        # after the reopen e5, the crash leaves the lock file behind and the
+        # defective recovery cannot reopen the store.
+
+    def fault_plan(self) -> FaultPlan:
+        return FaultPlan(
+            crashes=(CrashSpec("A", crash_after="e4", recover_after="e4"),)
+        )
+
+    def make_assertions(self) -> List[Assertion]:
+        return [assert_no_failed_op_matching("repo folder")]
+
+
+@register
+class ReplicaDBCR(BugScenario):
+    """Deleted-row resurrection: the upstream replication's delete-tombstone
+    table is memory-only, so a crash between the delete and a peer's sync
+    forgets the deletion.  The stale peer re-inserts the row at the recovered
+    replica, while a third replica that kept its tombstone rejects it —
+    permanent divergence.  The durable source table itself survives, so the
+    canonical schedule (crash before the delete even happens) is clean.
+    """
+
+    name = "ReplicaDB-CR"
+    issue = 23
+    subject = "ReplicaDB"
+    expected_events = 14
+    status = "seeded"
+    reason = "crash-recovery"
+    description = "crash drops in-memory tombstones; stale peer resurrects row"
+
+    def build_cluster(self, fixed: bool = False) -> Cluster:
+        defects = set() if fixed else {"volatile_tombstones"}
+        cluster = Cluster()
+        for rid in ("A", "B", "C"):
+            cluster.add_replica(rid, ReplicaDBJob(rid, defects=set(defects)))
+        return cluster
+
+    def fixed_defects(self) -> frozenset:
+        return frozenset({"volatile_tombstones"})
+
+    def workload(self, cluster: Cluster) -> None:
+        a = cluster.rdl("A")
+        a.source_insert("r1", {"city": "x"})   # e1
+        cluster.sync("A", "B")                 # e2, e3
+        cluster.sync("A", "C")                 # e4, e5   C now holds r1
+        a.source_delete("r1")                  # e6       tombstone at A
+        cluster.sync("A", "B")                 # e7, e8   tombstone reaches B
+        cluster.sync("C", "A")                 # e9, e10  stale C syncs back
+        cluster.sync("A", "C")                 # e11, e12
+        cluster.sync("A", "B")                 # e13, e14
+        # Crash window (f1, f2): canonically before the delete (nothing to
+        # forget).  Displaced after e8, the tombstone is wiped, so the stale
+        # sync e9/e10 resurrects r1 at A (and, relayed, at C) while B keeps
+        # its tombstone.
+
+    def fault_plan(self) -> FaultPlan:
+        return FaultPlan(
+            crashes=(CrashSpec("A", crash_after="e5", recover_after="e5"),)
+        )
+
+    def make_assertions(self) -> List[Assertion]:
+        return [assert_convergence_when_settled(["A", "B", "C"])]
+
+
+@register
+class YorkieCR(BugScenario):
+    """Crash flavour of issue #676: the client eagerly persists its move
+    dedup cache but rolls the document back to the last pushed change pack.
+    After the restart the replica "remembers" having seen a move whose effect
+    rolled back with the document, so the peer's re-delivery is wrongly
+    deduplicated and never re-applied — the array orders diverge.  Needs the
+    arrival-order move path (``nonconvergent_move``) because the LWW move
+    register would re-deliver the move through the document merge.
+
+    The plan's ``recover_before`` anchor pins the restart ahead of the final
+    re-delivering sync: every valid schedule re-offers the move to the
+    recovered replica, so the fixed library always re-converges (and the
+    settledness gate stays sound despite the volatile loss).
+    """
+
+    name = "Yorkie-CR"
+    issue = 676
+    subject = "Yorkie"
+    expected_events = 8
+    status = "seeded"
+    reason = "crash-recovery"
+    description = "recovered client dedupes a move whose effect rolled back"
+
+    DEFECTS = frozenset({"nonconvergent_move", "durable_seen_cache"})
+
+    def build_cluster(self, fixed: bool = False) -> Cluster:
+        defects = frozenset() if fixed else self.DEFECTS
+        cluster = Cluster()
+        for rid in ("A", "B"):
+            cluster.add_replica(rid, YorkieDocument(rid, defects=set(defects)))
+        return cluster
+
+    def fixed_defects(self) -> frozenset:
+        return frozenset(self.DEFECTS)
+
+    def workload(self, cluster: Cluster) -> None:
+        a = cluster.rdl("A")
+        b = cluster.rdl("B")
+        a.set(["items"], ["x", "y"])      # e1
+        cluster.sync("A", "B")            # e2, e3   push: A's watermark
+        b.move_after(["items"], 1, None)  # e4       B moves y to the front
+        cluster.sync("B", "A")            # e5, e6   A applies the move
+        cluster.sync("B", "A")            # e7, e8   re-delivery
+        # Crash window (f1, f2): canonically right after A's push, where
+        # document and dedup cache are consistent.  Displaced after e6, the
+        # document rolls back to the watermark but the defect persists the
+        # cache — the re-delivery e7/e8 is then wrongly skipped.
+
+    def fault_plan(self) -> FaultPlan:
+        return FaultPlan(
+            crashes=(
+                CrashSpec(
+                    "A",
+                    crash_after="e3",
+                    recover_after="e3",
+                    recover_before="e7",
+                ),
+            )
+        )
+
+    def make_assertions(self) -> List[Assertion]:
+        return [assert_convergence_when_settled(["A", "B"])]

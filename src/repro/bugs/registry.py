@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.replay import Assertion
+from repro.faults.plan import FaultPlan
 from repro.net.cluster import Cluster
 
 
@@ -82,6 +83,14 @@ class BugScenario(abc.ABC):
         """(predecessors, successors) pairs for Algorithm-4 pruning."""
         return []
 
+    def fault_plan(self) -> Optional[FaultPlan]:
+        """Crash/partition faults injected into the hunt (None = no faults).
+
+        Crash–recovery scenarios return a plan anchored on the recorder's
+        e1..eN event ids; ``ErPi(..., faults=plan)`` compiles it into the
+        schedule."""
+        return None
+
     def fixed_defects(self) -> frozenset:
         """Defect flags removed to obtain the *fixed* library (for the
         no-false-positive regression tests)."""
@@ -131,3 +140,13 @@ def all_scenarios() -> List[BugScenario]:
 
 def scenario_names() -> List[str]:
     return [s.name for s in all_scenarios()]
+
+
+def fault_scenarios() -> List[BugScenario]:
+    """The seeded crash–recovery scenarios (one per subject), in order."""
+    order = ["Roshi-CR", "Roshi-CR2", "OrbitDB-CR", "ReplicaDB-CR", "Yorkie-CR"]
+    return [scenario(name) for name in order if name in _REGISTRY]
+
+
+def fault_scenario_names() -> List[str]:
+    return [s.name for s in fault_scenarios()]

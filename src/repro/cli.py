@@ -11,6 +11,7 @@ Commands:
 * ``profile <bug>``              — resource-profile a bug workload.
 * ``export <bug> <file>``        — dump a session as a Datalog program.
 * ``sanitize``                   — differential soundness sweep over all bugs.
+* ``faults``                     — hunt the seeded crash–recovery scenarios.
 """
 
 from __future__ import annotations
@@ -49,6 +50,13 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
         extras.append("prefix cache")
     if args.sanitize is not None:
         extras.append(f"sanitize {args.sanitize:g}")
+    if args.faults:
+        plan = sc.fault_plan()
+        extras.append(
+            f"faults: {plan.describe() if plan is not None else '(none declared)'}"
+        )
+    if args.replay_timeout is not None:
+        extras.append(f"watchdog {args.replay_timeout:g}s")
     extra_text = f" [{', '.join(extras)}]" if extras else ""
     print(
         f"{sc.name} (issue #{sc.issue}): {sc.expected_events} events recorded; "
@@ -62,6 +70,8 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
         workers=args.workers,
         prefix_cache=args.prefix_cache,
         sanitize=args.sanitize,
+        faults=args.faults,
+        replay_timeout_s=args.replay_timeout,
     )
     status = 1
     if result.found:
@@ -76,6 +86,10 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
         status = 0
     else:
         print(f"NOT reproduced within {result.explored:,} interleavings")
+    if result.quarantined:
+        print(f"{len(result.quarantined)} replay(s) quarantined:")
+        for q in result.quarantined[:3]:
+            print(f"  {q.describe()}")
     if result.sanitizer is not None:
         print(result.sanitizer.summary())
         if not result.sanitizer.ok:
@@ -216,26 +230,35 @@ def _cmd_export(args: argparse.Namespace) -> int:
 def _cmd_sanitize(args: argparse.Namespace) -> int:
     from repro.bench.harness import hunt, record_scenario
     from repro.bench.reporting import format_table
-    from repro.bugs import all_scenarios
+    from repro.bugs import all_scenarios, fault_scenarios
 
+    targets = [(sc, False) for sc in all_scenarios()]
+    if args.faults:
+        # Fault-bearing coverage: the crash-recovery scenarios with their
+        # fault plans compiled in, explored to the cap (no early exit on the
+        # seeded violation) so the pruners' fault-bearing classes actually
+        # accumulate members for the differential check.
+        targets.extend((sc, True) for sc in fault_scenarios())
     rows = []
     total_divergences = 0
-    for sc in all_scenarios():
+    for sc, with_faults in targets:
         recorded = record_scenario(sc)
         result = hunt(
             recorded,
             "erpi",
             cap=args.cap,
             seed=args.seed,
-            prefix_cache=args.prefix_cache,
+            prefix_cache=args.prefix_cache and not with_faults,
             sanitize=args.rate,
             sanitize_sample_k=args.sample_k,
+            faults=with_faults,
+            stop_on_violation=not with_faults,
         )
         report = result.sanitizer
         total_divergences += len(report.divergences)
         rows.append(
             [
-                sc.name,
+                sc.name + ("+faults" if with_faults else ""),
                 result.explored,
                 report.classes_checked,
                 report.members_checked,
@@ -254,6 +277,46 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
         print(f"\n{total_divergences} divergence(s): pruning or cache is UNSOUND")
         return 1
     print("\nall equivalence classes and shadow replays agree")
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.bench.harness import hunt, record_scenario
+    from repro.bench.reporting import format_table
+    from repro.bugs import fault_scenarios
+
+    rows = []
+    missed = 0
+    for sc in fault_scenarios():
+        result = hunt(
+            record_scenario(sc),
+            args.mode,
+            cap=args.cap,
+            seed=args.seed,
+            faults=True,
+            replay_timeout_s=args.replay_timeout,
+        )
+        if not result.found:
+            missed += 1
+        rows.append(
+            [
+                sc.name,
+                sc.issue,
+                sc.fault_plan().describe(),
+                result.explored if result.found else "CAP",
+                len(result.quarantined),
+                "FOUND" if result.found else "missed",
+            ]
+        )
+    print(
+        format_table(
+            ["Bug", "Issue#", "Fault plan", "Replays", "Quar", "Verdict"], rows
+        )
+    )
+    if missed:
+        print(f"\n{missed} crash-recovery scenario(s) NOT reproduced within the cap")
+        return 1
+    print("\nall crash-recovery scenarios reproduced")
     return 0
 
 
@@ -316,6 +379,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="differentially check pruning classes and (at RATE, default 1.0)"
         " shadow-replay cache-accelerated results; exit 2 on divergence",
     )
+    hunt.add_argument(
+        "--faults",
+        action="store_true",
+        help="compile the scenario's fault plan into the schedule and "
+        "interleave the crash/recover events exhaustively",
+    )
+    hunt.add_argument(
+        "--replay-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-replay wall-clock watchdog; a replay exceeding it is "
+        "quarantined instead of hanging the hunt",
+    )
 
     table1 = sub.add_parser("table1", help="regenerate Table 1")
     table1.add_argument("--cap", type=int, default=10_000)
@@ -370,6 +447,27 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also exercise (and shadow-check) prefix-cache replay",
     )
+    sanitize.add_argument(
+        "--faults",
+        action="store_true",
+        help="also sweep the crash-recovery scenarios with their fault "
+        "plans compiled in (covers fault-bearing equivalence classes)",
+    )
+
+    faults = sub.add_parser(
+        "faults",
+        help="hunt every seeded crash-recovery scenario with its fault plan",
+    )
+    faults.add_argument("--mode", choices=("erpi", "dfs", "rand"), default="erpi")
+    faults.add_argument("--cap", type=int, default=10_000)
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument(
+        "--replay-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-replay watchdog (default 30s); quarantines hung replays",
+    )
 
     return parser
 
@@ -385,6 +483,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "export": _cmd_export,
     "sanitize": _cmd_sanitize,
+    "faults": _cmd_faults,
 }
 
 

@@ -61,6 +61,15 @@ def delivery_knowledge(outcome: InterleavingOutcome) -> Dict[str, set]:
     snapshot into the receiver.  Used to decide whether an interleaving is
     *settled* — every update delivered everywhere — which is the precondition
     under which a correct replicated library must have converged.
+
+    Fault-aware: a sync request issued by a down replica or across a
+    partitioned link transfers nothing, an execute at a down replica loses
+    the payload, and an update attempted on a down replica never happened.
+    What it does NOT model is volatile-state loss inside the crashed replica
+    (durability is subject-specific): fault plans whose subjects lose state
+    on crash must anchor the recovery *before* the syncs that re-deliver it
+    (``recover_before``) so every valid settled interleaving really is
+    re-delivered.
     """
     from repro.core.events import EventKind
     from repro.core.pruning.replica_specific import _pair_positions
@@ -69,12 +78,30 @@ def delivery_knowledge(outcome: InterleavingOutcome) -> Dict[str, set]:
     pairs = _pair_positions(interleaving)
     knowledge: Dict[str, set] = {}
     snapshots: Dict[int, set] = {}
+    down: set = set()
+    cut: set = set()  # partitioned links, as frozenset pairs
     for position, event in enumerate(interleaving):
-        if event.kind == EventKind.UPDATE:
-            knowledge.setdefault(event.replica_id, set()).add(event.event_id)
-        elif event.kind == EventKind.SYNC_REQ:
+        kind = event.kind
+        if kind == EventKind.CRASH:
+            down.add(event.replica_id)
+        elif kind == EventKind.RECOVER:
+            down.discard(event.replica_id)
+        elif kind == EventKind.PARTITION:
+            cut.add(frozenset((event.from_replica, event.to_replica)))
+        elif kind == EventKind.HEAL:
+            cut.discard(frozenset((event.from_replica, event.to_replica)))
+        elif kind == EventKind.UPDATE:
+            if event.replica_id not in down:
+                knowledge.setdefault(event.replica_id, set()).add(event.event_id)
+        elif kind == EventKind.SYNC_REQ:
+            if event.replica_id in down:
+                continue  # the sender is dead: nothing goes on the wire
+            if frozenset((event.from_replica, event.to_replica)) in cut:
+                continue  # partitioned link: the send is suppressed
             snapshots[position] = set(knowledge.get(event.replica_id, set()))
-        elif event.kind == EventKind.EXEC_SYNC:
+        elif kind == EventKind.EXEC_SYNC:
+            if event.replica_id in down:
+                continue  # the payload reached a dead node and is lost
             req_position = pairs.get(position, -1)
             if req_position >= 0:
                 received = snapshots.get(req_position, set())
@@ -83,17 +110,18 @@ def delivery_knowledge(outcome: InterleavingOutcome) -> Dict[str, set]:
 
 
 def is_settled(outcome: InterleavingOutcome, replica_ids: Sequence[str]) -> bool:
-    """True iff every update reached every replica in this interleaving."""
-    from repro.core.events import EventKind
+    """True iff every *effective* update reached every replica.
 
-    all_updates = {
-        event.event_id
-        for event in outcome.interleaving
-        if event.kind == EventKind.UPDATE
-    }
+    An update attempted on a down replica failed and produced nothing to
+    deliver, so it does not count; every update id present in any replica's
+    knowledge originated from a successful execution.
+    """
     knowledge = delivery_knowledge(outcome)
+    effective: set = set()
+    for known in knowledge.values():
+        effective |= known
     return all(
-        knowledge.get(rid, set()) >= all_updates for rid in replica_ids
+        knowledge.get(rid, set()) >= effective for rid in replica_ids
     )
 
 

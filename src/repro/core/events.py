@@ -24,6 +24,10 @@ class EventKind(enum.Enum):
     SYNC_REQ = "sync_req"    # replica ships its sync payload to a peer
     EXEC_SYNC = "exec_sync"  # the peer integrates a previously shipped payload
     READ = "read"            # a query the application issued (select, get, ...)
+    CRASH = "crash"          # the replica process dies; volatile state is lost
+    RECOVER = "recover"      # the replica restarts from its durable snapshot
+    PARTITION = "partition"  # a link between two replicas goes down
+    HEAL = "heal"            # a previously partitioned link comes back
 
     def __str__(self) -> str:  # pragma: no cover - repr sugar
         return self.value
@@ -51,10 +55,24 @@ class Event:
         if self.kind in (EventKind.SYNC_REQ, EventKind.EXEC_SYNC):
             if not self.from_replica or not self.to_replica:
                 raise ValueError(f"sync event {self.event_id!r} needs from/to replicas")
+        if self.kind in (EventKind.PARTITION, EventKind.HEAL):
+            if not self.from_replica or not self.to_replica:
+                raise ValueError(
+                    f"link fault event {self.event_id!r} needs from/to replicas"
+                )
 
     @property
     def is_sync(self) -> bool:
         return self.kind in (EventKind.SYNC_REQ, EventKind.EXEC_SYNC)
+
+    @property
+    def is_fault(self) -> bool:
+        return self.kind in (
+            EventKind.CRASH,
+            EventKind.RECOVER,
+            EventKind.PARTITION,
+            EventKind.HEAL,
+        )
 
     @property
     def channel(self) -> Optional[Tuple[str, str]]:
@@ -71,6 +89,13 @@ class Event:
             return f"{self.event_id}: {self.from_replica}->{self.to_replica} sync_req"
         if self.kind == EventKind.EXEC_SYNC:
             return f"{self.event_id}: {self.to_replica} exec_sync from {self.from_replica}"
+        if self.kind in (EventKind.CRASH, EventKind.RECOVER):
+            return f"{self.event_id}: {self.replica_id} {self.kind.value}"
+        if self.kind in (EventKind.PARTITION, EventKind.HEAL):
+            return (
+                f"{self.event_id}: {self.kind.value}"
+                f" {self.from_replica}|{self.to_replica}"
+            )
         arg_text = ", ".join(repr(arg) for arg in self.args)
         return f"{self.event_id}: {self.replica_id}.{self.op_name}({arg_text})"
 
@@ -111,6 +136,50 @@ def make_read(
         op_name=op_name,
         args=tuple(args),
         kwargs=tuple(sorted(kwargs.items())),
+    )
+
+
+def make_crash(event_id: str, replica_id: str) -> Event:
+    """Convenience constructor for a replica-crash fault event."""
+    return Event(
+        event_id=event_id,
+        replica_id=replica_id,
+        kind=EventKind.CRASH,
+        op_name="crash",
+    )
+
+
+def make_recover(event_id: str, replica_id: str) -> Event:
+    """Convenience constructor for a replica-recovery fault event."""
+    return Event(
+        event_id=event_id,
+        replica_id=replica_id,
+        kind=EventKind.RECOVER,
+        op_name="recover",
+    )
+
+
+def make_partition(event_id: str, replica_a: str, replica_b: str) -> Event:
+    """Convenience constructor for a link-partition fault event."""
+    return Event(
+        event_id=event_id,
+        replica_id=replica_a,
+        kind=EventKind.PARTITION,
+        op_name="partition",
+        from_replica=replica_a,
+        to_replica=replica_b,
+    )
+
+
+def make_heal(event_id: str, replica_a: str, replica_b: str) -> Event:
+    """Convenience constructor for a link-heal fault event."""
+    return Event(
+        event_id=event_id,
+        replica_id=replica_a,
+        kind=EventKind.HEAL,
+        op_name="heal",
+        from_replica=replica_a,
+        to_replica=replica_b,
     )
 
 

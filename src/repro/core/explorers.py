@@ -29,6 +29,7 @@ import copy
 import queue
 import random
 import time
+import traceback
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -36,6 +37,8 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence,
 
 from repro.core.errors import ResourceExhausted
 from repro.core.events import Event
+from repro.faults.plan import satisfies_order_constraints
+from repro.faults.quarantine import QuarantinedReplay
 from repro.core.interleavings import (
     GroupingResult,
     Interleaving,
@@ -66,6 +69,11 @@ class ExplorationResult:
     #: Filled in by callers that ran the soundness sanitizer
     #: (a :class:`repro.core.sanitizer.SanitizerReport`).
     sanitizer: Optional[object] = None
+    #: Replays the quarantine path captured (unexpected subject exception
+    #: or watchdog timeout) instead of completing.
+    quarantined: List[QuarantinedReplay] = field(default_factory=list)
+    #: How many fault events (crash/recover/partition/heal) were in play.
+    fault_events: int = 0
 
     @property
     def capped(self) -> bool:
@@ -80,10 +88,29 @@ class Explorer(abc.ABC):
     def __init__(self, events: Sequence[Event], meter: Optional[ResourceMeter] = None) -> None:
         self.events: Tuple[Event, ...] = tuple(events)
         self.meter = meter or ResourceMeter()
+        #: (before_id, after_id) validity constraints — schedules violating
+        #: one (e.g. a recover before its crash) are *invalid*, not merely
+        #: equivalent: they are skipped before pruning and never replayed.
+        #: Set by fault-aware callers (see repro.faults.plan.FaultPlan).
+        self.order_constraints: Tuple[Tuple[str, str], ...] = ()
+        #: Human-readable fault-plan description, attached to quarantines.
+        self.fault_plan_description: Optional[str] = None
+
+    def _valid(self, interleaving: Interleaving) -> bool:
+        return satisfies_order_constraints(interleaving, self.order_constraints)
 
     @abc.abstractmethod
     def candidates(self) -> Iterator[Interleaving]:
         """A lazy stream of interleavings to replay, in exploration order."""
+
+    def _quarantine(self, interleaving: Interleaving, exc: BaseException) -> QuarantinedReplay:
+        return QuarantinedReplay(
+            interleaving=tuple(event.event_id for event in interleaving),
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback=traceback.format_exc(),
+            fault_plan=self.fault_plan_description,
+        )
 
     def explore(
         self,
@@ -97,11 +124,23 @@ class Explorer(abc.ABC):
         violating: Optional[InterleavingOutcome] = None
         crashed = False
         crash_reason: Optional[str] = None
+        quarantined: List[QuarantinedReplay] = []
         try:
             for interleaving in self.candidates():
                 if explored >= cap:
                     break
-                outcome = engine.replay(interleaving, assertions)
+                try:
+                    outcome = engine.replay(interleaving, assertions)
+                except ResourceExhausted:
+                    raise
+                except Exception as exc:
+                    # Quarantine: an injected fault wedged or blew up the
+                    # subject (watchdog timeout, unexpected exception).
+                    # Capture the wreckage and keep hunting.
+                    quarantined.append(self._quarantine(interleaving, exc))
+                    explored += 1
+                    engine.restore()
+                    continue
                 explored += 1
                 if outcome.violated:
                     violating = outcome
@@ -120,6 +159,8 @@ class Explorer(abc.ABC):
             crash_reason=crash_reason,
             violating=violating,
             pruning_stats=self._pruning_stats(),
+            quarantined=quarantined,
+            fault_events=sum(1 for event in self.events if event.is_fault),
         )
 
     def _pruning_stats(self) -> Dict[str, int]:
@@ -134,6 +175,8 @@ class DFSExplorer(Explorer):
     def candidates(self) -> Iterator[Interleaving]:
         units = tuple((event,) for event in self.events)
         for interleaving in interleaving_stream(units, order="lexicographic"):
+            if not self._valid(interleaving):
+                continue
             # The checker server persists every explored interleaving.
             self.meter.charge("dfs_ledger", interleaving_footprint(len(self.events)))
             yield interleaving
@@ -176,7 +219,10 @@ class RandomExplorer(Explorer):
                     return  # space effectively exhausted for this seed
             cache.add(key)
             self.meter.charge("rand_cache", interleaving_footprint(len(self.events)))
-            yield tuple(order)
+            candidate = tuple(order)
+            if not self._valid(candidate):
+                continue
+            yield candidate
 
 
 class ERPiExplorer(Explorer):
@@ -207,6 +253,12 @@ class ERPiExplorer(Explorer):
         for pruner in self.audit_pruners:
             pruner.reset()
         for interleaving in interleaving_stream(self.grouping.units, order=self.order):
+            # Validity comes before pruning: an invalid schedule (e.g. a
+            # recover before its crash) must never become a class's seen
+            # representative — the sanitizer replays pruned class members,
+            # and an invalid representative would mask a valid one.
+            if not self._valid(interleaving):
+                continue
             for pruner in self.audit_pruners:
                 pruner.is_redundant(interleaving)
             if self.pipeline.is_redundant(interleaving):
@@ -321,10 +373,18 @@ class ParallelExplorer:
         for item in workers:
             idle.put(item)
 
-        def replay_one(interleaving: Interleaving) -> InterleavingOutcome:
+        quarantined: List[QuarantinedReplay] = []
+
+        def replay_one(interleaving: Interleaving):
             worker_engine, worker_assertions = idle.get()
             try:
-                return worker_engine.replay(interleaving, worker_assertions)
+                try:
+                    return worker_engine.replay(interleaving, worker_assertions)
+                except ResourceExhausted:
+                    raise
+                except Exception as exc:
+                    worker_engine.restore()
+                    return self.base._quarantine(interleaving, exc)
             finally:
                 idle.put((worker_engine, worker_assertions))
 
@@ -366,6 +426,9 @@ class ParallelExplorer:
                     crash_reason = str(exc)
                     break
                 explored += 1
+                if isinstance(outcome, QuarantinedReplay):
+                    quarantined.append(outcome)
+                    continue
                 if outcome.violated:
                     violating = outcome
                     if stop_on_violation:
@@ -387,4 +450,6 @@ class ParallelExplorer:
             crash_reason=crash_reason,
             violating=violating,
             pruning_stats=self.base._pruning_stats(),
+            quarantined=quarantined,
+            fault_events=sum(1 for event in self.base.events if event.is_fault),
         )

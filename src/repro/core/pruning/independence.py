@@ -26,8 +26,13 @@ InterferencePredicate = Callable[[Event, FrozenSet[str]], bool]
 
 
 def default_interference(event: Event, independent_replicas: FrozenSet[str]) -> bool:
-    """Conservative default: same-replica events and all syncs interfere."""
+    """Conservative default: same-replica events, syncs and faults interfere."""
     if event.is_sync:
+        return True
+    if event.is_fault:
+        # A crash/recover (or partition window boundary) is never
+        # exchangeable with anything: it erases volatile state or rewires
+        # delivery, so orders across it are not equivalent.
         return True
     return event.replica_id in independent_replicas
 
@@ -68,6 +73,11 @@ class EventIndependencePruner(Pruner):
         ]
         if len(positions) < 2:
             return ("raw", tuple(event.event_id for event in interleaving))
+        if any(interleaving[index].is_fault for index in positions):
+            # Fault events are never exchangeable, whatever the developer's
+            # independence declaration claims: reordering a crash against
+            # any same-replica event changes which state survives.
+            return ("raw", tuple(event.event_id for event in interleaving))
         independent_replicas = frozenset(
             interleaving[index].replica_id for index in positions
         )
@@ -76,7 +86,7 @@ class EventIndependencePruner(Pruner):
             event = interleaving[index]
             if event.event_id in self.independent_ids:
                 continue
-            if self._interference(event, independent_replicas):
+            if event.is_fault or self._interference(event, independent_replicas):
                 # An interfering event sits inside the span: orders are not
                 # exchangeable here, keep the interleaving as its own class.
                 return ("raw", tuple(event.event_id for event in interleaving))

@@ -86,6 +86,12 @@ class ReplicaSpecificPruner(Pruner):
         self.replica_id = replica_id
 
     def key(self, interleaving: Interleaving) -> Hashable:
+        if any(event.is_fault for event in interleaving):
+            # The observation signature models full delivery; fault events
+            # (suppressed sends, lost payloads, volatile state) break that
+            # model, so fault-bearing schedules never merge: each is its own
+            # class (sound, merely less aggressive).
+            return tuple(event.event_id for event in interleaving)
         return (self.replica_id, observation_signature(interleaving, self.replica_id))
 
 
@@ -110,6 +116,10 @@ class ReadScopedPruner(Pruner):
         self.replica_id = replica_id
 
     def key(self, interleaving: Interleaving) -> Hashable:
+        if any(event.is_fault for event in interleaving):
+            # Same conservatism as ReplicaSpecificPruner: no fault-bearing
+            # schedule is ever merged away.
+            return tuple(event.event_id for event in interleaving)
         last_read = -1
         for position, event in enumerate(interleaving):
             if event.replica_id == self.replica_id and event.kind == EventKind.READ:

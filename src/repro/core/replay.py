@@ -63,8 +63,10 @@ from repro.core.events import Event, EventKind, assign_lamport
 from repro.core.interleavings import Interleaving
 from repro.core.resources import ResourceMeter, deep_footprint
 from repro.crdt.base import CRDTError
+from repro.faults.errors import ReplayTimeout
 from repro.net.cluster import Cluster
 from repro.rdl.base import RDLError
+from repro.redisim.errors import LockError
 from repro.redisim.farm import RedisimFarm
 from repro.redisim.lock import SequenceGate
 
@@ -135,16 +137,40 @@ Assertion = Callable[["InterleavingOutcome"], Optional[str]]
 
 
 class SequentialExecutor:
-    """Run the events of an interleaving in-line, in order."""
+    """Run the events of an interleaving in-line, in order.
+
+    ``timeout_s`` arms a per-replay wall-clock watchdog: when a replay's
+    elapsed time exceeds it, :class:`ReplayTimeout` is raised between
+    events (cooperative — a single wedged subject call cannot be
+    interrupted, but a slow or looping replay is cut off at the next event
+    boundary and quarantined by the explorer).
+    """
+
+    def __init__(self, timeout_s: Optional[float] = None) -> None:
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        self.timeout_s = timeout_s
 
     def run(self, cluster: Cluster, interleaving: Interleaving) -> List[EventResult]:
         # Lamport stamps along a total order are just 1-based positions
         # (see assign_lamport); invoking directly skips the StampedEvent
         # allocations on the hottest loop in the engine.
-        return [
-            _invoke(cluster, event, lamport)
-            for lamport, event in enumerate(interleaving, 1)
-        ]
+        timeout = self.timeout_s
+        if timeout is None:
+            return [
+                _invoke(cluster, event, lamport)
+                for lamport, event in enumerate(interleaving, 1)
+            ]
+        deadline = time.monotonic() + timeout
+        results: List[EventResult] = []
+        for lamport, event in enumerate(interleaving, 1):
+            if time.monotonic() > deadline:
+                raise ReplayTimeout(
+                    f"replay exceeded the {timeout}s watchdog after "
+                    f"{lamport - 1} of {len(interleaving)} events"
+                )
+            results.append(_invoke(cluster, event, lamport))
+        return results
 
 
 class LockSteppedExecutor:
@@ -156,10 +182,33 @@ class LockSteppedExecutor:
     redisim instances — reaches that event's global position.
     """
 
-    def __init__(self, farm: Optional[RedisimFarm] = None, timeout_s: float = 30.0) -> None:
+    def __init__(
+        self,
+        farm: Optional[RedisimFarm] = None,
+        timeout_s: float = 30.0,
+        gate_retries: int = 2,
+        gate_backoff_s: float = 0.05,
+    ) -> None:
         self.farm = farm or RedisimFarm(size=3, name_prefix="erpi-lock")
         self.timeout_s = timeout_s
+        #: Transient SequenceGate acquisition failures (a quorum blip on the
+        #: redisim farm) are retried this many times with exponential
+        #: backoff before the replay is declared failed.
+        self.gate_retries = max(gate_retries, 0)
+        self.gate_backoff_s = gate_backoff_s
         self._session_counter = 0
+
+    def _wait_for_turn(self, gate: SequenceGate, position: int) -> None:
+        delay = self.gate_backoff_s
+        for attempt in range(self.gate_retries + 1):
+            try:
+                gate.wait_for_turn(position, timeout_s=self.timeout_s)
+                return
+            except LockError:
+                if attempt == self.gate_retries:
+                    raise
+                time.sleep(delay)
+                delay *= 2
 
     def run(self, cluster: Cluster, interleaving: Interleaving) -> List[EventResult]:
         self._session_counter += 1
@@ -174,7 +223,7 @@ class LockSteppedExecutor:
         def worker(positions: List[int]) -> None:
             try:
                 for position in positions:
-                    gate.wait_for_turn(position, timeout_s=self.timeout_s)
+                    self._wait_for_turn(gate, position)
                     item = stamped[position]
                     slots[position] = _invoke(cluster, item.event, item.lamport)
                     gate.complete_turn(position)
@@ -214,7 +263,23 @@ def _invoke(cluster: Cluster, event: Event, lamport: int) -> EventResult:
             result = cluster.send_sync(event.from_replica, event.to_replica)
         elif kind is EventKind.EXEC_SYNC:
             result = cluster.execute_sync(event.from_replica, event.to_replica)
+        elif kind is EventKind.CRASH:
+            cluster.crash(event.replica_id)
+            result = True
+        elif kind is EventKind.RECOVER:
+            cluster.recover(event.replica_id)
+            result = True
+        elif kind is EventKind.PARTITION:
+            cluster.partition(event.from_replica, event.to_replica)
+            result = True
+        elif kind is EventKind.HEAL:
+            cluster.heal(event.from_replica, event.to_replica)
+            result = True
         else:
+            # An op against a crashed replica raises ReplicaDownError —
+            # recorded below as a failed op, like the real library's client
+            # erroring out against a dead process.
+            cluster.host(event.replica_id).require_up()
             rdl = cluster.rdl(event.replica_id)
             method = getattr(rdl, event.op_name, None)
             if method is None or not callable(method):
@@ -535,6 +600,11 @@ class ReplayEngine:
         #: shadow-replayed from scratch and diffed against the cached result.
         self.sanitizer: Optional[Any] = None
         self._checkpoint: Optional[Dict[str, Any]] = None
+        # Fault-injection bookkeeping: the checkpoint's partition topology
+        # (fault events may partition/heal mid-replay) and whether the last
+        # replay ran fault events that must be reset before the next one.
+        self._baseline_partitions: set = set()
+        self._fault_dirty = False
         #: Transport counter deltas for the most recent replay
         #: (sent, dropped, delivered, duplicated).
         self.last_transport_stats: Tuple[int, int, int, int] = (0, 0, 0, 0)
@@ -557,6 +627,8 @@ class ReplayEngine:
     def checkpoint(self) -> None:
         """Snapshot the replicas' current states as the replay baseline."""
         self._checkpoint = self.cluster.checkpoint()
+        self._baseline_partitions = set(self.cluster.transport.conditions.partitions)
+        self._fault_dirty = False
         if self.prefix_cache is not None:
             self.prefix_cache.clear()
         self._forget_live_versions()
@@ -595,11 +667,20 @@ class ReplayEngine:
         """Replay one interleaving from the checkpoint and run assertions."""
         if self._checkpoint is None:
             raise ReplayError("checkpoint() must be called before replay()")
-        cached = self.prefix_cache_active()
+        # Fault events make a replay impure (crashes lose volatile state,
+        # partitions rewire the network), so fault-bearing interleavings
+        # always replay fresh from the checkpoint — the prefix cache's
+        # purity argument does not extend to them.
+        has_fault = any(event.is_fault for event in interleaving)
+        if self._fault_dirty:
+            self._reset_fault_state()
+        cached = not has_fault and self.prefix_cache_active()
         if cached:
             outcome = self._replay_cached(interleaving)
         else:
             outcome = self._replay_fresh(interleaving)
+            if has_fault:
+                self._fault_dirty = True
         if cached and self.sanitizer is not None:
             self.sanitizer.maybe_check(self, interleaving, outcome)
         for assertion in assertions:
@@ -623,7 +704,11 @@ class ReplayEngine:
         """
         if self._checkpoint is None:
             raise ReplayError("checkpoint() must be called before replay_fresh()")
+        if self._fault_dirty:
+            self._reset_fault_state()
         outcome = self._replay_fresh(interleaving)
+        if any(event.is_fault for event in interleaving):
+            self._fault_dirty = True
         for assertion in assertions:
             message = assertion(outcome)
             if message is not None:
@@ -634,6 +719,7 @@ class ReplayEngine:
         """Reset the cluster to the checkpoint (used after the final replay)."""
         if self._checkpoint is not None:
             self.cluster.restore(self._checkpoint)
+            self._reset_fault_state()
         self._forget_live_versions()
 
     # ------------------------------------------------------------- internals
@@ -642,10 +728,22 @@ class ReplayEngine:
         self._live_rdl = {}
         self._live_transport = None
 
+    def _reset_fault_state(self) -> None:
+        """Undo what a fault-bearing replay left behind: bring every host
+        back up and reinstate the checkpoint's partition topology."""
+        for host in self.cluster._hosts.values():
+            host.force_up()
+        conditions = self.cluster.transport.conditions
+        conditions.partitions.clear()
+        conditions.partitions.update(self._baseline_partitions)
+        self._fault_dirty = False
+
     def _replay_fresh(self, interleaving: Interleaving) -> InterleavingOutcome:
         transport = self.cluster.transport
-        before = transport.stats()
         self.cluster.restore(self._checkpoint)
+        # restore() resets the transport counters to zero, so the baseline
+        # for this replay's delta is taken *after* it.
+        before = transport.stats()
         self._forget_live_versions()
         started = time.perf_counter()
         event_results = self.executor.run(self.cluster, interleaving)
@@ -780,8 +878,12 @@ class ReplayEngine:
                 # a private copy first.  SYNC_REQ leaves the sender's RDL
                 # state untouched (it only enqueues a message and bumps
                 # sent_syncs), so the sender's snap stays live and new
-                # entries share it for free.
-                if kind is not kind_sync_req:
+                # entries share it for free — unless the subject declares
+                # ``mutates_on_push`` (shipping a payload advances durable
+                # bookkeeping), in which case the sender materialises too.
+                if kind is not kind_sync_req or getattr(
+                    hosts[event.replica_id].rdl, "mutates_on_push", False
+                ):
                     rid = event.replica_id
                     snap = live.get(rid)
                     if snap is not None:

@@ -19,7 +19,7 @@ per-interleaving assertions and the cross-interleaving checks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.assertions import CrossInterleavingCheck
@@ -29,7 +29,7 @@ from repro.core.constraints import (
     pruners_from,
     spec_groups_from,
 )
-from repro.core.errors import RecordingError
+from repro.core.errors import RecordingError, ResourceExhausted
 from repro.core.events import Event
 from repro.core.explorers import DEFAULT_CAP, ERPiExplorer
 from repro.core.interleavings import GroupingResult
@@ -39,9 +39,12 @@ from repro.core.replay import (
     InterleavingOutcome,
     LockSteppedExecutor,
     ReplayEngine,
+    SequentialExecutor,
 )
 from repro.core.sanitizer import Sanitizer, SanitizerReport
 from repro.datalog.store import InterleavingStore
+from repro.faults.plan import FaultPlan
+from repro.faults.quarantine import QuarantinedReplay
 from repro.net.cluster import Cluster
 from repro.proxy.recorder import EventRecorder
 
@@ -58,6 +61,10 @@ class SessionReport:
     cross_violations: List[Tuple[str, str]]  # (check name, message)
     pruning_stats: Dict[str, int]
     sanitizer: Optional[SanitizerReport] = None
+    #: Fault events injected by the session's FaultPlan (empty without one).
+    fault_events: Tuple[Event, ...] = ()
+    #: Replays captured by the quarantine path instead of completing.
+    quarantined: List[QuarantinedReplay] = field(default_factory=list)
 
     @property
     def violated(self) -> bool:
@@ -77,6 +84,10 @@ class SessionReport:
             f"assertion violations: {len(self.violations)}",
             f"cross-interleaving violations: {len(self.cross_violations)}",
         ]
+        if self.fault_events:
+            lines.append(f"fault events injected: {len(self.fault_events)}")
+        if self.quarantined:
+            lines.append(f"quarantined replays: {len(self.quarantined)}")
         for name, pruned in sorted(self.pruning_stats.items()):
             lines.append(f"  pruned by {name}: {pruned:,}")
         if self.sanitizer is not None:
@@ -100,6 +111,8 @@ class ErPi:
         sanitize: Optional[float] = None,
         sanitize_sample_k: int = 2,
         sanitize_seed: int = 0,
+        faults: Optional[FaultPlan] = None,
+        replay_timeout_s: Optional[float] = None,
     ) -> None:
         """``replica_scope`` enables Algorithm-2 pruning for that replica
         (paper: pass the replica id to the Start/End higher-order functions);
@@ -123,7 +136,16 @@ class ErPi:
         classes are sampled (``sanitize_sample_k`` skipped members each) and
         differentially replayed at :meth:`end`.  Divergences land in the
         report (and, with ``persist=True``, as ``divergence`` Datalog
-        facts)."""
+        facts).
+        ``faults`` attaches a :class:`~repro.faults.plan.FaultPlan`: its
+        crash/recover (and partition/heal) events are compiled against the
+        recorded events at :meth:`end` and interleaved exhaustively with
+        them, constrained so every explored schedule is valid (crash before
+        its recover, no double-crash).
+        ``replay_timeout_s`` is the per-replay wall-clock watchdog: slow or
+        wedged replays raise and are quarantined instead of hanging the
+        hunt.  It also replaces the lock-stepped executor's default 30 s
+        stuck-replica timeout."""
         self.cluster = cluster
         self.replica_scope = replica_scope
         self.read_scoped = read_scoped
@@ -132,7 +154,18 @@ class ErPi:
         self.store: Optional[InterleavingStore] = InterleavingStore() if persist else None
         self._recorder: Optional[EventRecorder] = None
         self._read_methods = read_methods
-        executor = LockSteppedExecutor() if lock_stepped else None
+        self.faults = faults
+        self.replay_timeout_s = replay_timeout_s
+        if lock_stepped:
+            executor: Any = (
+                LockSteppedExecutor(timeout_s=replay_timeout_s)
+                if replay_timeout_s is not None
+                else LockSteppedExecutor()
+            )
+        elif replay_timeout_s is not None:
+            executor = SequentialExecutor(timeout_s=replay_timeout_s)
+        else:
+            executor = None
         self._engine = ReplayEngine(cluster, executor)
         if prefix_cache:
             self._engine.enable_prefix_cache()
@@ -207,6 +240,18 @@ class ErPi:
         events = tuple(self._recorder.stop())
         self._recorder = None
 
+        # Compile the fault plan (if any) against the recorded events: the
+        # fault events join the schedule and are permuted like any other,
+        # within the plan's validity constraints.
+        fault_events: Tuple[Event, ...] = ()
+        order_constraints: Tuple[Tuple[str, str], ...] = ()
+        schedule_events = events
+        if self.faults is not None and not self.faults.is_empty():
+            compiled = self.faults.compile(events)
+            schedule_events = compiled.events
+            fault_events = compiled.fault_events
+            order_constraints = compiled.order_constraints
+
         constraints = list(self._extra_constraints)
         if self.constraints_dir:
             constraints.extend(load_constraints_dir(self.constraints_dir))
@@ -220,25 +265,45 @@ class ErPi:
         pruners.extend(pruners_from(constraints))
 
         explorer = ERPiExplorer(
-            events,
+            schedule_events,
             spec_groups=spec_groups_from(constraints),
             pruners=pruners,
             order=order,
         )
+        explorer.order_constraints = order_constraints
+        if fault_events and self.faults is not None:
+            explorer.fault_plan_description = self.faults.describe()
         if self._sanitizer is not None:
             self._sanitizer.reset_pruners()
             self._sanitizer.watch_pruners(explorer.pipeline.pruners)
             explorer.audit_pruners.append(
-                self._sanitizer.grouping_auditor(events, explorer.spec_groups)
+                self._sanitizer.grouping_auditor(schedule_events, explorer.spec_groups)
             )
 
         outcomes: List[InterleavingOutcome] = []
         violations: List[Tuple[int, str]] = []
+        quarantined: List[QuarantinedReplay] = []
         explored = 0
         for interleaving in explorer.candidates():
             if explored >= cap:
                 break
-            outcome = self._engine.replay(interleaving, assertions)
+            try:
+                outcome = self._engine.replay(interleaving, assertions)
+            except ResourceExhausted:
+                raise
+            except Exception as exc:
+                # Quarantine: capture the wreckage, reset the cluster, and
+                # keep exploring instead of killing the session.
+                quarantined.append(explorer._quarantine(interleaving, exc))
+                explored += 1
+                self._engine.restore()
+                if self.store is not None:
+                    il_id = self.store.persist_interleaving(
+                        [event.event_id for event in interleaving]
+                    )
+                    self.store.mark_explored(il_id, "quarantined")
+                    self.store.persist_quarantine(il_id, type(exc).__name__)
+                continue
             explored += 1
             if self.store is not None:
                 il_id = self.store.persist_interleaving(
@@ -278,15 +343,19 @@ class ErPi:
             pruning_stats[name] = stats.pruned
 
         if self.store is not None:
-            for event in events:
+            for event in schedule_events:
                 self.store.persist_event(
                     event.event_id, event.replica_id, event.kind.value, event.op_name
+                )
+            for event in fault_events:
+                self.store.persist_fault(
+                    event.event_id, event.replica_id, event.kind.value
                 )
             for first_id, second_id in explorer.grouping.grouped_pairs:
                 self.store.persist_sync_pair(first_id, second_id)
 
         return SessionReport(
-            events=events,
+            events=schedule_events,
             grouping=explorer.grouping,
             explored=explored,
             outcomes=outcomes,
@@ -294,4 +363,6 @@ class ErPi:
             cross_violations=cross_violations,
             pruning_stats=pruning_stats,
             sanitizer=sanitizer_report,
+            fault_events=fault_events,
+            quarantined=quarantined,
         )

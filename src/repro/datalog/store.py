@@ -11,6 +11,10 @@ Schema (all facts):
 * ``divergence(class_key, rep_id, member_id, field)`` — soundness sanitizer
   findings: an equivalence-class member whose observables differ from its
   representative (or a cached replay differing from a fresh one).
+* ``fault(event_id, replica_id, kind)`` — injected fault events
+  (crash/recover/partition/heal) compiled from a session's FaultPlan.
+* ``quarantined(il_id, error_type)`` — replays captured by the quarantine
+  path (unexpected subject exception or watchdog timeout).
 
 ER-pi's runtime uses this store as its persistence layer; the exploration
 loop reads back only interleavings that are neither pruned nor explored.
@@ -113,3 +117,19 @@ class InterleavingStore:
 
     def divergences(self) -> List[Tuple[str, str, str, str]]:
         return sorted(self.db.rows("divergence"))
+
+    # --------------------------------------------------------------- faults
+
+    def persist_fault(self, event_id: str, replica_id: str, kind: str) -> None:
+        """Record one injected fault event as a queryable fact."""
+        self.db.add("fault", event_id, replica_id, kind)
+
+    def faults(self) -> List[Tuple[str, str, str]]:
+        return sorted(self.db.rows("fault"))
+
+    def persist_quarantine(self, il_id: int, error_type: str) -> None:
+        """Record one quarantined replay as a queryable fact."""
+        self.db.add("quarantined", il_id, error_type)
+
+    def quarantines(self) -> List[Tuple[int, str]]:
+        return sorted(self.db.rows("quarantined"))

@@ -1,0 +1,29 @@
+"""Errors raised by the fault-injection subsystem."""
+
+from __future__ import annotations
+
+from repro.core.errors import ReplayError
+from repro.rdl.base import RDLError
+
+
+class FaultError(RDLError):
+    """Base class for fault-injection failures surfaced to app code.
+
+    Subclassing :class:`RDLError` is deliberate: the replay engine treats
+    RDL errors as *data* (a failed op in the outcome), so an operation
+    attempted against a crashed replica is recorded and the replay
+    continues — exactly what an application would observe.
+    """
+
+
+class ReplicaDownError(FaultError):
+    """An op or sync was attempted on a crashed (not yet recovered) replica."""
+
+
+class FaultPlanError(ValueError):
+    """A declarative fault plan is malformed (double-crash, unknown
+    replica, recover without a matching crash, bad anchor)."""
+
+
+class ReplayTimeout(ReplayError):
+    """A replay exceeded the harness's per-replay wall-clock watchdog."""

@@ -1,0 +1,274 @@
+"""Declarative fault plans compiled into constraint-ordered fault events.
+
+A :class:`FaultPlan` says *what* goes wrong — "crash ``r2`` somewhere after
+``e3`` and bring it back after ``e5``", "partition ``r1``/``r2`` for a
+window" — without fixing exactly when.  :meth:`FaultPlan.compile` turns the
+plan into concrete ``CRASH``/``RECOVER`` (and ``PARTITION``/``HEAL``)
+events appended to the recorded happy-path events, plus the ordering
+constraints that keep every explored interleaving *valid*:
+
+* a crash precedes its matching recover,
+* a replica cannot crash again before it recovered (no double-crash),
+* a partition opens before it heals,
+* anchored faults follow their anchor events.
+
+The explorers treat the constraints as a validity filter (schedules that
+violate them are skipped, not counted as explored) — NOT as a pruner:
+pruners feed the differential sanitizer, which replays skipped class
+members, and an *invalid* schedule must never be replayed at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.events import Event, make_crash, make_heal, make_partition, make_recover
+from repro.faults.errors import FaultPlanError
+
+#: (before_event_id, after_event_id) — before must replay first.
+OrderConstraint = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """Crash ``replica_id``; optionally recover it later.
+
+    ``crash_after``/``recover_after`` anchor the fault to recorded event
+    ids: the fault event must replay after its anchor (None = free to land
+    anywhere the other constraints allow).  ``crash_before``/
+    ``recover_before`` are the matching upper bounds — e.g.
+    ``recover_before`` pins the restart ahead of the syncs that re-deliver
+    the state the crash wiped, which keeps settledness-gated assertions
+    sound for subjects with volatile state.  ``recover=False`` leaves the
+    replica down for the rest of the schedule.
+    """
+
+    replica_id: str
+    crash_after: Optional[str] = None
+    recover_after: Optional[str] = None
+    recover: bool = True
+    crash_before: Optional[str] = None
+    recover_before: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """Cut the ``replica_a``/``replica_b`` link for a window of the schedule."""
+
+    replica_a: str
+    replica_b: str
+    start_after: Optional[str] = None
+    stop_after: Optional[str] = None
+    heal: bool = True
+    start_before: Optional[str] = None
+    stop_before: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class CompiledFaults:
+    """The output of :meth:`FaultPlan.compile`."""
+
+    #: Recorded events with the fault events inserted at their canonical
+    #: (anchor-respecting) positions — the schedule the explorers permute.
+    events: Tuple[Event, ...]
+    #: Just the fault events, in compile order (f1, f2, ...).
+    fault_events: Tuple[Event, ...]
+    #: Validity constraints every explored interleaving must satisfy.
+    order_constraints: Tuple[OrderConstraint, ...]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative set of crash/recover and partition-window faults."""
+
+    crashes: Tuple[CrashSpec, ...] = ()
+    partitions: Tuple[PartitionWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+        downed: Dict[str, bool] = {}  # replica -> permanently down
+        for spec in self.crashes:
+            if not spec.replica_id:
+                raise FaultPlanError("crash spec needs a replica id")
+            if downed.get(spec.replica_id):
+                raise FaultPlanError(
+                    f"replica {spec.replica_id!r} already crashed without recovery; "
+                    "cannot crash it again (double-crash)"
+                )
+            downed[spec.replica_id] = not spec.recover
+        for window in self.partitions:
+            if window.replica_a == window.replica_b:
+                raise FaultPlanError("cannot partition a replica from itself")
+
+    def is_empty(self) -> bool:
+        return not self.crashes and not self.partitions
+
+    def describe(self) -> str:
+        parts: List[str] = []
+        for spec in self.crashes:
+            text = f"crash {spec.replica_id}"
+            if spec.crash_after:
+                text += f" after {spec.crash_after}"
+            if spec.crash_before:
+                text += f" before {spec.crash_before}"
+            if spec.recover:
+                text += ", recover"
+                if spec.recover_after:
+                    text += f" after {spec.recover_after}"
+                if spec.recover_before:
+                    text += f" before {spec.recover_before}"
+            else:
+                text += ", stays down"
+            parts.append(text)
+        for window in self.partitions:
+            text = f"partition {window.replica_a}|{window.replica_b}"
+            if window.start_after:
+                text += f" after {window.start_after}"
+            if window.start_before:
+                text += f" before {window.start_before}"
+            if window.heal:
+                text += ", heal"
+                if window.stop_after:
+                    text += f" after {window.stop_after}"
+                if window.stop_before:
+                    text += f" before {window.stop_before}"
+            parts.append(text)
+        return "; ".join(parts) if parts else "(no faults)"
+
+    # ------------------------------------------------------------- compile
+
+    def compile(self, events: Sequence[Event]) -> CompiledFaults:
+        """Compile into fault events + ordering constraints over ``events``."""
+        known_ids = {event.event_id for event in events}
+        for anchor in self._anchors():
+            if anchor not in known_ids:
+                raise FaultPlanError(f"fault anchor {anchor!r} is not a recorded event")
+
+        counter = 0
+
+        def next_id() -> str:
+            nonlocal counter
+            counter += 1
+            return f"f{counter}"
+
+        fault_events: List[Event] = []
+        constraints: List[OrderConstraint] = []
+        last_recover_id: Dict[str, str] = {}
+
+        for spec in self.crashes:
+            crash = make_crash(next_id(), spec.replica_id)
+            fault_events.append(crash)
+            if spec.crash_after:
+                constraints.append((spec.crash_after, crash.event_id))
+            if spec.crash_before:
+                constraints.append((crash.event_id, spec.crash_before))
+            previous = last_recover_id.get(spec.replica_id)
+            if previous:
+                # No double-crash: the earlier cycle's recover must precede
+                # this crash in every explored interleaving.
+                constraints.append((previous, crash.event_id))
+            if spec.recover:
+                recover = make_recover(next_id(), spec.replica_id)
+                fault_events.append(recover)
+                constraints.append((crash.event_id, recover.event_id))
+                if spec.recover_after:
+                    constraints.append((spec.recover_after, recover.event_id))
+                if spec.recover_before:
+                    constraints.append((recover.event_id, spec.recover_before))
+                last_recover_id[spec.replica_id] = recover.event_id
+
+        for window in self.partitions:
+            start = make_partition(next_id(), window.replica_a, window.replica_b)
+            fault_events.append(start)
+            if window.start_after:
+                constraints.append((window.start_after, start.event_id))
+            if window.start_before:
+                constraints.append((start.event_id, window.start_before))
+            if window.heal:
+                stop = make_heal(next_id(), window.replica_a, window.replica_b)
+                fault_events.append(stop)
+                constraints.append((start.event_id, stop.event_id))
+                if window.stop_after:
+                    constraints.append((window.stop_after, stop.event_id))
+                if window.stop_before:
+                    constraints.append((stop.event_id, window.stop_before))
+
+        augmented = self._insert_canonical(list(events), fault_events, constraints)
+        if not satisfies_order_constraints(augmented, constraints):
+            # The anchors are mutually inconsistent (e.g. an upper bound
+            # that precedes the matching lower bound in the recording).
+            raise FaultPlanError(
+                f"fault plan anchors are unsatisfiable: {self.describe()}"
+            )
+        return CompiledFaults(
+            events=tuple(augmented),
+            fault_events=tuple(fault_events),
+            order_constraints=tuple(constraints),
+        )
+
+    def _anchors(self) -> List[str]:
+        anchors: List[str] = []
+        for spec in self.crashes:
+            candidates = (
+                spec.crash_after,
+                spec.recover_after,
+                spec.crash_before,
+                spec.recover_before,
+            )
+            anchors.extend(a for a in candidates if a)
+        for window in self.partitions:
+            candidates = (
+                window.start_after,
+                window.stop_after,
+                window.start_before,
+                window.stop_before,
+            )
+            anchors.extend(a for a in candidates if a)
+        return anchors
+
+    @staticmethod
+    def _insert_canonical(
+        events: List[Event],
+        fault_events: Sequence[Event],
+        constraints: Sequence[OrderConstraint],
+    ) -> List[Event]:
+        """Place each fault event right after the last event it must follow.
+
+        Fault events are compiled in dependency order (a crash before its
+        recover), so a single left-to-right pass yields a canonical schedule
+        that satisfies every constraint.
+        """
+        out = list(events)
+        for fault in fault_events:
+            must_follow = {before for before, after in constraints if after == fault.event_id}
+            must_precede = {after for before, after in constraints if before == fault.event_id}
+            insert_at = len(out) if not must_follow else 0
+            for index, event in enumerate(out):
+                if event.event_id in must_follow:
+                    insert_at = index + 1
+            # Clamp below any upper-bound anchor already in the schedule; if
+            # that contradicts a lower bound, compile() rejects the plan.
+            for index, event in enumerate(out):
+                if event.event_id in must_precede and index < insert_at:
+                    insert_at = index
+            out.insert(insert_at, fault)
+        return out
+
+
+def satisfies_order_constraints(
+    interleaving: Sequence[Event], constraints: Sequence[OrderConstraint]
+) -> bool:
+    """True iff every (before, after) pair replays in that order.
+
+    Events absent from the interleaving cannot violate a constraint.
+    """
+    if not constraints:
+        return True
+    positions = {event.event_id: index for index, event in enumerate(interleaving)}
+    for before, after in constraints:
+        b, a = positions.get(before), positions.get(after)
+        if b is not None and a is not None and b > a:
+            return False
+    return True

@@ -14,7 +14,8 @@ cluster exposes exactly those two primitives:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.net.conditions import NetworkConditions
 from repro.net.replica import ReplicaHost
@@ -25,12 +26,34 @@ class ClusterError(Exception):
     """Raised on cluster misuse (unknown replica, duplicate id, ...)."""
 
 
+@dataclass(frozen=True)
+class SuppressedSend:
+    """One sync send the network suppressed (partition or random drop)."""
+
+    sender: str
+    receiver: str
+    reason: str  # "partition" | "drop"
+
+
+@dataclass(frozen=True)
+class SyncSummary:
+    """What one :meth:`Cluster.sync_all` pass actually delivered."""
+
+    attempted: int
+    delivered: int
+    suppressed: Tuple[SuppressedSend, ...]
+
+
 class Cluster:
     """A set of replica hosts wired through one transport."""
 
     def __init__(self, conditions: Optional[NetworkConditions] = None) -> None:
         self.transport = Transport(conditions)
         self._hosts: Dict[str, ReplicaHost] = {}
+        #: Sends the network suppressed since construction / the last
+        #: :meth:`restore` — fault-window scenarios assert on these instead
+        #: of having partition losses silently swallowed.
+        self.suppressed_sends: List[SuppressedSend] = []
 
     # ------------------------------------------------------------- topology
 
@@ -65,9 +88,12 @@ class Cluster:
         drops return False, exactly like a lost datagram).
         """
         source = self.host(sender)
+        source.require_up()
         payload = source.rdl.sync_payload(receiver)
         message = self.transport.send(sender, receiver, payload)
         if message is None:
+            reason = self.transport.last_send_outcome or "drop"
+            self.suppressed_sends.append(SuppressedSend(sender, receiver, reason))
             return False
         source.sent_syncs += 1
         return True
@@ -81,7 +107,12 @@ class Cluster:
         try:
             message = self.transport.deliver_next(sender, receiver)
         except TransportError:
+            target.require_up()
             return False
+        # The message is consumed before the liveness check: a payload that
+        # reaches a dead node is lost, not left queued for a later execute
+        # (which would silently re-pair sync requests with wrong executes).
+        target.require_up()
         target.rdl.apply_sync(message.payload, sender)
         target.applied_syncs += 1
         return True
@@ -92,14 +123,48 @@ class Cluster:
             return False
         return self.execute_sync(sender, receiver)
 
-    def sync_all(self, rounds: int = 1) -> None:
-        """Pairwise full mesh sync, ``rounds`` times (to reach convergence)."""
+    def sync_all(self, rounds: int = 1) -> SyncSummary:
+        """Pairwise full mesh sync, ``rounds`` times (to reach convergence).
+
+        Returns a :class:`SyncSummary` so callers can see which sends the
+        network suppressed instead of having them silently swallowed.
+        Replicas that are down are skipped (a mesh pass cannot reach them).
+        """
         ids = self.replica_ids()
+        attempted = delivered = 0
+        suppressed_before = len(self.suppressed_sends)
         for _ in range(rounds):
             for sender in ids:
                 for receiver in ids:
-                    if sender != receiver:
-                        self.sync(sender, receiver)
+                    if sender == receiver:
+                        continue
+                    if not self.host(sender).up or not self.host(receiver).up:
+                        continue
+                    attempted += 1
+                    if self.sync(sender, receiver):
+                        delivered += 1
+        return SyncSummary(
+            attempted=attempted,
+            delivered=delivered,
+            suppressed=tuple(self.suppressed_sends[suppressed_before:]),
+        )
+
+    # ---------------------------------------------------------------- faults
+
+    def crash(self, replica_id: str) -> None:
+        """Kill one replica: its durable snapshot is captured, volatile
+        state is lost, and further ops/syncs raise ``ReplicaDownError``."""
+        self.host(replica_id).crash()
+
+    def recover(self, replica_id: str) -> None:
+        """Restart a crashed replica from its durable snapshot."""
+        self.host(replica_id).recover()
+
+    def partition(self, replica_a: str, replica_b: str) -> None:
+        self.transport.conditions.partition(replica_a, replica_b)
+
+    def heal(self, replica_a: Optional[str] = None, replica_b: Optional[str] = None) -> None:
+        self.transport.conditions.heal(replica_a, replica_b)
 
     # ------------------------------------------------------------ lifecycle
 
@@ -112,6 +177,7 @@ class Cluster:
         for rid, snapshot in snapshots.items():
             self.host(rid).restore(snapshot)
         self.transport.reset()
+        self.suppressed_sends.clear()
 
     def snapshot(self) -> Dict[str, Any]:
         """Fast full-cluster snapshot: every host plus the transport.

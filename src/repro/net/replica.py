@@ -16,9 +16,17 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.faults.errors import FaultError, ReplicaDownError
+
 
 class ReplicaHost:
-    """One cluster node: id + the RDL replica it runs."""
+    """One cluster node: id + the RDL replica it runs.
+
+    Hosts have a crash/recover lifecycle: :meth:`crash` captures the RDL's
+    durable snapshot and marks the node down (ops and syncs then raise
+    :class:`ReplicaDownError`); :meth:`recover` rebuilds the RDL from that
+    snapshot — volatile state is lost, exactly like a process restart.
+    """
 
     def __init__(self, replica_id: str, rdl: Any) -> None:
         if not replica_id:
@@ -32,6 +40,39 @@ class ReplicaHost:
         self.rdl = rdl
         self.applied_syncs = 0
         self.sent_syncs = 0
+        self.up = True
+        self._durable: Any = None
+
+    # ---------------------------------------------------------- crash/recover
+
+    def crash(self) -> None:
+        """Kill the node: durable state is captured, volatile state is lost."""
+        if not self.up:
+            raise FaultError(f"replica {self.replica_id!r} is already down")
+        durable = getattr(self.rdl, "durable_snapshot", None)
+        self._durable = durable() if callable(durable) else self.rdl.checkpoint()
+        self.up = False
+
+    def recover(self) -> None:
+        """Restart the node from the durable snapshot captured at crash."""
+        if self.up:
+            raise FaultError(f"replica {self.replica_id!r} is not down")
+        recover = getattr(self.rdl, "recover", None)
+        if callable(recover):
+            recover(self._durable)
+        else:
+            self.rdl.restore(self._durable)
+        self.up = True
+        self._durable = None
+
+    def require_up(self) -> None:
+        if not self.up:
+            raise ReplicaDownError(f"replica {self.replica_id!r} is down")
+
+    def force_up(self) -> None:
+        """Reset fault state without a recovery (replay-boundary reset)."""
+        self.up = True
+        self._durable = None
 
     def state(self) -> Any:
         return self.rdl.value()
@@ -40,7 +81,10 @@ class ReplicaHost:
         return self.rdl.checkpoint()
 
     def restore(self, snapshot: Any) -> None:
+        # Replay checkpoints are taken at quiescent, all-up points, so a
+        # checkpoint restore also resets the crash/recover lifecycle.
         self.rdl.restore(snapshot)
+        self.force_up()
 
     def snapshot(self) -> Any:
         """Full host snapshot: RDL state plus the host's sync counters.
@@ -52,6 +96,8 @@ class ReplicaHost:
             "rdl": self.rdl.checkpoint(),
             "applied_syncs": self.applied_syncs,
             "sent_syncs": self.sent_syncs,
+            "up": self.up,
+            "durable": self._durable,
         }
 
     def restore_snapshot(self, snapshot: Any) -> None:
@@ -59,6 +105,8 @@ class ReplicaHost:
         self.rdl.restore(snapshot["rdl"])
         self.applied_syncs = snapshot["applied_syncs"]
         self.sent_syncs = snapshot["sent_syncs"]
+        self.up = snapshot.get("up", True)
+        self._durable = snapshot.get("durable")
 
     def __repr__(self) -> str:
         return f"ReplicaHost({self.replica_id!r}, rdl={type(self.rdl).__name__})"

@@ -48,6 +48,8 @@ class Transport:
         self.dropped_count = 0
         self.delivered_count = 0
         self.duplicated_count = 0
+        #: Why the most recent ``send`` ended: "sent", "partition" or "drop".
+        self.last_send_outcome: Optional[str] = None
 
     @property
     def tick_now(self) -> int:
@@ -62,10 +64,13 @@ class Transport:
         """Enqueue a message; returns it, or None if dropped/partitioned."""
         if self.conditions.is_partitioned(sender, receiver):
             self.dropped_count += 1
+            self.last_send_outcome = "partition"
             return None
         if self.conditions.should_drop():
             self.dropped_count += 1
+            self.last_send_outcome = "drop"
             return None
+        self.last_send_outcome = "sent"
         message = Message(next(self._ids), sender, receiver, payload, self._tick)
         self._queues[(sender, receiver)].append(message)
         self.sent_count += 1
@@ -131,8 +136,22 @@ class Transport:
         return out
 
     def reset(self) -> None:
+        """Return to a just-constructed state (message ids stay monotonic).
+
+        Clears queues and simulated time, zeroes the delivery counters, and
+        re-derives the conditions' random streams from their seed — without
+        the reseed, consecutive replays would continue mid-stream draws and
+        the same interleaving could see different drop/duplicate/reorder
+        decisions on each replay.
+        """
         self._queues.clear()
         self._tick = 0
+        self.sent_count = 0
+        self.dropped_count = 0
+        self.delivered_count = 0
+        self.duplicated_count = 0
+        self.last_send_outcome = None
+        self.conditions.reseed(self.conditions.seed)
 
     # ----------------------------------------------------------- snapshots
 

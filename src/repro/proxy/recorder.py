@@ -45,8 +45,18 @@ DEFAULT_READ_METHODS = frozenset(
 )
 
 #: Methods never recorded (host-protocol plumbing, not app-visible events).
+#: ``durable_snapshot``/``recover`` belong to the crash–recovery protocol
+#: driven by fault events, never to the recorded workload.
 DEFAULT_IGNORED_METHODS = frozenset(
-    {"sync_payload", "apply_sync", "checkpoint", "restore", "has_defect"}
+    {
+        "sync_payload",
+        "apply_sync",
+        "checkpoint",
+        "restore",
+        "has_defect",
+        "durable_snapshot",
+        "recover",
+    }
 )
 
 

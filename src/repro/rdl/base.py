@@ -80,6 +80,30 @@ class RDLReplica(abc.ABC):
         self.__dict__.clear()
         self.__dict__.update(copy_state(snapshot))
 
+    # --- crash/recover protocol ------------------------------------------
+    #
+    # A crash discards the replica process; what survives is whatever the
+    # real library persists (a log on disk, a backing Redis, nothing).
+    # ``durable_snapshot`` captures exactly that persistent slice, and
+    # ``recover`` rebuilds a fresh replica from it — volatile state
+    # (in-memory caches, un-flushed buffers) must come back at its
+    # post-restart value, not its pre-crash one.  The defaults model a
+    # library whose whole state is durable; subjects with genuinely
+    # volatile state override both.
+
+    #: True when shipping a sync payload advances durable state (e.g. a
+    #: push that records a durable watermark).  The prefix-reuse engine
+    #: must materialise the sender before a SYNC_REQ when this is set.
+    mutates_on_push = False
+
+    def durable_snapshot(self) -> Any:
+        """The state that survives a crash of this replica's process."""
+        return self.checkpoint()
+
+    def recover(self, snapshot: Any) -> None:
+        """Rebuild this replica from a ``durable_snapshot`` after a crash."""
+        self.restore(snapshot)
+
     # --- copy-on-write snapshot protocol (engine-internal) ---------------
     #
     # The prefix-reuse replay engine avoids paying a deep copy on every

@@ -31,6 +31,18 @@ Defect flags (bug scenarios in :mod:`repro.bugs.orbitdb_bugs`):
 * ``lock_leak`` — OrbitDB-5 (issue #557): a sync applied while the store is
   closed takes the repo folder lock to write and never releases it, so the
   next ``open_store`` fails with "repo folder locked".
+* ``crash_lock_leak`` — crash–recovery (issue #557 family): the repo folder
+  lock is a *file*, so it survives the process.  A replica that crashes while
+  its store is open leaves the stale lock on disk; with the defect, recovery
+  trusts the lock file and ``open_store`` fails with "repo folder locked".
+  The fixed implementation detects that no live process owns the lock and
+  breaks it.  Whether the bug fires depends on where the crash lands
+  relative to a clean ``close_store`` — an interleaving property.
+
+Durability model: every log entry is content-addressed and written through to
+disk (IPFS blocks) as it is created, so ``durable_snapshot`` keeps the whole
+log, ACL and clock; only the process state is volatile — the store comes
+back *closed* and must be reopened during recovery.
 """
 
 from __future__ import annotations
@@ -64,6 +76,7 @@ class OrbitDBStore(RDLReplica):
             "unchecked_append",
             "torn_head",
             "lock_leak",
+            "crash_lock_leak",
             "no_causal_sort",
         }
     )
@@ -197,6 +210,28 @@ class OrbitDBStore(RDLReplica):
             "acl": sorted(self._acl),
             "sender": self.replica_id,
         }
+
+    def durable_snapshot(self) -> Any:
+        """What survives a crash: the persisted log, plus the lock *file*.
+
+        Entries, ACL and clock are written through to disk as they are
+        created.  The process state is volatile — the store comes back
+        closed — but the repo folder lock is on disk, so a crash while the
+        store is open leaves it behind.
+        """
+        snapshot = self.checkpoint()
+        snapshot["_open"] = False
+        snapshot["_repo_locked"] = self._open or self._repo_locked
+        return snapshot
+
+    def recover(self, snapshot: Any) -> None:
+        """Reload the store from its persisted log and reopen it."""
+        self.restore(snapshot)
+        if not self.has_defect("crash_lock_leak"):
+            # Fixed behaviour: no live process owns the lock after a crash,
+            # so recovery breaks the stale lock file before reopening.
+            self._repo_locked = False
+        self.open_store()
 
     def apply_sync(self, payload: Dict[str, Any], from_replica_id: str) -> None:
         has_new_entries = any(

@@ -17,6 +17,17 @@ Defect flags (bug scenarios in :mod:`repro.bugs.replicadb_bugs`):
   growth syncs in before the transfer runs.
 * ``no_sink_deletes`` — ReplicaDB-2 (issue #23): incremental mode only
   upserts, so rows deleted at the source are never deleted from the sink.
+* ``volatile_tombstones`` — crash–recovery: the upstream replication keeps
+  its delete-tombstone table in memory only.  After a crash the deleted rows
+  stay gone from the durable source table, but the tombstones vanish — so a
+  later sync from a peer that still holds the old row re-inserts it
+  (deleted-row resurrection), and a third replica that kept its tombstone
+  diverges permanently.  Fires only in interleavings where the crash lands
+  between the delete and the peer's sync.
+
+Durability model: the source and sink are real database tables and survive a
+crash; the job runner's counters (rows transferred, peak memory) are process
+state and reset on recovery.
 """
 
 from __future__ import annotations
@@ -32,7 +43,9 @@ DEFAULT_MEMORY_BUDGET_ROWS = 64
 class ReplicaDBJob(RDLReplica):
     """One ReplicaDB host: a source table, a sink table, and the job runner."""
 
-    KNOWN_DEFECTS = frozenset({"unbounded_fetch", "no_sink_deletes", "raw_apply"})
+    KNOWN_DEFECTS = frozenset(
+        {"unbounded_fetch", "no_sink_deletes", "raw_apply", "volatile_tombstones"}
+    )
 
     def __init__(
         self,
@@ -141,6 +154,20 @@ class ReplicaDBJob(RDLReplica):
         return self.source_rows() == self.sink_rows()
 
     # -------------------------------------------------------- host protocol
+
+    def durable_snapshot(self) -> Any:
+        """What survives a crash: the source and sink tables (databases).
+
+        Job-runner counters are process state.  With the
+        ``volatile_tombstones`` defect the delete-tombstone table is also
+        memory-only, so recovery forgets which rows were deleted.
+        """
+        snapshot = self.checkpoint()
+        snapshot["rows_transferred"] = 0
+        snapshot["peak_memory_rows"] = 0
+        if self.has_defect("volatile_tombstones"):
+            snapshot["_source_deleted"] = {}
+        return snapshot
 
     def sync_payload(self, target_replica_id: str) -> Dict[str, Any]:
         """Upstream-database replication: ship source rows and tombstones."""

@@ -23,6 +23,13 @@ Defect flags (see :mod:`repro.bugs.roshi_bugs`):
 * ``unordered_select`` — bug Roshi-3 (issue #40): the cross-instance merge in
   ``select`` iterates a Go map, so result order follows the map's (arrival)
   order rather than descending timestamp.
+
+Durability model: the Redis farm is the durable store — its sorted sets
+survive a replica crash.  The Go process's arrival-order bookkeeping
+(``_last_op``/``_arrival``) is in-memory only and is lost, which matters
+under the arrival-order defects: a recovered replica resolves a timestamp
+tie differently than it did before the crash (crash–recovery amplification
+of issue #11).
 """
 
 from __future__ import annotations
@@ -243,3 +250,11 @@ class RoshiReplica(RDLReplica):
         self._keys = set(snapshot["keys"])
         self._last_op = dict(snapshot["last_op"])
         self._arrival = {key: list(order) for key, order in snapshot["arrival"].items()}
+
+    def durable_snapshot(self) -> Any:
+        """What survives a crash: the Redis farm (and the key index derived
+        from it).  The process's arrival-order bookkeeping is volatile."""
+        snapshot = self.checkpoint()
+        snapshot["last_op"] = {}
+        snapshot["arrival"] = {}
+        return snapshot

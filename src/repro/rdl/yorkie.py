@@ -18,6 +18,17 @@ Defect flags (bug scenarios in :mod:`repro.bugs.yorkie_bugs`):
   nested object values: writing ``{"a": {...}}`` clobbers the whole subtree,
   so a concurrent write to a *different* nested key on a peer is lost and
   replicas can diverge on nested documents.
+* ``durable_seen_cache`` — crash–recovery: the client eagerly persists its
+  move-dedup cache (``_seen_moves``) but its document/move log only as of
+  the last push.  After a crash the recovered replica remembers having seen
+  moves whose *effects* rolled back with the document, so when a peer ships
+  those moves again they are wrongly deduplicated and never re-applied —
+  the array orders diverge permanently.
+
+Durability model: Yorkie is client–server — a change pack becomes durable
+when pushed.  ``durable_snapshot`` therefore returns the replica's state as
+of its most recent ``sync_payload`` (the push watermark); everything edited
+since the last push is volatile and lost on crash.
 """
 
 from __future__ import annotations
@@ -35,7 +46,13 @@ from repro.rdl.base import RDLError, RDLReplica
 class YorkieDocument(RDLReplica):
     """One attached Yorkie document replica."""
 
-    KNOWN_DEFECTS = frozenset({"nonconvergent_move", "shallow_set", "last_sync_wins"})
+    KNOWN_DEFECTS = frozenset(
+        {"nonconvergent_move", "shallow_set", "last_sync_wins", "durable_seen_cache"}
+    )
+
+    #: Shipping a change pack advances the durable push watermark, so the
+    #: replay engine must materialise the sender before a SYNC_REQ.
+    mutates_on_push = True
 
     def __init__(
         self,
@@ -53,6 +70,9 @@ class YorkieDocument(RDLReplica):
         self._move_log: List[Tuple[str, Tuple[PathKey, ...], Stamp, Optional[Stamp], Stamp]] = []
         self._seen_moves: set = set()
         self._op_counter = 0
+        # Durable push watermark: the replica's state as of the last change
+        # pack it shipped (initially: the pristine attached document).
+        self._durable_checkpoint: Dict[str, Any] = self._push_checkpoint()
 
     # ----------------------------------------------------------- Yorkie API
 
@@ -115,12 +135,36 @@ class YorkieDocument(RDLReplica):
     # -------------------------------------------------------- host protocol
 
     def sync_payload(self, target_replica_id: str) -> Dict[str, Any]:
-        """A change pack: full document state plus the move log."""
-        return {
+        """A change pack: full document state plus the move log.
+
+        Pushing makes everything shipped durable (the server holds it), so
+        the push watermark advances here — the one sender mutation the
+        replay engine is told about via ``mutates_on_push``.
+        """
+        payload = {
             "doc_key": self.doc_key,
             "doc": copy_state(self._doc),
             "moves": list(self._move_log),
         }
+        self._durable_checkpoint = self._push_checkpoint()
+        return payload
+
+    def durable_snapshot(self) -> Dict[str, Any]:
+        """What survives a client crash: the state as of the last push.
+
+        Un-pushed local changes are volatile and lost.  With the
+        ``durable_seen_cache`` defect the move-dedup cache is persisted
+        eagerly (its *current* value) even though the moves it remembers
+        roll back with the document — the seeded crash–recovery bug.
+        """
+        snapshot = copy_state(self._durable_checkpoint)
+        if self.has_defect("durable_seen_cache"):
+            snapshot["_seen_moves"] = set(self._seen_moves)
+        return snapshot
+
+    def recover(self, snapshot: Dict[str, Any]) -> None:
+        self.restore(snapshot)
+        self._durable_checkpoint = self._push_checkpoint()
 
     def apply_sync(self, payload: Dict[str, Any], from_replica_id: str) -> None:
         if payload["doc_key"] != self.doc_key:
@@ -158,6 +202,15 @@ class YorkieDocument(RDLReplica):
         return self._doc.value()
 
     # ------------------------------------------------------------- internal
+
+    def _push_checkpoint(self) -> Dict[str, Any]:
+        """Deep copy of everything but the watermark itself."""
+        state = {
+            key: value
+            for key, value in self.__dict__.items()
+            if key != "_durable_checkpoint"
+        }
+        return copy_state(state)
 
     def _array(self, path: Sequence[PathKey]) -> RGAList:
         node = self._doc._resolve(list(path), create=False)

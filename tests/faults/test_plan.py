@@ -1,0 +1,127 @@
+"""FaultPlan compilation: canonical insertion, constraints, validation."""
+
+import pytest
+
+from repro.core.events import EventKind, make_sync_pair, make_update
+from repro.faults.errors import FaultPlanError
+from repro.faults.plan import (
+    CrashSpec,
+    FaultPlan,
+    PartitionWindow,
+    satisfies_order_constraints,
+)
+
+
+def recorded():
+    e1 = make_update("e1", "A", "set_add", "k", 1)
+    e2, e3 = make_sync_pair("e2", "e3", "A", "B")
+    e4 = make_update("e4", "B", "set_add", "k", 2)
+    return (e1, e2, e3, e4)
+
+
+def ids(events):
+    return [event.event_id for event in events]
+
+
+class TestCompile:
+    def test_crash_recover_compiles_to_two_events(self):
+        plan = FaultPlan(crashes=(CrashSpec("A"),))
+        compiled = plan.compile(recorded())
+        assert [e.kind for e in compiled.fault_events] == [
+            EventKind.CRASH,
+            EventKind.RECOVER,
+        ]
+        assert ids(compiled.fault_events) == ["f1", "f2"]
+        # crash-before-recover is always constrained.
+        assert ("f1", "f2") in compiled.order_constraints
+
+    def test_anchors_become_constraints(self):
+        plan = FaultPlan(
+            crashes=(CrashSpec("A", crash_after="e1", recover_after="e3"),)
+        )
+        compiled = plan.compile(recorded())
+        assert ("e1", "f1") in compiled.order_constraints
+        assert ("e3", "f2") in compiled.order_constraints
+
+    def test_upper_anchors_become_constraints(self):
+        plan = FaultPlan(
+            crashes=(
+                CrashSpec("A", crash_after="e1", crash_before="e3", recover_before="e4"),
+            )
+        )
+        compiled = plan.compile(recorded())
+        assert ("f1", "e3") in compiled.order_constraints
+        assert ("f2", "e4") in compiled.order_constraints
+
+    def test_canonical_schedule_satisfies_all_constraints(self):
+        plan = FaultPlan(
+            crashes=(
+                CrashSpec("A", crash_after="e1", recover_after="e1", recover_before="e4"),
+            )
+        )
+        compiled = plan.compile(recorded())
+        assert satisfies_order_constraints(compiled.events, compiled.order_constraints)
+        assert len(compiled.events) == len(recorded()) + 2
+
+    def test_no_recover_leaves_replica_down(self):
+        plan = FaultPlan(crashes=(CrashSpec("A", recover=False),))
+        compiled = plan.compile(recorded())
+        assert [e.kind for e in compiled.fault_events] == [EventKind.CRASH]
+
+    def test_partition_window(self):
+        plan = FaultPlan(
+            partitions=(PartitionWindow("A", "B", start_after="e1", stop_after="e3"),)
+        )
+        compiled = plan.compile(recorded())
+        kinds = [e.kind for e in compiled.fault_events]
+        assert kinds == [EventKind.PARTITION, EventKind.HEAL]
+        start, stop = compiled.fault_events
+        assert (start.event_id, stop.event_id) in compiled.order_constraints
+        assert ("e1", start.event_id) in compiled.order_constraints
+
+    def test_unknown_anchor_rejected(self):
+        plan = FaultPlan(crashes=(CrashSpec("A", crash_after="e99"),))
+        with pytest.raises(FaultPlanError, match="not a recorded event"):
+            plan.compile(recorded())
+
+    def test_unsatisfiable_anchors_rejected(self):
+        # Crash after e3 but before e1: impossible in any interleaving that
+        # keeps the constraint pair, caught at compile time.
+        plan = FaultPlan(
+            crashes=(CrashSpec("A", crash_after="e3", crash_before="e1"),)
+        )
+        with pytest.raises(FaultPlanError, match="unsatisfiable"):
+            plan.compile(recorded())
+
+    def test_double_crash_without_recovery_rejected(self):
+        with pytest.raises(FaultPlanError, match="double-crash"):
+            FaultPlan(crashes=(CrashSpec("A", recover=False), CrashSpec("A")))
+
+    def test_crash_recover_crash_again_is_legal_and_ordered(self):
+        plan = FaultPlan(crashes=(CrashSpec("A"), CrashSpec("A")))
+        compiled = plan.compile(recorded())
+        # Second cycle's crash (f3) must follow the first cycle's recover (f2).
+        assert ("f2", "f3") in compiled.order_constraints
+
+    def test_self_partition_rejected(self):
+        with pytest.raises(FaultPlanError, match="itself"):
+            FaultPlan(partitions=(PartitionWindow("A", "A"),))
+
+    def test_describe_mentions_anchors(self):
+        plan = FaultPlan(
+            crashes=(CrashSpec("A", crash_after="e1", recover_before="e4"),)
+        )
+        text = plan.describe()
+        assert "crash A after e1" in text
+        assert "before e4" in text
+
+
+class TestSatisfies:
+    def test_order_violation_detected(self):
+        events = recorded()
+        assert satisfies_order_constraints(events, (("e1", "e2"),))
+        assert not satisfies_order_constraints(events, (("e4", "e1"),))
+
+    def test_absent_events_cannot_violate(self):
+        events = recorded()
+        assert satisfies_order_constraints(events, (("e4", "f1"),))

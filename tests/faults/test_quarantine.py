@@ -1,0 +1,156 @@
+"""The quarantine path and the per-replay watchdog.
+
+An injected fault can wedge or blow up a subject mid-replay in ways the
+engine does not model.  The harness must capture the wreckage and keep
+exploring — a hunt never dies to one broken replay.
+"""
+
+import copy
+import time
+
+import pytest
+
+from repro.core import ErPi
+from repro.core.replay import ReplayEngine, SequentialExecutor
+from repro.faults.errors import ReplayTimeout
+from repro.faults.plan import CrashSpec, FaultPlan
+from repro.net.cluster import Cluster
+
+
+class FragileLibrary:
+    """Minimal RDL whose ``apply_sync`` explodes on an empty payload.
+
+    The recorded run always ships a non-empty payload (the update precedes
+    the sync), so only *permuted* interleavings trigger the RuntimeError —
+    exactly the \"unexpected subject exception mid-hunt\" the quarantine
+    path exists for.
+    """
+
+    def __init__(self, replica_id, slow_s=0.0):
+        self.replica_id = replica_id
+        self.items = []
+        self.slow_s = slow_s
+
+    def add(self, item):
+        if self.slow_s:
+            time.sleep(self.slow_s)
+        self.items.append(item)
+
+    def sync_payload(self, target_replica_id):
+        return list(self.items)
+
+    def apply_sync(self, payload, from_replica_id):
+        if not payload:
+            raise RuntimeError("subject exploded on empty payload")
+        for item in payload:
+            if item not in self.items:
+                self.items.append(item)
+
+    def checkpoint(self):
+        return copy.deepcopy(self.items)
+
+    def restore(self, snapshot):
+        self.items = copy.deepcopy(snapshot)
+
+    def value(self):
+        return sorted(self.items)
+
+
+def fragile_cluster(slow_s=0.0):
+    cluster = Cluster()
+    for rid in ("A", "B"):
+        cluster.add_replica(rid, FragileLibrary(rid, slow_s=slow_s))
+    return cluster
+
+
+def run_fragile_session(**session_kwargs):
+    cluster = fragile_cluster()
+    erpi = ErPi(cluster, **session_kwargs)
+    erpi.start()
+    cluster.rdl("A").add("x")
+    cluster.sync("A", "B")
+    return erpi.end()
+
+
+class TestQuarantine:
+    def test_unexpected_exception_is_quarantined_not_fatal(self):
+        report = run_fragile_session()
+        assert report.quarantined, "the empty-payload replay must be captured"
+        q = report.quarantined[0]
+        assert q.error_type == "RuntimeError"
+        assert "empty payload" in q.message
+        assert "e1" in q.interleaving or "e2" in q.interleaving
+        # The hunt continued: quarantined replays count as explored and the
+        # other interleavings completed normally.
+        assert report.explored > len(report.quarantined)
+
+    def test_quarantined_replays_persisted_as_datalog_facts(self):
+        cluster = fragile_cluster()
+        erpi = ErPi(cluster, persist=True)
+        erpi.start()
+        cluster.rdl("A").add("x")
+        cluster.sync("A", "B")
+        report = erpi.end()
+        assert report.quarantined
+        rows = erpi.store.quarantines()
+        assert rows and all(error == "RuntimeError" for _, error in rows)
+        assert "quarantined" in erpi.export_datalog()
+
+    def test_cluster_restored_after_quarantine(self):
+        cluster = fragile_cluster()
+        erpi = ErPi(cluster)
+        erpi.start()
+        cluster.rdl("A").add("x")
+        cluster.sync("A", "B")
+        erpi.end()
+        # end() resets to the pre-workload checkpoint even when some replays
+        # blew up mid-way.
+        assert cluster.rdl("A").value() == []
+
+    def test_quarantine_carries_fault_plan_description(self):
+        cluster = fragile_cluster()
+        plan = FaultPlan(crashes=(CrashSpec("B", crash_after="e1"),))
+        erpi = ErPi(cluster, faults=plan)
+        erpi.start()
+        cluster.rdl("A").add("x")
+        cluster.sync("A", "B")
+        report = erpi.end()
+        assert report.quarantined
+        assert report.quarantined[0].fault_plan == plan.describe()
+        assert len(report.fault_events) == 2
+
+    def test_session_summary_mentions_quarantines(self):
+        report = run_fragile_session()
+        assert "quarantined replays" in report.summary()
+
+
+class TestWatchdog:
+    def test_sequential_executor_rejects_bad_timeout(self):
+        with pytest.raises(ValueError):
+            SequentialExecutor(timeout_s=0)
+
+    def test_watchdog_raises_replay_timeout(self):
+        cluster = Cluster()
+        cluster.add_replica("A", FragileLibrary("A", slow_s=0.05))
+        engine = ReplayEngine(cluster, SequentialExecutor(timeout_s=0.01))
+        engine.checkpoint()
+        from repro.core.events import make_update
+
+        events = (make_update("e1", "A", "add", 1), make_update("e2", "A", "add", 2))
+        with pytest.raises(ReplayTimeout):
+            engine.replay(events)
+
+    def test_timed_out_replay_is_quarantined_in_session(self):
+        cluster = fragile_cluster(slow_s=0.05)
+        erpi = ErPi(cluster, replay_timeout_s=0.01)
+        erpi.start()
+        cluster.rdl("A").add("x")
+        cluster.rdl("B").add("y")
+        report = erpi.end()
+        assert report.quarantined
+        assert any(q.error_type == "ReplayTimeout" for q in report.quarantined)
+
+    def test_replay_timeout_plumbs_into_executor(self):
+        erpi = ErPi(fragile_cluster(), replay_timeout_s=2.5)
+        assert isinstance(erpi._engine.executor, SequentialExecutor)
+        assert erpi._engine.executor.timeout_s == 2.5

@@ -1,0 +1,104 @@
+"""Fault-aware settledness and pruner soundness on fault-bearing schedules."""
+
+from repro.core.assertions import delivery_knowledge, is_settled
+from repro.core.events import (
+    make_crash,
+    make_heal,
+    make_partition,
+    make_recover,
+    make_sync_pair,
+    make_update,
+)
+from repro.core.pruning import EventIndependencePruner
+from repro.core.pruning.replica_specific import ReadScopedPruner, ReplicaSpecificPruner
+from repro.core.replay import InterleavingOutcome
+
+
+def outcome_for(interleaving):
+    return InterleavingOutcome(tuple(interleaving), [], {}, [], 0.0)
+
+
+E1 = make_update("e1", "A", "set_add", "k", 1)
+REQ, EXC = make_sync_pair("e2", "e3", "A", "B")
+CRASH_A = make_crash("f1", "A")
+RECOVER_A = make_recover("f2", "A")
+CRASH_B = make_crash("f3", "B")
+RECOVER_B = make_recover("f4", "B")
+CUT = make_partition("f5", "A", "B")
+HEAL = make_heal("f6", "A", "B")
+
+
+class TestDeliveryKnowledge:
+    def test_clean_sync_transfers_knowledge(self):
+        knowledge = delivery_knowledge(outcome_for([E1, REQ, EXC]))
+        assert knowledge == {"A": {"e1"}, "B": {"e1"}}
+        assert is_settled(outcome_for([E1, REQ, EXC]), ["A", "B"])
+
+    def test_down_sender_ships_nothing(self):
+        knowledge = delivery_knowledge(
+            outcome_for([E1, CRASH_A, REQ, RECOVER_A, EXC])
+        )
+        assert knowledge.get("B", set()) == set()
+
+    def test_down_receiver_loses_the_payload(self):
+        knowledge = delivery_knowledge(
+            outcome_for([E1, REQ, CRASH_B, EXC, RECOVER_B])
+        )
+        assert knowledge.get("B", set()) == set()
+
+    def test_update_on_down_replica_never_happened(self):
+        knowledge = delivery_knowledge(
+            outcome_for([CRASH_A, E1, RECOVER_A, REQ, EXC])
+        )
+        assert knowledge.get("A", set()) == set()
+
+    def test_partitioned_link_suppresses_the_send(self):
+        knowledge = delivery_knowledge(outcome_for([E1, CUT, REQ, EXC, HEAL]))
+        assert knowledge.get("B", set()) == set()
+
+    def test_healed_link_delivers_again(self):
+        knowledge = delivery_knowledge(outcome_for([E1, CUT, HEAL, REQ, EXC]))
+        assert knowledge["B"] == {"e1"}
+
+    def test_suppressed_delivery_is_not_settled(self):
+        assert not is_settled(
+            outcome_for([E1, CRASH_A, REQ, RECOVER_A, EXC]), ["A", "B"]
+        )
+
+    def test_failed_update_does_not_block_settledness(self):
+        # The update happened on a down replica: it failed, produced nothing
+        # to deliver, and must not make every interleaving unsettleable.
+        assert is_settled(
+            outcome_for([CRASH_A, E1, RECOVER_A, REQ, EXC]), ["A", "B"]
+        )
+
+
+INDEP = EventIndependencePruner(["e1", "e4"])
+U4 = make_update("e4", "B", "set_add", "k", 2)
+
+
+class TestPrunersOnFaults:
+    def test_independent_events_merge_when_faults_are_elsewhere(self):
+        left = (E1, U4, CRASH_A, RECOVER_A, REQ, EXC)
+        right = (U4, E1, CRASH_A, RECOVER_A, REQ, EXC)
+        assert INDEP.key(left) == INDEP.key(right)
+
+    def test_fault_inside_the_span_blocks_the_merge(self):
+        left = (E1, CRASH_A, U4, RECOVER_A, REQ, EXC)
+        right = (U4, CRASH_A, E1, RECOVER_A, REQ, EXC)
+        assert INDEP.key(left) != INDEP.key(right)
+
+    def test_fault_event_itself_never_merges(self):
+        pruner = EventIndependencePruner(["e1", "f1"])
+        left = (E1, CRASH_A, RECOVER_A, REQ, EXC)
+        right = (CRASH_A, E1, RECOVER_A, REQ, EXC)
+        assert pruner.key(left) != pruner.key(right)
+
+    def test_replica_scoped_pruners_keep_fault_schedules_apart(self):
+        # The observation signature models full delivery; with faults in the
+        # schedule each interleaving is its own class.
+        for pruner in (ReplicaSpecificPruner("B"), ReadScopedPruner("B")):
+            left = (E1, CRASH_A, RECOVER_A, REQ, EXC)
+            right = (CRASH_A, RECOVER_A, E1, REQ, EXC)
+            assert pruner.key(left) != pruner.key(right)
+            assert pruner.key(left) == pruner.key(left)
