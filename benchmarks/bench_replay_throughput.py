@@ -9,6 +9,10 @@ minimal-change order, capped at 1500 candidates.  Four arms:
                   checkpoint/restore/sync payloads, no prefix cache;
 * ``fast``      — current serial engine, structural fast-copy, no cache;
 * ``cache``     — current serial engine with the prefix snapshot cache;
+* ``traced``    — the cache arm with a live :class:`~repro.obs.tracer.Tracer`
+                  and :class:`~repro.obs.metrics.MetricsRegistry` attached to
+                  the engine (reports the observability overhead over plain
+                  caching — the acceptance criterion is < 10%);
 * ``sanitized`` — the cache arm with the differential soundness sanitizer
                   shadow-replaying 25% of cached results from scratch
                   (reports the sanitizer's overhead over plain caching);
@@ -43,6 +47,7 @@ from repro.core.replay import ReplayEngine
 from repro.core.sanitizer import Sanitizer
 from repro.fastcopy import legacy_deepcopy
 from repro.misconceptions.seeds import CRDTsNoCoordination
+from repro.obs import MetricsRegistry, Tracer
 from repro.proxy.recorder import EventRecorder
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -122,6 +127,18 @@ def run_arm(name: str, limit: int) -> Tuple[float, dict]:
             "entries": stats.entries,
             "evictions": stats.evictions,
         }
+    elif name == "traced":
+        cache = engine.enable_prefix_cache()
+        engine.tracer = Tracer()
+        engine.metrics = MetricsRegistry()
+        elapsed = timed_serial(engine, candidates)
+        extra = {
+            "spans": len(engine.tracer.spans),
+            "cache_hits": engine.metrics.counter("replay.cache_hits"),
+            "replay_p95_us": round(
+                engine.metrics.histogram("replay.duration_us").percentile(0.95), 2
+            ),
+        }
     elif name == "sanitized":
         cache = engine.enable_prefix_cache()
         sanitizer = Sanitizer(rate=0.25, seed=0)
@@ -165,7 +182,7 @@ def main() -> int:
     limit = args.limit or (200 if args.smoke else 1500)
     reps = args.reps or (2 if args.smoke else 5)
 
-    arms = ("seed", "fast", "cache", "sanitized", "parallel4")
+    arms = ("seed", "fast", "cache", "traced", "sanitized", "parallel4")
     best = {name: float("inf") for name in arms}
     info = {name: {} for name in arms}
     for rep in range(reps):
@@ -195,18 +212,25 @@ def main() -> int:
     }
     speedup = best["seed"] / best["cache"]
     report["cached_speedup_vs_seed"] = round(speedup, 2)
+    traced_overhead = best["traced"] / best["cache"]
+    report["traced_overhead_vs_cache"] = round(traced_overhead, 2)
     sanitizer_overhead = best["sanitized"] / best["cache"]
     report["sanitizer_overhead_vs_cache"] = round(sanitizer_overhead, 2)
     OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
     print(
         f"\ncached speedup vs seed engine: {speedup:.2f}x, "
+        f"tracing overhead vs cache: {traced_overhead:.2f}x, "
         f"sanitizer overhead vs cache: {sanitizer_overhead:.2f}x  -> {OUTPUT.name}"
     )
 
+    failed = False
     if not args.smoke and speedup < 3.0:
         print("FAIL: acceptance criterion is >= 3x cached vs seed engine")
-        return 1
-    return 0
+        failed = True
+    if not args.smoke and traced_overhead >= 1.10:
+        print("FAIL: acceptance criterion is < 10% observability overhead")
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -31,6 +31,7 @@ from repro.core.replay import ReplayEngine, SequentialExecutor
 from repro.core.resources import ResourceMeter
 from repro.core.sanitizer import Sanitizer
 from repro.net.cluster import Cluster
+from repro.obs import NULL_METRICS, NULL_TRACER
 from repro.proxy.recorder import EventRecorder
 
 MODES = ("erpi", "dfs", "rand")
@@ -127,6 +128,9 @@ def hunt(
     faults: bool = False,
     replay_timeout_s: Optional[float] = None,
     stop_on_violation: bool = True,
+    tracer: Optional[object] = None,
+    metrics: Optional[object] = None,
+    progress: Optional[object] = None,
 ) -> ExplorationResult:
     """Explore until the scenario's invariant breaks (bug reproduced).
 
@@ -144,7 +148,15 @@ def hunt(
     permuted alongside the recorded events, constrained by the plan's
     anchors.  ``replay_timeout_s`` arms the per-replay watchdog; a replay
     that exceeds it is quarantined rather than hanging the hunt.
+
+    ``tracer`` / ``metrics`` / ``progress`` attach a
+    :class:`~repro.obs.tracer.Tracer`, a
+    :class:`~repro.obs.metrics.MetricsRegistry` and a
+    :class:`~repro.obs.progress.ProgressLine` to the whole hunt (explorer,
+    replay engine, pruners and — via the engine — the sanitizer).
     """
+    observed_tracer = tracer if tracer is not None else NULL_TRACER
+    observed_metrics = metrics if metrics is not None else NULL_METRICS
     schedule: Optional[Sequence[Event]] = None
     order_constraints: Tuple[Tuple[str, str], ...] = ()
     fault_plan = None
@@ -155,13 +167,23 @@ def hunt(
                 f"{recorded.scenario.name} declares no fault plan; "
                 "hunt with faults=False"
             )
-        compiled = fault_plan.compile(recorded.events)
+        if observed_tracer.enabled:
+            fspan = observed_tracer.begin("fault-compile")
+            compiled = fault_plan.compile(recorded.events)
+            observed_tracer.end(fspan, fault_events=len(compiled.fault_events))
+        else:
+            compiled = fault_plan.compile(recorded.events)
         schedule = compiled.events
         order_constraints = compiled.order_constraints
     if replay_timeout_s is not None:
         recorded.engine.executor = SequentialExecutor(timeout_s=replay_timeout_s)
     explorer = make_explorer(recorded, mode, seed=seed, meter=meter, events=schedule)
     explorer.order_constraints = order_constraints
+    explorer.tracer = observed_tracer
+    explorer.metrics = observed_metrics
+    explorer.progress = progress
+    recorded.engine.tracer = observed_tracer
+    recorded.engine.metrics = observed_metrics
     if fault_plan is not None:
         explorer.fault_plan_description = fault_plan.describe()
     assertions = recorded.scenario.make_assertions()

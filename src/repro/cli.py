@@ -57,6 +57,20 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
         )
     if args.replay_timeout is not None:
         extras.append(f"watchdog {args.replay_timeout:g}s")
+    tracer = None
+    metrics = None
+    progress = None
+    if args.trace is not None:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        extras.append(f"trace -> {args.trace}")
+    if args.metrics or args.trace is not None:
+        from repro.obs import MetricsRegistry, ProgressLine
+
+        metrics = MetricsRegistry()
+        if sys.stderr.isatty():
+            progress = ProgressLine()
     extra_text = f" [{', '.join(extras)}]" if extras else ""
     print(
         f"{sc.name} (issue #{sc.issue}): {sc.expected_events} events recorded; "
@@ -72,7 +86,18 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
         sanitize=args.sanitize,
         faults=args.faults,
         replay_timeout_s=args.replay_timeout,
+        tracer=tracer,
+        metrics=metrics,
+        progress=progress,
     )
+    if tracer is not None:
+        tracer.write_jsonl(args.trace)
+        print(
+            f"trace: {len(tracer.spans)} span(s) "
+            f"({', '.join(sorted(tracer.kinds()))}) -> {args.trace}"
+        )
+    if metrics is not None:
+        print(metrics.summary())
     status = 1
     if result.found:
         print(
@@ -392,6 +417,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="per-replay wall-clock watchdog; a replay exceeding it is "
         "quarantined instead of hanging the hunt",
+    )
+    hunt.add_argument(
+        "--trace",
+        nargs="?",
+        const="erpi-trace.jsonl",
+        default=None,
+        metavar="PATH",
+        help="record spans for every pipeline stage and write them as a "
+        "Chrome-trace-compatible JSONL file (default: erpi-trace.jsonl); "
+        "implies --metrics",
+    )
+    hunt.add_argument(
+        "--metrics",
+        action="store_true",
+        help="count interleavings generated/pruned/replayed/quarantined, "
+        "cache hits, messages and replay latency; print the totals",
     )
 
     table1 = sub.add_parser("table1", help="regenerate Table 1")

@@ -49,6 +49,7 @@ from repro.core.interleavings import (
 from repro.core.pruning.base import Pruner, PrunerPipeline
 from repro.core.replay import Assertion, InterleavingOutcome, ReplayEngine
 from repro.core.resources import ResourceMeter, interleaving_footprint
+from repro.obs import NULL_METRICS, NULL_TRACER
 
 #: The paper's exploration cap.
 DEFAULT_CAP = 10_000
@@ -95,6 +96,12 @@ class Explorer(abc.ABC):
         self.order_constraints: Tuple[Tuple[str, str], ...] = ()
         #: Human-readable fault-plan description, attached to quarantines.
         self.fault_plan_description: Optional[str] = None
+        #: Observability (see repro.obs) — the shared null objects unless an
+        #: observed run swaps real ones in.  ``progress`` may hold a
+        #: :class:`~repro.obs.progress.ProgressLine` for live hunts.
+        self.tracer = NULL_TRACER
+        self.metrics = NULL_METRICS
+        self.progress: Optional[object] = None
 
     def _valid(self, interleaving: Interleaving) -> bool:
         return satisfies_order_constraints(interleaving, self.order_constraints)
@@ -119,15 +126,35 @@ class Explorer(abc.ABC):
         cap: int = DEFAULT_CAP,
         stop_on_violation: bool = True,
     ) -> ExplorationResult:
+        tracer = self.tracer
+        metrics = self.metrics
+        progress = self.progress
         started = time.perf_counter()
         explored = 0
         violating: Optional[InterleavingOutcome] = None
         crashed = False
         crash_reason: Optional[str] = None
         quarantined: List[QuarantinedReplay] = []
+        root = tracer.begin("explore") if tracer.enabled else None
+        candidates = self.candidates()
         try:
-            for interleaving in self.candidates():
-                if explored >= cap:
+            # The cap is checked *before* pulling the next candidate, so a
+            # capped run never generates (or meter-charges) an interleaving
+            # it will not replay — keeping the observability identity
+            # ``generated == pruned + replayed + quarantined + discarded``
+            # exact.
+            while explored < cap:
+                if tracer.enabled:
+                    gspan = tracer.begin("generate")
+                    try:
+                        interleaving = next(candidates, None)
+                    except BaseException as exc:
+                        tracer.end(gspan, error=type(exc).__name__)
+                        raise
+                    tracer.end(gspan, exhausted=interleaving is None)
+                else:
+                    interleaving = next(candidates, None)
+                if interleaving is None:
                     break
                 try:
                     outcome = engine.replay(interleaving, assertions)
@@ -137,11 +164,24 @@ class Explorer(abc.ABC):
                     # Quarantine: an injected fault wedged or blew up the
                     # subject (watchdog timeout, unexpected exception).
                     # Capture the wreckage and keep hunting.
-                    quarantined.append(self._quarantine(interleaving, exc))
+                    if tracer.enabled:
+                        qspan = tracer.begin("quarantine")
+                        quarantined.append(self._quarantine(interleaving, exc))
+                        tracer.end(qspan, error_type=type(exc).__name__)
+                    else:
+                        quarantined.append(self._quarantine(interleaving, exc))
+                    if metrics.enabled:
+                        metrics.inc("interleavings.quarantined")
                     explored += 1
+                    if progress is not None:
+                        progress.tick(metrics)
                     engine.restore()
                     continue
                 explored += 1
+                if metrics.enabled:
+                    metrics.inc("interleavings.replayed")
+                if progress is not None:
+                    progress.tick(metrics)
                 if outcome.violated:
                     violating = outcome
                     if stop_on_violation:
@@ -149,6 +189,8 @@ class Explorer(abc.ABC):
         except ResourceExhausted as exc:
             crashed = True
             crash_reason = str(exc)
+        finally:
+            self._finish_observation(engine, root, explored)
         elapsed = time.perf_counter() - started
         return ExplorationResult(
             mode=self.mode,
@@ -166,6 +208,29 @@ class Explorer(abc.ABC):
     def _pruning_stats(self) -> Dict[str, int]:
         return {}
 
+    def _finish_observation(
+        self,
+        engine: ReplayEngine,
+        root_span: Optional[object],
+        explored: int,
+        mode: Optional[str] = None,
+    ) -> None:
+        """End-of-run observability: gauges, the final progress repaint, and
+        the root ``explore`` span.  A no-op with the null objects attached."""
+        metrics = self.metrics
+        if metrics.enabled:
+            for category, nbytes in self.meter.by_category.items():
+                metrics.set_gauge("resource.bytes." + category, nbytes)
+            cache = engine.prefix_cache
+            if cache is not None:
+                metrics.set_gauge("cache.entries", cache.stats.entries)
+                metrics.set_gauge("cache.retained_bytes", cache.stats.retained_bytes)
+        progress = self.progress
+        if progress is not None:
+            progress.close(metrics if metrics.enabled else None)
+        if root_span is not None:
+            self.tracer.end(root_span, mode=mode or self.mode, explored=explored)
+
 
 class DFSExplorer(Explorer):
     """Lexicographic DFS over raw-event permutations (no reduction)."""
@@ -173,12 +238,17 @@ class DFSExplorer(Explorer):
     mode = "dfs"
 
     def candidates(self) -> Iterator[Interleaving]:
+        metrics = self.metrics
         units = tuple((event,) for event in self.events)
         for interleaving in interleaving_stream(units, order="lexicographic"):
             if not self._valid(interleaving):
+                if metrics.enabled:
+                    metrics.inc("interleavings.invalid")
                 continue
             # The checker server persists every explored interleaving.
             self.meter.charge("dfs_ledger", interleaving_footprint(len(self.events)))
+            if metrics.enabled:
+                metrics.inc("interleavings.generated")
             yield interleaving
 
 
@@ -221,7 +291,11 @@ class RandomExplorer(Explorer):
             self.meter.charge("rand_cache", interleaving_footprint(len(self.events)))
             candidate = tuple(order)
             if not self._valid(candidate):
+                if self.metrics.enabled:
+                    self.metrics.inc("interleavings.invalid")
                 continue
+            if self.metrics.enabled:
+                self.metrics.inc("interleavings.generated")
             yield candidate
 
 
@@ -250,6 +324,11 @@ class ERPiExplorer(Explorer):
 
     def candidates(self) -> Iterator[Interleaving]:
         self.pipeline.reset()
+        # The pipeline traces/counts through the explorer's observability
+        # objects (prune:<algorithm> spans, pruned.<algorithm> counters).
+        self.pipeline.tracer = self.tracer
+        self.pipeline.metrics = self.metrics
+        metrics = self.metrics
         for pruner in self.audit_pruners:
             pruner.reset()
         for interleaving in interleaving_stream(self.grouping.units, order=self.order):
@@ -258,14 +337,23 @@ class ERPiExplorer(Explorer):
             # representative — the sanitizer replays pruned class members,
             # and an invalid representative would mask a valid one.
             if not self._valid(interleaving):
+                if metrics.enabled:
+                    metrics.inc("interleavings.invalid")
                 continue
             for pruner in self.audit_pruners:
                 pruner.is_redundant(interleaving)
             if self.pipeline.is_redundant(interleaving):
                 # Pruned: never replayed, but the seen-set entry costs memory.
                 self.meter.charge("erpi_seen", 16)
+                # Counted as generated *after* the charge, so a budget crash
+                # mid-charge does not break the exploration identity.
+                if metrics.enabled:
+                    metrics.inc("interleavings.generated")
+                    metrics.inc("interleavings.pruned")
                 continue
             self.meter.charge("erpi_seen", interleaving_footprint(len(self.events)))
+            if metrics.enabled:
+                metrics.inc("interleavings.generated")
             yield interleaving
 
     def _pruning_stats(self) -> Dict[str, int]:
@@ -330,7 +418,8 @@ class ParallelExplorer:
         self, reference: ReplayEngine, assertions: Sequence[Assertion]
     ) -> List[Tuple[ReplayEngine, Sequence[Assertion]]]:
         engines: List[Tuple[ReplayEngine, Sequence[Assertion]]] = []
-        for _ in range(self.workers):
+        base_metrics = self.base.metrics
+        for index in range(self.workers):
             if self.cluster_factory is not None:
                 cluster = self.cluster_factory()
             else:
@@ -342,6 +431,12 @@ class ParallelExplorer:
             # Share the reference engine's shadow checker (it is thread-safe)
             # so sanitized runs cross-check worker replays too.
             engine.sanitizer = reference.sanitizer
+            # The tracer is shared (its append path is locked and its span
+            # stack is thread-local); metrics are per-worker shards so the
+            # unlocked inc path stays race-free, merged back at the end.
+            engine.tracer = self.base.tracer
+            engine.metrics = base_metrics.shard() if base_metrics.enabled else base_metrics
+            engine.worker_id = index
             engine.checkpoint()
             worker_assertions = (
                 self.assertions_factory() if self.assertions_factory else assertions
@@ -362,11 +457,15 @@ class ParallelExplorer:
             result = self.base.explore(engine, assertions, cap, stop_on_violation)
             result.mode = self.mode
             return result
+        tracer = self.base.tracer
+        metrics = self.base.metrics
+        progress = self.base.progress
         started = time.perf_counter()
         explored = 0
         violating: Optional[InterleavingOutcome] = None
         crashed = False
         crash_reason: Optional[str] = None
+        root = tracer.begin("explore") if tracer.enabled else None
 
         workers = self._build_engines(engine, assertions)
         idle: "queue.Queue[Tuple[ReplayEngine, Sequence[Assertion]]]" = queue.Queue()
@@ -405,13 +504,22 @@ class ParallelExplorer:
                         exhausted = True
                         break
                     try:
-                        interleaving = next(candidates)
-                    except StopIteration:
-                        exhausted = True
-                        break
+                        if tracer.enabled:
+                            gspan = tracer.begin("generate")
+                            try:
+                                interleaving = next(candidates, None)
+                            except BaseException as exc:
+                                tracer.end(gspan, error=type(exc).__name__)
+                                raise
+                            tracer.end(gspan, exhausted=interleaving is None)
+                        else:
+                            interleaving = next(candidates, None)
                     except ResourceExhausted as exc:
                         crashed = True
                         crash_reason = str(exc)
+                        break
+                    if interleaving is None:
+                        exhausted = True
                         break
                     pending.append(pool.submit(replay_one, interleaving))
                     submitted += 1
@@ -428,13 +536,47 @@ class ParallelExplorer:
                 explored += 1
                 if isinstance(outcome, QuarantinedReplay):
                     quarantined.append(outcome)
+                    if metrics.enabled:
+                        metrics.inc("interleavings.quarantined")
+                    if progress is not None:
+                        progress.tick(metrics)
                     continue
+                if metrics.enabled:
+                    metrics.inc("interleavings.replayed")
+                if progress is not None:
+                    progress.tick(metrics)
                 if outcome.violated:
                     violating = outcome
                     if stop_on_violation:
                         break
         finally:
             pool.shutdown(wait=True, cancel_futures=True)
+            # Merge worker metric shards only after the pool has drained, so
+            # no worker thread is still writing into a shard being merged.
+            if metrics.enabled:
+                for worker_engine, _ in workers:
+                    if worker_engine.metrics is not metrics:
+                        metrics.merge(worker_engine.metrics)
+                # Candidates dispatched but never committed (the run stopped
+                # on a violation or crash first) were still generated — they
+                # close the exploration identity as "discarded".
+                discarded = submitted - explored
+                if discarded > 0:
+                    metrics.inc("interleavings.discarded", discarded)
+            self.base._finish_observation(engine, root, explored, mode=self.mode)
+            if metrics.enabled:
+                cache_entries = 0
+                cache_bytes = 0
+                any_cache = False
+                for worker_engine, _ in workers:
+                    cache = worker_engine.prefix_cache
+                    if cache is not None:
+                        any_cache = True
+                        cache_entries += cache.stats.entries
+                        cache_bytes += cache.stats.retained_bytes
+                if any_cache:
+                    metrics.set_gauge("cache.entries", cache_entries)
+                    metrics.set_gauge("cache.retained_bytes", cache_bytes)
         if violating is not None and stop_on_violation:
             # The violation pre-empts any crash queued behind it, exactly as
             # a serial run would have stopped before reaching that point.

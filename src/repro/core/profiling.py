@@ -45,18 +45,31 @@ class Percentiles:
     median: float
     p95: float
     maximum: float
+    #: Sample size; 0 marks an *empty* distribution, whose all-zero summary
+    #: statistics are placeholders, not measurements.
+    n: int = 0
+
+    @property
+    def empty(self) -> bool:
+        return self.n == 0
 
     @classmethod
     def of(cls, values: Sequence[float]) -> "Percentiles":
-        if not values:
-            return cls(0.0, 0.0, 0.0, 0.0)
+        n = len(values)
+        if not n:
+            return cls(0.0, 0.0, 0.0, 0.0, n=0)
         ordered = sorted(values)
 
         def pick(fraction: float) -> float:
-            position = min(int(fraction * (len(ordered) - 1)), len(ordered) - 1)
-            return ordered[position]
+            # Linear interpolation between the bracketing order statistics
+            # (numpy's default): nearest-rank truncation biases the median
+            # and p95 downward on small n.
+            rank = fraction * (n - 1)
+            low = int(rank)
+            high = min(low + 1, n - 1)
+            return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
 
-        return cls(ordered[0], pick(0.5), pick(0.95), ordered[-1])
+        return cls(float(ordered[0]), pick(0.5), pick(0.95), float(ordered[-1]), n=n)
 
 
 @dataclass
@@ -91,6 +104,17 @@ class ProfileReport:
         duration = self.duration()
         state = self.state_bytes()
         failed = self.failed_ops()
+        # An empty distribution has no statistics: "0 ms" would be
+        # indistinguishable from a real all-zero sample.
+        if duration.empty:
+            return "\n".join(
+                [
+                    "interleavings profiled: 0",
+                    "replay time   n/a",
+                    "state size    n/a",
+                    "failed ops    n/a",
+                ]
+            )
         return "\n".join(
             [
                 f"interleavings profiled: {self.replayed}",

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.interleavings import Interleaving
+from repro.obs import NULL_METRICS, NULL_TRACER
 
 
 @dataclass
@@ -95,6 +96,9 @@ class Pruner(abc.ABC):
         self._seen: Set[Hashable] = set()
         self.stats = PruneStats(name=self.name)
         self.sampler: Optional[ClassSampler] = None
+        #: The class key computed by the most recent :meth:`is_redundant`
+        #: call (observability: traced pipelines attach it to prune spans).
+        self.last_key: Optional[Hashable] = None
 
     @abc.abstractmethod
     def key(self, interleaving: Interleaving) -> Hashable:
@@ -114,6 +118,7 @@ class Pruner(abc.ABC):
         """
         self.stats.examined += 1
         class_key = self.key(interleaving)
+        self.last_key = class_key
         sampler = self.sampler
         if class_key in self._seen:
             self.stats.pruned += 1
@@ -139,10 +144,18 @@ class Pruner(abc.ABC):
 
 class PrunerPipeline:
     """A set of pruners applied jointly: an interleaving is redundant when
-    *any* pruner has already seen its class (greedy union of equivalences)."""
+    *any* pruner has already seen its class (greedy union of equivalences).
+
+    ``tracer``/``metrics`` (see :mod:`repro.obs`) default to the shared
+    null objects; an observed explorer swaps its own in, after which each
+    pruner verdict emits a ``prune:<algorithm>`` span (with the class key
+    as an attribute) and each merge bumps ``pruned.<algorithm>``.
+    """
 
     def __init__(self, pruners: Iterable[Pruner]) -> None:
         self.pruners: List[Pruner] = list(pruners)
+        self.tracer = NULL_TRACER
+        self.metrics = NULL_METRICS
 
     def enable_sampling(self, sample_k: int = 2, seed: int = 0) -> None:
         """Enable class sampling on every pruner (seeds derived per pruner)."""
@@ -152,8 +165,21 @@ class PrunerPipeline:
     def is_redundant(self, interleaving: Interleaving) -> bool:
         # Evaluate every pruner so each one's seen-set and stats stay
         # complete; redundancy is the OR across pruners.
-        verdicts = [pruner.is_redundant(interleaving) for pruner in self.pruners]
-        return any(verdicts)
+        tracer = self.tracer
+        metrics = self.metrics
+        redundant = False
+        for pruner in self.pruners:
+            if tracer.enabled:
+                span = tracer.begin("prune:" + pruner.name)
+                verdict = pruner.is_redundant(interleaving)
+                tracer.end(span, pruned=verdict, class_key=repr(pruner.last_key))
+            else:
+                verdict = pruner.is_redundant(interleaving)
+            if verdict:
+                redundant = True
+                if metrics.enabled:
+                    metrics.inc("pruned." + pruner.name)
+        return redundant
 
     def apply(self, interleavings: Sequence[Interleaving]) -> List[Interleaving]:
         for pruner in self.pruners:

@@ -65,6 +65,7 @@ from repro.core.resources import ResourceMeter, deep_footprint
 from repro.crdt.base import CRDTError
 from repro.faults.errors import ReplayTimeout
 from repro.net.cluster import Cluster
+from repro.obs import NULL_METRICS, NULL_TRACER
 from repro.rdl.base import RDLError
 from repro.redisim.errors import LockError
 from repro.redisim.farm import RedisimFarm
@@ -608,6 +609,16 @@ class ReplayEngine:
         #: Transport counter deltas for the most recent replay
         #: (sent, dropped, delivered, duplicated).
         self.last_transport_stats: Tuple[int, int, int, int] = (0, 0, 0, 0)
+        #: Sends the network suppressed (partition / drop) during the most
+        #: recent replay.
+        self.last_suppressed_count: int = 0
+        #: Observability (see repro.obs): the shared null objects unless an
+        #: observed run swaps real ones in.  ``worker_id`` labels replay
+        #: spans from ParallelExplorer worker engines.
+        self.tracer = NULL_TRACER
+        self.metrics = NULL_METRICS
+        self.worker_id: Optional[int] = None
+        self._last_was_cached = False
         # Live-state version tracking: maps replica id -> the _Snap whose RDL
         # state the replica currently holds (None/missing = unknown/dirty).
         # Sync counters are not tracked — they are two ints, always restored.
@@ -664,7 +675,68 @@ class ReplayEngine:
         interleaving: Interleaving,
         assertions: Sequence[Assertion] = (),
     ) -> InterleavingOutcome:
-        """Replay one interleaving from the checkpoint and run assertions."""
+        """Replay one interleaving from the checkpoint and run assertions.
+
+        When a tracer/metrics registry is attached this emits one ``replay``
+        span (cache hit/miss/off, violation verdict, worker id) and updates
+        the replay counters; with the null objects attached the observed
+        wrapper is a single boolean check.
+        """
+        tracer = self.tracer
+        metrics = self.metrics
+        if not (tracer.enabled or metrics.enabled):
+            return self._replay_checked(interleaving, assertions)
+        cache = self.prefix_cache
+        hits_before = cache.stats.hits if cache is not None else 0
+        span = tracer.begin("replay") if tracer.enabled else None
+        try:
+            outcome = self._replay_checked(interleaving, assertions)
+        except BaseException as exc:
+            if span is not None:
+                tracer.end(span, error=type(exc).__name__)
+            raise
+        if self._last_was_cached:
+            hit = cache is not None and cache.stats.hits > hits_before
+            cache_state = "hit" if hit else "miss"
+        else:
+            cache_state = "off"
+        if metrics.enabled:
+            self._record_replay_metrics(metrics, outcome, cache_state)
+        if span is not None:
+            if self.worker_id is not None:
+                tracer.end(
+                    span,
+                    cache=cache_state,
+                    violated=outcome.violated,
+                    worker=self.worker_id,
+                )
+            else:
+                tracer.end(span, cache=cache_state, violated=outcome.violated)
+        return outcome
+
+    def _record_replay_metrics(
+        self, metrics: Any, outcome: InterleavingOutcome, cache_state: str
+    ) -> None:
+        if cache_state == "hit":
+            metrics.inc("replay.cache_hits")
+        elif cache_state == "miss":
+            metrics.inc("replay.cache_misses")
+        else:
+            metrics.inc("replay.fresh")
+        sent, dropped, _delivered, _duplicated = self.last_transport_stats
+        if sent:
+            metrics.inc("messages.sent", sent)
+        if dropped:
+            metrics.inc("messages.dropped", dropped)
+        if self.last_suppressed_count:
+            metrics.inc("messages.suppressed", self.last_suppressed_count)
+        metrics.observe("replay.duration_us", outcome.duration_s * 1e6)
+
+    def _replay_checked(
+        self,
+        interleaving: Interleaving,
+        assertions: Sequence[Assertion] = (),
+    ) -> InterleavingOutcome:
         if self._checkpoint is None:
             raise ReplayError("checkpoint() must be called before replay()")
         # Fault events make a replay impure (crashes lose volatile state,
@@ -675,6 +747,7 @@ class ReplayEngine:
         if self._fault_dirty:
             self._reset_fault_state()
         cached = not has_fault and self.prefix_cache_active()
+        self._last_was_cached = cached
         if cached:
             outcome = self._replay_cached(interleaving)
         else:
@@ -701,7 +774,32 @@ class ReplayEngine:
         caches are attached.  Safe to interleave with cached replays — the
         engine's live-state tracking is invalidated so the next cached
         replay restores honestly.
+
+        Observed runs emit a ``replay:fresh`` span per call (distinguishing
+        sanitizer ground-truth replays from pipeline replays in traces).
         """
+        tracer = self.tracer
+        metrics = self.metrics
+        if not (tracer.enabled or metrics.enabled):
+            return self._replay_fresh_checked(interleaving, assertions)
+        span = tracer.begin("replay:fresh") if tracer.enabled else None
+        try:
+            outcome = self._replay_fresh_checked(interleaving, assertions)
+        except BaseException as exc:
+            if span is not None:
+                tracer.end(span, error=type(exc).__name__)
+            raise
+        if metrics.enabled:
+            self._record_replay_metrics(metrics, outcome, "fresh")
+        if span is not None:
+            tracer.end(span, violated=outcome.violated)
+        return outcome
+
+    def _replay_fresh_checked(
+        self,
+        interleaving: Interleaving,
+        assertions: Sequence[Assertion] = (),
+    ) -> InterleavingOutcome:
         if self._checkpoint is None:
             raise ReplayError("checkpoint() must be called before replay_fresh()")
         if self._fault_dirty:
@@ -750,6 +848,9 @@ class ReplayEngine:
         duration = time.perf_counter() - started
         after = transport.stats()
         self.last_transport_stats = tuple(n - b for n, b in zip(after, before))
+        # restore() cleared the suppressed-send log, so its whole contents
+        # belong to this replay.
+        self.last_suppressed_count = len(self.cluster.suppressed_sends)
         return InterleavingOutcome(
             interleaving=interleaving,
             event_results=event_results,
@@ -855,6 +956,7 @@ class ReplayEngine:
         stats.events_executed += count - depth
 
         cur_entry = entry
+        suppressed_before = len(cluster.suppressed_sends)
         caching = cache.max_entries > 0
         kind_read = EventKind.READ
         kind_sync_req = EventKind.SYNC_REQ
@@ -939,6 +1041,9 @@ class ReplayEngine:
         if caching:
             stats.entries = len(entries_dict)
 
+        # Cached replays never call restore(), so the suppressed-send log
+        # persists across them; this replay's share is the suffix delta.
+        self.last_suppressed_count = len(cluster.suppressed_sends) - suppressed_before
         base_sent, base_dropped, base_delivered, base_duplicated = cache.baseline
         self.last_transport_stats = (
             transport.sent_count - base_sent,

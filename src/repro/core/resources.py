@@ -29,6 +29,8 @@ class ResourceMeter:
     def charge(self, category: str, nbytes: int) -> None:
         if nbytes < 0:
             raise ValueError("cannot charge negative bytes")
+        if nbytes == 0:
+            return  # a zero charge must not plant a dead category entry
         self.used_bytes += nbytes
         self.by_category[category] = self.by_category.get(category, 0) + nbytes
         if self.budget_bytes is not None and self.used_bytes > self.budget_bytes:
@@ -41,13 +43,18 @@ class ResourceMeter:
         """Give back bytes previously charged (e.g. a cache eviction).
 
         Releases are clamped at zero so a double-release can never mint
-        budget out of thin air.
+        budget out of thin air.  A category released down to zero is
+        removed outright — ``by_category`` holds live categories only.
         """
         if nbytes < 0:
             raise ValueError("cannot release negative bytes")
         held = self.by_category.get(category, 0)
         freed = min(nbytes, held)
-        self.by_category[category] = held - freed
+        remaining = held - freed
+        if remaining:
+            self.by_category[category] = remaining
+        else:
+            self.by_category.pop(category, None)
         self.used_bytes = max(self.used_bytes - freed, 0)
 
     @property

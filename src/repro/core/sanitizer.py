@@ -406,7 +406,13 @@ class Sanitizer:
         ``engine`` provides ground truth via
         :meth:`~repro.core.replay.ReplayEngine.replay_fresh`; its checkpoint
         must still be the one the candidates were generated against.
+
+        Observed engines get one ``sanitize`` span wrapping the whole
+        differential pass (the fresh replays inside it emit their own
+        ``replay:fresh`` child spans) and a ``sanitizer.divergences`` gauge.
         """
+        tracer = engine.tracer
+        span = tracer.begin("sanitize") if tracer.enabled else None
         started = time.perf_counter()
         memo: Dict[Tuple[str, ...], Dict[str, Any]] = {}
         fresh_replays = 0
@@ -452,7 +458,7 @@ class Sanitizer:
                             )
                         )
         elapsed = time.perf_counter() - started
-        return SanitizerReport(
+        report = SanitizerReport(
             divergences=self.log.divergences,
             classes_checked=classes_checked,
             members_checked=members_checked,
@@ -460,6 +466,16 @@ class Sanitizer:
             shadow_checks=self.checker.checks,
             overhead_s=self.checker.overhead_s + elapsed,
         )
+        if engine.metrics.enabled:
+            engine.metrics.set_gauge("sanitizer.divergences", len(report.divergences))
+        if span is not None:
+            tracer.end(
+                span,
+                classes=classes_checked,
+                members=members_checked,
+                divergences=len(report.divergences),
+            )
+        return report
 
 
 # ------------------------------------------------------------- offline entry

@@ -46,6 +46,7 @@ from repro.datalog.store import InterleavingStore
 from repro.faults.plan import FaultPlan
 from repro.faults.quarantine import QuarantinedReplay
 from repro.net.cluster import Cluster
+from repro.obs import NULL_METRICS, NULL_TRACER
 from repro.proxy.recorder import EventRecorder
 
 
@@ -113,6 +114,8 @@ class ErPi:
         sanitize_seed: int = 0,
         faults: Optional[FaultPlan] = None,
         replay_timeout_s: Optional[float] = None,
+        trace: Optional[Any] = None,
+        metrics: Optional[Any] = None,
     ) -> None:
         """``replica_scope`` enables Algorithm-2 pruning for that replica
         (paper: pass the replica id to the Start/End higher-order functions);
@@ -145,7 +148,12 @@ class ErPi:
         ``replay_timeout_s`` is the per-replay wall-clock watchdog: slow or
         wedged replays raise and are quarantined instead of hanging the
         hunt.  It also replaces the lock-stepped executor's default 30 s
-        stuck-replica timeout."""
+        stuck-replica timeout.
+        ``trace`` / ``metrics`` attach a :class:`~repro.obs.tracer.Tracer`
+        and a :class:`~repro.obs.metrics.MetricsRegistry` to the whole
+        pipeline (engine, explorer, pruners); with ``persist=True`` their
+        contents are mirrored into the Datalog store as ``span``/``metric``
+        facts at :meth:`end`."""
         self.cluster = cluster
         self.replica_scope = replica_scope
         self.read_scoped = read_scoped
@@ -166,7 +174,11 @@ class ErPi:
             executor = SequentialExecutor(timeout_s=replay_timeout_s)
         else:
             executor = None
+        self.tracer = trace if trace is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self._engine = ReplayEngine(cluster, executor)
+        self._engine.tracer = self.tracer
+        self._engine.metrics = self.metrics
         if prefix_cache:
             self._engine.enable_prefix_cache()
         self._sanitizer: Optional[Sanitizer] = None
@@ -247,7 +259,12 @@ class ErPi:
         order_constraints: Tuple[Tuple[str, str], ...] = ()
         schedule_events = events
         if self.faults is not None and not self.faults.is_empty():
-            compiled = self.faults.compile(events)
+            if self.tracer.enabled:
+                fspan = self.tracer.begin("fault-compile")
+                compiled = self.faults.compile(events)
+                self.tracer.end(fspan, fault_events=len(compiled.fault_events))
+            else:
+                compiled = self.faults.compile(events)
             schedule_events = compiled.events
             fault_events = compiled.fault_events
             order_constraints = compiled.order_constraints
@@ -271,6 +288,8 @@ class ErPi:
             order=order,
         )
         explorer.order_constraints = order_constraints
+        explorer.tracer = self.tracer
+        explorer.metrics = self.metrics
         if fault_events and self.faults is not None:
             explorer.fault_plan_description = self.faults.describe()
         if self._sanitizer is not None:
@@ -284,40 +303,69 @@ class ErPi:
         violations: List[Tuple[int, str]] = []
         quarantined: List[QuarantinedReplay] = []
         explored = 0
-        for interleaving in explorer.candidates():
-            if explored >= cap:
-                break
-            try:
-                outcome = self._engine.replay(interleaving, assertions)
-            except ResourceExhausted:
-                raise
-            except Exception as exc:
-                # Quarantine: capture the wreckage, reset the cluster, and
-                # keep exploring instead of killing the session.
-                quarantined.append(explorer._quarantine(interleaving, exc))
+        tracer = self.tracer
+        metrics = self.metrics
+        root = tracer.begin("explore") if tracer.enabled else None
+        candidates = explorer.candidates()
+        try:
+            # Cap checked before pulling (see Explorer.explore): a capped
+            # session never generates candidates it will not replay.
+            while explored < cap:
+                if tracer.enabled:
+                    gspan = tracer.begin("generate")
+                    try:
+                        interleaving = next(candidates, None)
+                    except BaseException as exc:
+                        tracer.end(gspan, error=type(exc).__name__)
+                        raise
+                    tracer.end(gspan, exhausted=interleaving is None)
+                else:
+                    interleaving = next(candidates, None)
+                if interleaving is None:
+                    break
+                try:
+                    outcome = self._engine.replay(interleaving, assertions)
+                except ResourceExhausted:
+                    raise
+                except Exception as exc:
+                    # Quarantine: capture the wreckage, reset the cluster, and
+                    # keep exploring instead of killing the session.
+                    if tracer.enabled:
+                        qspan = tracer.begin("quarantine")
+                        quarantined.append(explorer._quarantine(interleaving, exc))
+                        tracer.end(qspan, error_type=type(exc).__name__)
+                    else:
+                        quarantined.append(explorer._quarantine(interleaving, exc))
+                    if metrics.enabled:
+                        metrics.inc("interleavings.quarantined")
+                    explored += 1
+                    self._engine.restore()
+                    if self.store is not None:
+                        il_id = self.store.persist_interleaving(
+                            [event.event_id for event in interleaving]
+                        )
+                        self.store.mark_explored(il_id, "quarantined")
+                        self.store.persist_quarantine(il_id, type(exc).__name__)
+                    continue
                 explored += 1
-                self._engine.restore()
+                if metrics.enabled:
+                    metrics.inc("interleavings.replayed")
                 if self.store is not None:
                     il_id = self.store.persist_interleaving(
                         [event.event_id for event in interleaving]
                     )
-                    self.store.mark_explored(il_id, "quarantined")
-                    self.store.persist_quarantine(il_id, type(exc).__name__)
-                continue
-            explored += 1
-            if self.store is not None:
-                il_id = self.store.persist_interleaving(
-                    [event.event_id for event in interleaving]
-                )
-                self.store.mark_explored(
-                    il_id, "violation" if outcome.violated else "ok"
-                )
-            if keep_outcomes or outcome.violated:
-                outcomes.append(outcome)
-            for message in outcome.violations:
-                violations.append((len(outcomes) - 1, message))
-            if outcome.violated and stop_on_violation:
-                break
+                    self.store.mark_explored(
+                        il_id, "violation" if outcome.violated else "ok"
+                    )
+                if keep_outcomes or outcome.violated:
+                    outcomes.append(outcome)
+                for message in outcome.violations:
+                    violations.append((len(outcomes) - 1, message))
+                if outcome.violated and stop_on_violation:
+                    break
+        finally:
+            if root is not None:
+                tracer.end(root, mode="erpi", explored=explored)
 
         cross_violations: List[Tuple[str, str]] = []
         for check in cross_checks:
@@ -353,6 +401,12 @@ class ErPi:
                 )
             for first_id, second_id in explorer.grouping.grouped_pairs:
                 self.store.persist_sync_pair(first_id, second_id)
+            # Observability telemetry becomes queryable alongside the
+            # interleavings it describes (span/metric facts).
+            if self.tracer.enabled:
+                self.tracer.persist(self.store)
+            if self.metrics.enabled:
+                self.metrics.persist(self.store)
 
         return SessionReport(
             events=schedule_events,

@@ -15,6 +15,11 @@ Schema (all facts):
   (crash/recover/partition/heal) compiled from a session's FaultPlan.
 * ``quarantined(il_id, error_type)`` — replays captured by the quarantine
   path (unexpected subject exception or watchdog timeout).
+* ``span(span_id, parent_id, kind, duration_us)`` — observability spans
+  (``explore``/``generate``/``prune:<algo>``/``replay``/...) mirrored from
+  a :class:`~repro.obs.tracer.Tracer`.
+* ``metric(name, value)`` — observability counter/gauge totals mirrored
+  from a :class:`~repro.obs.metrics.MetricsRegistry`.
 
 ER-pi's runtime uses this store as its persistence layer; the exploration
 loop reads back only interleavings that are neither pruned nor explored.
@@ -133,3 +138,21 @@ class InterleavingStore:
 
     def quarantines(self) -> List[Tuple[int, str]]:
         return sorted(self.db.rows("quarantined"))
+
+    # -------------------------------------------------------- observability
+
+    def persist_span(
+        self, span_id: int, parent_id: int, kind: str, duration_us: int
+    ) -> None:
+        """Record one tracer span as a queryable fact."""
+        self.db.add("span", span_id, parent_id, kind, duration_us)
+
+    def spans(self) -> List[Tuple[int, int, str, int]]:
+        return sorted(self.db.rows("span"))
+
+    def persist_metric(self, name: str, value: int) -> None:
+        """Record one metric total as a queryable fact."""
+        self.db.add("metric", name, value)
+
+    def metrics(self) -> List[Tuple[str, int]]:
+        return sorted(self.db.rows("metric"))

@@ -1,0 +1,45 @@
+"""``repro.obs`` — zero-dependency tracing + metrics for the pipeline.
+
+Three pieces (see DESIGN.md §9):
+
+* :class:`Tracer` — structured spans (``explore``, ``generate``,
+  ``prune:<algorithm>``, ``replay``, ``replay:fresh``, ``sanitize``,
+  ``quarantine``, ``fault-compile``) with parent/child nesting, wall-clock
+  durations and per-span attributes; exported as Chrome-compatible JSONL
+  or persisted as ``span(...)`` Datalog facts.
+* :class:`MetricsRegistry` — named counters/gauges/histograms the whole
+  exploration pipeline reports into; persisted as ``metric(...)`` facts.
+* :class:`ProgressLine` — a live single-line hunt progress renderer.
+
+The shared :data:`NULL_TRACER` / :data:`NULL_METRICS` singletons make
+instrumentation free when observability is off: every instrumented call
+site holds a valid object and guards its hot path on ``.enabled``.
+"""
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetrics,
+)
+from repro.obs.progress import ProgressLine
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    parse_jsonl,
+)
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "ProgressLine",
+    "Span",
+    "Tracer",
+    "parse_jsonl",
+]

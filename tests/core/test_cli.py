@@ -104,3 +104,36 @@ class TestSanitizeCli:
         assert "Verdict" in out
         assert "DIVERGED" not in out
         assert "all equivalence classes and shadow replays agree" in out
+
+
+class TestObservabilityCli:
+    def test_trace_flag_defaults(self):
+        args = build_parser().parse_args(["hunt", "Roshi-2"])
+        assert args.trace is None
+        assert args.metrics is False
+        args = build_parser().parse_args(["hunt", "Roshi-2", "--trace"])
+        assert args.trace == "erpi-trace.jsonl"
+        args = build_parser().parse_args(
+            ["hunt", "Roshi-2", "--trace", "custom.jsonl"]
+        )
+        assert args.trace == "custom.jsonl"
+
+    def test_hunt_with_trace_writes_jsonl(self, tmp_path, capsys):
+        from repro.obs import parse_jsonl
+
+        path = tmp_path / "trace.jsonl"
+        assert main(["hunt", "Roshi-2", "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert "metrics:" in out  # --trace implies --metrics
+        assert "interleavings.replayed" in out
+        events = parse_jsonl(path.read_text())
+        assert events
+        assert {"explore", "generate", "replay"} <= {e["name"] for e in events}
+
+    def test_hunt_with_metrics_only(self, capsys):
+        assert main(["hunt", "Roshi-2", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out
+        assert "replay.duration_us" in out
+        assert "trace:" not in out

@@ -31,6 +31,37 @@ class TestResourceMeter:
         with pytest.raises(ValueError):
             ResourceMeter().charge("x", -1)
 
+    def test_zero_charge_plants_no_category(self):
+        meter = ResourceMeter()
+        meter.charge("cache", 0)
+        assert meter.by_category == {}
+        assert meter.used_bytes == 0
+
+    def test_release_to_zero_removes_category(self):
+        meter = ResourceMeter()
+        meter.charge("cache", 64)
+        meter.charge("ledger", 8)
+        meter.release("cache", 64)
+        # Fully-released categories disappear rather than lingering as
+        # dead zero-valued entries (they used to pollute by_category).
+        assert meter.by_category == {"ledger": 8}
+        assert meter.used_bytes == 8
+
+    def test_partial_release_keeps_category(self):
+        meter = ResourceMeter()
+        meter.charge("cache", 64)
+        meter.release("cache", 60)
+        assert meter.by_category == {"cache": 4}
+
+    def test_over_release_clamped(self):
+        meter = ResourceMeter()
+        meter.charge("cache", 10)
+        meter.release("cache", 999)
+        assert meter.by_category == {}
+        assert meter.used_bytes == 0
+        with pytest.raises(ValueError):
+            meter.release("cache", -1)
+
     def test_reset(self):
         meter = ResourceMeter(budget_bytes=100)
         meter.charge("x", 99)

@@ -1,0 +1,156 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.datalog.store import InterleavingStore
+from repro.obs.metrics import NULL_METRICS, Histogram, MetricsRegistry, NullMetrics
+
+
+class TestHistogram:
+    def test_streaming_stats(self):
+        histogram = Histogram()
+        for value in (10.0, 30.0, 20.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == pytest.approx(60.0)
+        assert histogram.mean == pytest.approx(20.0)
+        assert histogram.minimum == 10.0
+        assert histogram.maximum == 30.0
+
+    def test_percentile_interpolates(self):
+        histogram = Histogram()
+        for value in (10, 20, 30, 40):
+            histogram.observe(value)
+        assert histogram.percentile(0.5) == pytest.approx(25.0)
+        assert histogram.percentile(0.95) == pytest.approx(38.5)
+
+    def test_empty_histogram(self):
+        histogram = Histogram()
+        assert histogram.mean == 0.0
+        assert histogram.percentile(0.5) == 0.0
+        assert histogram.describe() == "n/a"
+
+    def test_sample_is_bounded(self):
+        histogram = Histogram(sample_cap=4)
+        for value in range(100):
+            histogram.observe(float(value))
+        assert histogram.count == 100
+        assert len(histogram.sample) == 4
+        assert histogram.maximum == 99.0  # min/max track past the cap
+
+    def test_merge(self):
+        left, right = Histogram(), Histogram()
+        left.observe(1.0)
+        right.observe(9.0)
+        right.observe(5.0)
+        left.merge(right)
+        assert left.count == 3
+        assert left.minimum == 1.0
+        assert left.maximum == 9.0
+        assert left.total == pytest.approx(15.0)
+
+
+class TestMetricsRegistry:
+    def test_counters_and_gauges(self):
+        metrics = MetricsRegistry()
+        metrics.inc("interleavings.replayed")
+        metrics.inc("interleavings.replayed", 4)
+        metrics.set_gauge("cache.entries", 12)
+        assert metrics.counter("interleavings.replayed") == 5
+        assert metrics.counter("never.touched") == 0
+        assert metrics.gauge("cache.entries") == 12
+        assert metrics.gauge("never.touched") is None
+
+    def test_observe_creates_histogram(self):
+        metrics = MetricsRegistry()
+        assert metrics.histogram("replay.duration_us") is None
+        metrics.observe("replay.duration_us", 55.0)
+        assert metrics.histogram("replay.duration_us").count == 1
+
+    def test_counters_with_prefix(self):
+        metrics = MetricsRegistry()
+        metrics.inc("pruned.failed_ops", 3)
+        metrics.inc("pruned.replica_specific", 2)
+        metrics.inc("interleavings.pruned", 5)
+        assert metrics.counters_with_prefix("pruned.") == {
+            "pruned.failed_ops": 3,
+            "pruned.replica_specific": 2,
+        }
+
+    def test_consistency_identity(self):
+        metrics = MetricsRegistry()
+        assert metrics.consistent()  # vacuously, before any exploration
+        metrics.inc("interleavings.generated", 10)
+        metrics.inc("interleavings.pruned", 4)
+        metrics.inc("interleavings.replayed", 5)
+        assert not metrics.consistent()
+        metrics.inc("interleavings.quarantined", 1)
+        assert metrics.consistent()
+
+    def test_shard_and_merge(self):
+        main = MetricsRegistry()
+        main.inc("interleavings.replayed", 2)
+        main.observe("replay.duration_us", 10.0)
+        shard = main.shard()
+        assert shard is not main
+        shard.inc("interleavings.replayed", 3)
+        shard.set_gauge("cache.entries", 7)
+        shard.observe("replay.duration_us", 30.0)
+        main.merge(shard)
+        assert main.counter("interleavings.replayed") == 5
+        assert main.gauge("cache.entries") == 7
+        assert main.histogram("replay.duration_us").count == 2
+        # The shard itself is untouched by the merge.
+        assert shard.counter("interleavings.replayed") == 3
+
+    def test_summary_and_as_dict(self):
+        metrics = MetricsRegistry()
+        metrics.inc("interleavings.replayed", 1234)
+        metrics.set_gauge("cache.entries", 5)
+        metrics.observe("replay.duration_us", 40.0)
+        text = metrics.summary()
+        assert "interleavings.replayed = 1,234" in text
+        assert "cache.entries = 5" in text
+        assert "replay.duration_us" in text
+        as_dict = metrics.as_dict()
+        assert as_dict["interleavings.replayed"] == 1234
+        assert as_dict["replay.duration_us"]["count"] == 1
+
+    def test_persist_lands_datalog_facts(self):
+        metrics = MetricsRegistry()
+        metrics.inc("interleavings.replayed", 9)
+        metrics.set_gauge("cache.entries", 3)
+        metrics.observe("replay.duration_us", 55.9)
+        store = InterleavingStore()
+        metrics.persist(store)
+        facts = dict(store.metrics())
+        assert facts["interleavings.replayed"] == 9
+        assert facts["cache.entries"] == 3
+        assert facts["replay.duration_us.count"] == 1
+        assert facts["replay.duration_us.max"] == 55
+
+    def test_clear(self):
+        metrics = MetricsRegistry()
+        metrics.inc("a")
+        metrics.set_gauge("b", 1)
+        metrics.observe("c", 1.0)
+        metrics.clear()
+        assert metrics.counter("a") == 0
+        assert metrics.gauge("b") is None
+        assert metrics.histogram("c") is None
+
+
+class TestNullMetrics:
+    def test_is_disabled_and_inert(self):
+        assert NULL_METRICS.enabled is False
+        NULL_METRICS.inc("x", 5)
+        NULL_METRICS.set_gauge("y", 1.0)
+        NULL_METRICS.observe("z", 2.0)
+        assert NULL_METRICS.counter("x") == 0
+        assert NULL_METRICS.gauge("y") is None
+        assert NULL_METRICS.histogram("z") is None
+        assert NULL_METRICS.consistent()
+        assert NULL_METRICS.shard() is NULL_METRICS
+        assert NULL_METRICS.as_dict() == {}
+        assert NULL_METRICS.persist(InterleavingStore()) == 0
+        assert isinstance(NULL_METRICS, NullMetrics)

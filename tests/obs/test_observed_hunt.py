@@ -1,0 +1,124 @@
+"""Integration tests: the observability layer threaded through real hunts."""
+
+import pytest
+
+from repro.bench.harness import hunt, record_scenario, scenario_pruners
+from repro.bugs import all_scenarios
+from repro.core import ErPi, GroupConstraint, assert_read_equals
+from repro.datalog.export import export_program
+from repro.net.cluster import Cluster
+from repro.obs import MetricsRegistry, Tracer, parse_jsonl
+from repro.rdl.crdts_lib import CRDTLibrary
+
+
+def scenario_named(fragment):
+    for scenario in all_scenarios():
+        if fragment in scenario.name:
+            return scenario
+    raise LookupError(fragment)
+
+
+def traced_hunt(scenario, **kwargs):
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    result = hunt(
+        record_scenario(scenario),
+        "erpi",
+        tracer=tracer,
+        metrics=metrics,
+        **kwargs,
+    )
+    return result, tracer, metrics
+
+
+class TestTracedHunt:
+    def test_pipeline_stages_all_emit_spans(self):
+        scenario = scenario_named("Roshi-1")
+        result, tracer, metrics = traced_hunt(scenario, cap=300)
+        assert result.found
+        kinds = tracer.kinds()
+        assert kinds.get("explore") == 1
+        assert kinds.get("generate", 0) >= kinds.get("replay", 0) > 0
+        # Every replay span nests under the explore root.
+        root = next(s for s in tracer.spans if s.name == "explore")
+        replays = [s for s in tracer.spans if s.name == "replay"]
+        assert all(s.parent_id == root.span_id for s in replays)
+
+    def test_exploration_identity_holds(self):
+        scenario = scenario_named("Roshi-1")
+        result, tracer, metrics = traced_hunt(scenario, cap=300)
+        assert metrics.consistent()
+        assert metrics.counter("interleavings.replayed") == result.explored
+        histogram = metrics.histogram("replay.duration_us")
+        assert histogram is not None
+        assert histogram.count == result.explored
+
+    def test_pruner_spans_and_counters(self):
+        scenario = scenario_named("Roshi-3")
+        assert scenario_pruners(scenario)  # the scenario under test prunes
+        result, tracer, metrics = traced_hunt(scenario, cap=600)
+        prune_kinds = [k for k in tracer.counts() if k.startswith("prune:")]
+        assert prune_kinds
+        per_algorithm = metrics.counters_with_prefix("pruned.")
+        assert sum(per_algorithm.values()) == metrics.counter(
+            "interleavings.pruned"
+        ) > 0
+
+    def test_trace_round_trips_through_jsonl(self):
+        scenario = scenario_named("Roshi-1")
+        _, tracer, _ = traced_hunt(scenario, cap=100)
+        events = parse_jsonl("\n".join(tracer.iter_jsonl()))
+        assert len(events) == len(tracer.spans)
+
+    def test_untraced_hunt_still_works(self):
+        scenario = scenario_named("Roshi-1")
+        result = hunt(record_scenario(scenario), "erpi", cap=300)
+        assert result.found
+
+
+class TestObservedSession:
+    def run_session(self, **session_kwargs):
+        cluster = Cluster()
+        for rid in ("A", "B"):
+            cluster.add_replica(rid, CRDTLibrary(rid))
+        erpi = ErPi(cluster, **session_kwargs)
+        erpi.start()
+        a, b = cluster.rdl("A"), cluster.rdl("B")
+        a.set_add("problems", "otb")
+        cluster.sync("A", "B")
+        b.set_remove("problems", "otb")
+        cluster.sync("B", "A")
+        a.set_value("problems")
+        erpi.add_constraint(GroupConstraint(pairs=(("e1", "e2"), ("e4", "e5"))))
+        return erpi, erpi.end(
+            assertions=[assert_read_equals("e7", frozenset())]
+        )
+
+    def test_session_telemetry_lands_in_store(self):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        erpi, report = self.run_session(
+            persist=True, trace=tracer, metrics=metrics
+        )
+        assert report.explored > 0
+        assert metrics.consistent()
+        span_rows = erpi.store.spans()
+        assert span_rows, "session persisted no span facts"
+        kinds = {row[2] for row in span_rows}
+        assert {"explore", "generate", "replay"} <= kinds
+        metric_rows = dict(erpi.store.metrics())
+        assert metric_rows["interleavings.replayed"] == report.explored
+
+    def test_exported_program_carries_telemetry_relations(self):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        erpi, _ = self.run_session(persist=True, trace=tracer, metrics=metrics)
+        text = export_program(erpi.store)
+        assert "span(" in text
+        assert "metric(" in text
+
+    def test_session_without_observers_persists_none(self):
+        erpi, report = self.run_session(persist=True)
+        assert report.explored > 0
+        assert erpi.store.spans() == []
+        assert erpi.store.metrics() == []
