@@ -122,6 +122,7 @@ def hunt(
     seed: int = 0,
     meter: Optional[ResourceMeter] = None,
     workers: int = 1,
+    parallel_backend: str = "process",
     prefix_cache: bool = False,
     sanitize: Optional[float] = None,
     sanitize_sample_k: int = 2,
@@ -137,6 +138,12 @@ def hunt(
     ``prefix_cache=True`` enables incremental prefix-reuse replay;
     ``workers > 1`` shards candidates across parallel worker engines while
     keeping the reported first violation identical to a serial hunt.
+    ``parallel_backend`` picks the pool flavour: ``"process"`` (default)
+    runs shared-nothing ``multiprocessing`` workers with prefix-shard
+    scheduling (true multicore scaling on pure-CPU subjects), ``"thread"``
+    keeps the in-process thread pool (worth it only when replays block on
+    I/O or locks; also the only backend that feeds per-replay spans into a
+    shared tracer).
     ``sanitize`` runs the differential soundness sanitizer alongside the
     hunt: a ``sanitize`` fraction of cache-accelerated replays are
     shadow-replayed from scratch, and every pruner's equivalence classes
@@ -196,7 +203,36 @@ def hunt(
             explorer.audit_pruners.append(
                 sanitizer.grouping_auditor(recorded.events, explorer.spec_groups)
             )
-    if workers > 1:
+    if workers > 1 and parallel_backend == "process":
+        from repro.core.procpool import ProcessParallelExplorer, ScenarioWorkerTask
+
+        task = ScenarioWorkerTask(
+            scenario_name=recorded.scenario.name,
+            mode=mode,
+            seed=seed,
+            fixed=recorded.fixed,
+            faults=faults,
+            replay_timeout_s=replay_timeout_s,
+        )
+        parallel = ProcessParallelExplorer(
+            explorer,
+            task,
+            workers=workers,
+            prefix_cache=prefix_cache,
+            sanitize=sanitize,
+            sanitize_sample_k=sanitize_sample_k,
+            seed=seed,
+            parent_sanitizer=sanitizer,
+        )
+        result = parallel.explore(
+            recorded.engine, assertions, cap=cap, stop_on_violation=stop_on_violation
+        )
+    elif workers > 1:
+        if parallel_backend != "thread":
+            raise ValueError(
+                f"unknown parallel backend {parallel_backend!r}; "
+                "expected 'process' or 'thread'"
+            )
         parallel = ParallelExplorer(
             explorer,
             workers=workers,

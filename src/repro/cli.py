@@ -45,7 +45,7 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
     recorded = record_scenario(sc)
     extras = []
     if args.workers > 1:
-        extras.append(f"{args.workers} workers")
+        extras.append(f"{args.workers} {args.parallel_backend} workers")
     if args.prefix_cache:
         extras.append("prefix cache")
     if args.sanitize is not None:
@@ -82,6 +82,7 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
         cap=args.cap,
         seed=args.seed,
         workers=args.workers,
+        parallel_backend=args.parallel_backend,
         prefix_cache=args.prefix_cache,
         sanitize=args.sanitize,
         faults=args.faults,
@@ -111,6 +112,8 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
         status = 0
     else:
         print(f"NOT reproduced within {result.explored:,} interleavings")
+    if result.crashed:
+        print(f"exploration crashed: {result.crash_reason}")
     if result.quarantined:
         print(f"{len(result.quarantined)} replay(s) quarantined:")
         for q in result.quarantined[:3]:
@@ -388,6 +391,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="shard candidate replays across N worker engines (deterministic)",
+    )
+    hunt.add_argument(
+        "--parallel-backend",
+        choices=("thread", "process"),
+        default="process",
+        help="pool flavour for --workers > 1: 'process' (default) runs "
+        "shared-nothing multiprocessing workers with prefix-shard "
+        "scheduling; 'thread' keeps the in-process pool (only worth it "
+        "when replays block on I/O or locks)",
     )
     hunt.add_argument(
         "--prefix-cache",

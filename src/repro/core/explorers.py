@@ -75,6 +75,11 @@ class ExplorationResult:
     quarantined: List[QuarantinedReplay] = field(default_factory=list)
     #: How many fault events (crash/recover/partition/heal) were in play.
     fault_events: int = 0
+    #: Committed per-interleaving verdicts ("ok" / "violation" /
+    #: "quarantine") keyed by interleaving id, in commit order.  Filled by
+    #: the process-backed parallel explorer, whose shard merge is easiest to
+    #: audit through exactly this map; serial explorers leave it ``None``.
+    verdicts: Optional[Dict[str, str]] = None
 
     @property
     def capped(self) -> bool:

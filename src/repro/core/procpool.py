@@ -1,0 +1,839 @@
+"""Shared-nothing multiprocess exploration with prefix-shard scheduling.
+
+:class:`~repro.core.explorers.ParallelExplorer` fans replays out over a
+``ThreadPoolExecutor``, which the GIL serialises on pure-CPU subjects (the
+``parallel4`` bench arm runs *slower* than the serial prefix-cache arm).
+:class:`ProcessParallelExplorer` replaces the pool with ``multiprocessing``
+workers that share **nothing**: each worker rebuilds its own cluster,
+:class:`~repro.core.replay.ReplayEngine`, delta-trie prefix cache, pruner
+pipeline and per-worker metrics registries from a picklable
+:class:`WorkerTask` spec, so replays proceed on separate cores with zero
+cross-process synchronisation on the hot path.
+
+Determinism is preserved without shipping candidates at all:
+
+* every worker enumerates the **full** candidate stream locally.  Candidate
+  generation — grouping, enumeration order, validity filtering and the
+  pruner pipeline — is a deterministic function of the recorded events, so
+  all workers (and a serial run) see byte-identical streams and make
+  byte-identical pruning decisions;
+* a worker *replays* only the candidates its **prefix shard** owns: the
+  shard key is the first ``prefix_len`` event ids of the interleaving, and
+  :class:`PrefixShardRouter` assigns keys to workers round-robin in order
+  of first appearance (a deterministic rule — unlike ``hash()``, which is
+  randomised per process).  Minimal-change orders (SJT) mutate the prefix
+  slowly, so consecutive candidates usually land on the same worker and its
+  prefix cache keeps its high hit rate;
+* verdicts stream back over batched IPC (one pickle frame per
+  ``batch_size`` results, not per replay) and the parent **commits them
+  strictly in candidate order**, so the reported first violation and the
+  explored count are bit-for-bit identical to a serial hunt.
+
+The exploration identity ``generated == pruned + replayed + quarantined +
+discarded`` survives the shard merge: stream-side counters (generated /
+pruned / invalid) are taken from the worker that enumerated furthest (its
+stream is a superset of every other worker's, and of the committed run),
+replay-side counters are summed across workers, the parent counts
+replayed/quarantined itself at commit time, and ``discarded`` is defined as
+``furthest_yields - committed`` (non-negative because the owner of the last
+committed candidate enumerated at least that far).
+
+Worker-local prefix caches stay sound for the same reason one engine's
+cache is: the cache is only active when every replica of that worker's own
+cluster supports state views (the sound-or-off rule enforced by
+``ReplayEngine.prefix_cache_active()``), and no snapshot ever crosses a
+process boundary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import signal
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ResourceExhausted
+from repro.core.explorers import DEFAULT_CAP, ExplorationResult, Explorer
+from repro.core.interleavings import Interleaving
+from repro.core.replay import Assertion, InterleavingOutcome, ReplayEngine
+from repro.faults.quarantine import QuarantinedReplay
+from repro.obs.metrics import MetricsRegistry
+
+# ------------------------------------------------------------------ sharding
+
+
+class PrefixShardRouter:
+    """Deterministic prefix-shard ownership for one candidate stream.
+
+    The shard key of an interleaving is the tuple of its first
+    ``prefix_len`` event ids.  Keys are assigned to workers round-robin in
+    order of **first appearance** in the stream; because every worker
+    enumerates the identical stream, every worker derives the identical
+    assignment without any coordination.  (Hashing the key would be simpler
+    but ``hash()`` of strings is salted per process.)
+    """
+
+    def __init__(self, workers: int, prefix_len: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if prefix_len < 1:
+            raise ValueError("prefix_len must be >= 1")
+        self.workers = workers
+        self.prefix_len = prefix_len
+        self._owners: Dict[Tuple[str, ...], int] = {}
+        self._next = 0
+
+    def owner_of_key(self, key: Tuple[str, ...]) -> int:
+        owner = self._owners.get(key)
+        if owner is None:
+            owner = self._owners[key] = self._next % self.workers
+            self._next += 1
+        return owner
+
+    def owner(self, interleaving: Interleaving) -> int:
+        return self.owner_of_key(
+            tuple(event.event_id for event in interleaving[: self.prefix_len])
+        )
+
+    @property
+    def shards(self) -> int:
+        return len(self._owners)
+
+
+def auto_prefix_len(stream_width: int, workers: int) -> int:
+    """Shard-key length balancing granularity against cache locality.
+
+    One leading unit gives ``stream_width`` shards; when that is not at
+    least twice the worker count the shards are too coarse to balance, so
+    the key grows to two units (``~width**2`` shards).
+    """
+    return 1 if stream_width >= 2 * workers else 2
+
+
+def _stream_width(explorer: Explorer) -> int:
+    grouping = getattr(explorer, "grouping", None)
+    if grouping is not None:
+        return max(1, len(grouping.units))
+    return max(1, len(explorer.events))
+
+
+# -------------------------------------------------------------- worker tasks
+
+
+class WorkerTask:
+    """A picklable recipe for rebuilding one worker's exploration stack.
+
+    ``build()`` runs **inside** the worker process and must return
+    ``(explorer, engine, assertions, audit_events)`` — a fresh explorer over
+    the recorded schedule, a checkpointed :class:`ReplayEngine` over a fresh
+    cluster, the scenario's assertions, and the unfaulted recorded events
+    (the grouping auditor's input when sanitizing).  Implementations must
+    not capture module-level state: everything a worker needs is derived
+    from the task's own (picklable) fields, which keeps the bootstrap safe
+    under the ``spawn`` start method as well as ``fork``.
+    """
+
+    def build(self) -> Tuple[Explorer, ReplayEngine, Sequence[Assertion], tuple]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ScenarioWorkerTask(WorkerTask):
+    """Rebuild a registered bug scenario's hunt stack by name."""
+
+    scenario_name: str
+    mode: str = "erpi"
+    seed: int = 0
+    fixed: bool = False
+    faults: bool = False
+    replay_timeout_s: Optional[float] = None
+
+    def build(self) -> Tuple[Explorer, ReplayEngine, Sequence[Assertion], tuple]:
+        # Imports are deferred so pickling the task never drags the bug
+        # registry (or a half-initialised module under spawn) along with it.
+        from repro.bench.harness import make_explorer, record_scenario
+        from repro.bugs import scenario
+        from repro.core.replay import SequentialExecutor
+
+        sc = scenario(self.scenario_name)
+        recorded = record_scenario(sc, fixed=self.fixed)
+        schedule = None
+        order_constraints: Tuple[Tuple[str, str], ...] = ()
+        fault_plan = None
+        if self.faults:
+            fault_plan = sc.fault_plan()
+            if fault_plan is None or fault_plan.is_empty():
+                raise ValueError(
+                    f"{sc.name} declares no fault plan; hunt with faults=False"
+                )
+            compiled = fault_plan.compile(recorded.events)
+            schedule = compiled.events
+            order_constraints = compiled.order_constraints
+        if self.replay_timeout_s is not None:
+            recorded.engine.executor = SequentialExecutor(
+                timeout_s=self.replay_timeout_s
+            )
+        explorer = make_explorer(recorded, self.mode, seed=self.seed, events=schedule)
+        explorer.order_constraints = order_constraints
+        if fault_plan is not None:
+            explorer.fault_plan_description = fault_plan.describe()
+        return explorer, recorded.engine, sc.make_assertions(), recorded.events
+
+
+@dataclass(frozen=True)
+class CallableWorkerTask(WorkerTask):
+    """Rebuild from a module-level factory (the bench harness's spec).
+
+    ``factory`` must be importable by reference (a plain module-level
+    function), so the task pickles as a name, not as captured state.
+    """
+
+    factory: Any
+    args: Tuple[Any, ...] = ()
+
+    def build(self) -> Tuple[Explorer, ReplayEngine, Sequence[Assertion], tuple]:
+        return self.factory(*self.args)
+
+
+# ------------------------------------------------------------ worker process
+
+
+@dataclass(frozen=True)
+class _WorkerConfig:
+    worker_index: int
+    workers: int
+    cap: int
+    stop_on_violation: bool
+    prefix_cache: bool
+    collect_metrics: bool
+    batch_size: int
+    prefix_len: Optional[int]
+    sanitize: Optional[float]
+    sanitize_sample_k: int
+    seed: int
+    #: How many candidates between checks of the shared stop flag (each
+    #: check is a semaphore acquisition — too hot to pay per candidate).
+    stop_stride: int = 32
+
+
+def _worker_main(task, config, result_queue, stop_event, go_event) -> None:
+    """Entry point of one exploration worker process."""
+    # The parent owns shutdown: a Ctrl-C lands there, which sets the stop
+    # flag and drains; workers must not die mid-put from the same SIGINT.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    widx = config.worker_index
+    try:
+        runtime = _build_worker_runtime(task, config)
+        result_queue.put(("ready", widx))
+        go_event.wait()
+        _run_worker(runtime, config, result_queue, stop_event)
+    except BaseException:
+        try:
+            result_queue.put(("error", widx, traceback.format_exc()))
+        except Exception:  # pragma: no cover - queue already torn down
+            pass
+
+
+class _WorkerRuntime:
+    __slots__ = ("explorer", "engine", "assertions", "sanitizer", "router",
+                 "stream_metrics", "replay_metrics")
+
+    def __init__(self, explorer, engine, assertions, sanitizer, router,
+                 stream_metrics, replay_metrics) -> None:
+        self.explorer = explorer
+        self.engine = engine
+        self.assertions = assertions
+        self.sanitizer = sanitizer
+        self.router = router
+        self.stream_metrics = stream_metrics
+        self.replay_metrics = replay_metrics
+
+
+def _build_worker_runtime(task, config: _WorkerConfig) -> _WorkerRuntime:
+    from repro.core.explorers import ERPiExplorer
+    from repro.core.sanitizer import Sanitizer
+
+    explorer, engine, assertions, audit_events = task.build()
+    stream_metrics = replay_metrics = None
+    if config.collect_metrics:
+        # Two shards per worker: the explorer writes stream-side counters
+        # (generated / pruned / invalid), the engine writes replay-side ones
+        # (cache hits, messages, durations).  The parent merges them under
+        # different rules — see ProcessParallelExplorer._merge_metrics.
+        stream_metrics = MetricsRegistry()
+        replay_metrics = MetricsRegistry()
+        explorer.metrics = stream_metrics
+        engine.metrics = replay_metrics
+    if config.prefix_cache and engine.prefix_cache is None:
+        engine.enable_prefix_cache(meter=explorer.meter)
+    sanitizer = None
+    if config.sanitize is not None:
+        sanitizer = Sanitizer(
+            rate=config.sanitize,
+            sample_k=config.sanitize_sample_k,
+            seed=config.seed,
+        )
+        sanitizer.watch_engine(engine)
+        if isinstance(explorer, ERPiExplorer):
+            sanitizer.watch_pruners(explorer.pipeline.pruners)
+            explorer.audit_pruners.append(
+                sanitizer.grouping_auditor(audit_events, explorer.spec_groups)
+            )
+    prefix_len = config.prefix_len or auto_prefix_len(
+        _stream_width(explorer), config.workers
+    )
+    router = PrefixShardRouter(config.workers, prefix_len)
+    return _WorkerRuntime(
+        explorer, engine, assertions, sanitizer, router,
+        stream_metrics, replay_metrics,
+    )
+
+
+def _run_worker(runtime: _WorkerRuntime, config: _WorkerConfig,
+                result_queue, stop_event) -> None:
+    widx = config.worker_index
+    explorer = runtime.explorer
+    engine = runtime.engine
+    assertions = runtime.assertions
+    router = runtime.router
+    candidates = explorer.candidates()
+    batch: List[Tuple[int, str, Any]] = []
+    yields = 0
+    crash_reason: Optional[str] = None
+    stopped_on_own_violation = False
+    try:
+        # Mirrors the serial loop's check-before-pull cap semantics, so a
+        # capped run's stream counters match a capped serial run exactly.
+        while yields < config.cap:
+            if yields % config.stop_stride == 0 and stop_event.is_set():
+                break
+            try:
+                interleaving = next(candidates, None)
+            except ResourceExhausted as exc:
+                crash_reason = str(exc)
+                break
+            if interleaving is None:
+                break
+            index = yields
+            yields += 1
+            if router.owner(interleaving) != widx:
+                continue
+            try:
+                outcome = engine.replay(interleaving, assertions)
+            except ResourceExhausted as exc:
+                batch.append((index, "crashed", str(exc)))
+                crash_reason = str(exc)
+                break
+            except Exception as exc:
+                batch.append(
+                    (index, "quarantine", explorer._quarantine(interleaving, exc))
+                )
+                engine.restore()
+            else:
+                il_ids = tuple(event.event_id for event in interleaving)
+                if outcome.violated:
+                    # Forcing .states happens inside __getstate__ at pickle
+                    # time; shipping the whole outcome keeps the parent's
+                    # result identical to a serial run's.
+                    batch.append((index, "violation", (il_ids, outcome)))
+                    if config.stop_on_violation:
+                        # This worker cannot contribute anything the parent
+                        # will commit past its own first violation.
+                        stopped_on_own_violation = True
+                        break
+                else:
+                    batch.append((index, "ok", il_ids))
+            if len(batch) >= config.batch_size:
+                result_queue.put(("batch", widx, batch))
+                batch = []
+    except BaseException:
+        # Anything unexpected (the replay loop's own bugs, a pickling
+        # failure, SIGTERM-as-exception) must reach the parent through the
+        # final flush: the parent treats "every worker flushed" as run
+        # completion, so a silent partial exit would truncate the results
+        # instead of failing them.
+        if crash_reason is None:
+            crash_reason = traceback.format_exc()
+        raise
+    finally:
+        if batch:
+            result_queue.put(("batch", widx, batch))
+        result_queue.put(("final", widx, _worker_flush(
+            runtime, config, yields, crash_reason, stopped_on_own_violation
+        )))
+
+
+def _worker_flush(runtime: _WorkerRuntime, config: _WorkerConfig, yields: int,
+                  crash_reason: Optional[str], stopped: bool) -> Dict[str, Any]:
+    explorer = runtime.explorer
+    engine = runtime.engine
+    flush: Dict[str, Any] = {
+        "yields": yields,
+        "crash_reason": crash_reason,
+        "stopped_on_violation": stopped,
+        "pruning_stats": explorer._pruning_stats(),
+        "fault_events": sum(1 for event in explorer.events if event.is_fault),
+        "meter": dict(explorer.meter.by_category),
+        "stream": None,
+        "replay": None,
+        "cache": None,
+        "sanitizer": None,
+    }
+    if runtime.stream_metrics is not None:
+        flush["stream"] = runtime.stream_metrics.to_payload()
+        flush["replay"] = runtime.replay_metrics.to_payload()
+    cache = engine.prefix_cache
+    if cache is not None:
+        flush["cache"] = {
+            "entries": cache.stats.entries,
+            "retained_bytes": cache.stats.retained_bytes,
+            "hits": cache.stats.hits,
+            "replays": cache.stats.replays,
+        }
+    sanitizer = runtime.sanitizer
+    if sanitizer is not None:
+        flush["sanitizer"] = {
+            "samplers": [pruner.sampler for pruner in sanitizer.watched_pruners],
+            "divergences": sanitizer.log.divergences,
+            "checks": sanitizer.checker.checks,
+            "overhead_s": sanitizer.checker.overhead_s,
+        }
+    return flush
+
+
+# ------------------------------------------------------------------- parent
+
+
+class ProcessParallelExplorer:
+    """Drive a pool of shared-nothing exploration workers.
+
+    Construction mirrors :class:`~repro.core.explorers.ParallelExplorer`
+    (``base`` supplies the mode label and the observability objects), plus a
+    :class:`WorkerTask` that each worker uses to rebuild the whole stack in
+    its own process.  ``explore`` matches the serial ``Explorer.explore``
+    signature and return type, and its committed results are bit-for-bit
+    those of a serial run.
+
+    ``prestart()`` optionally spawns and bootstraps the pool up front (the
+    bench uses it to keep worker startup out of the timed region); otherwise
+    ``explore`` bootstraps lazily.  Shutdown is unconditional and bounded:
+    the stop flag is set, final flushes are drained with a deadline, and any
+    worker still alive afterwards is terminated — a deadlocked or crashed
+    pool surfaces as a quarantined result, never as a hang.
+    """
+
+    def __init__(
+        self,
+        base: Explorer,
+        task: WorkerTask,
+        workers: int = 4,
+        prefix_cache: bool = False,
+        sanitize: Optional[float] = None,
+        sanitize_sample_k: int = 2,
+        seed: int = 0,
+        batch_size: int = 64,
+        prefix_len: Optional[int] = None,
+        start_method: Optional[str] = None,
+        bootstrap_timeout_s: float = 120.0,
+        shutdown_timeout_s: float = 10.0,
+        parent_sanitizer: Optional[object] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.base = base
+        self.task = task
+        self.workers = workers
+        self.prefix_cache = prefix_cache
+        self.sanitize = sanitize
+        self.sanitize_sample_k = sanitize_sample_k
+        self.seed = seed
+        self.batch_size = max(1, batch_size)
+        self.prefix_len = prefix_len
+        self.start_method = start_method
+        self.bootstrap_timeout_s = bootstrap_timeout_s
+        self.shutdown_timeout_s = shutdown_timeout_s
+        self.parent_sanitizer = parent_sanitizer
+        self.mode = f"{base.mode}+proc{workers}"
+        self._procs: List[multiprocessing.Process] = []
+        self._queue = None
+        self._stop = None
+        self._go = None
+        self._started = False
+        self._cap: Optional[int] = None
+        self._stop_on_violation: Optional[bool] = None
+
+    # ---------------------------------------------------------------- pool
+
+    def prestart(self, cap: int = DEFAULT_CAP, stop_on_violation: bool = True) -> None:
+        """Spawn and bootstrap the pool; workers block until ``explore``.
+
+        The cap and stop policy are baked into each worker's config at spawn
+        time, so a prestarted pool must be explored with the same values.
+        """
+        if self._started:
+            raise RuntimeError("pool already started")
+        ctx = multiprocessing.get_context(self.start_method)
+        self._queue = ctx.Queue()
+        self._stop = ctx.Event()
+        self._go = ctx.Event()
+        self._cap = cap
+        self._stop_on_violation = stop_on_violation
+        collect_metrics = self.base.metrics.enabled
+        self._procs = []
+        for widx in range(self.workers):
+            config = _WorkerConfig(
+                worker_index=widx,
+                workers=self.workers,
+                cap=cap,
+                stop_on_violation=stop_on_violation,
+                prefix_cache=self.prefix_cache,
+                collect_metrics=collect_metrics,
+                batch_size=self.batch_size,
+                prefix_len=self.prefix_len,
+                sanitize=self.sanitize,
+                sanitize_sample_k=self.sanitize_sample_k,
+                seed=self.seed,
+            )
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(self.task, config, self._queue, self._stop, self._go),
+                name=f"erpi-proc-{widx}",
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+        self._started = True
+        ready = set()
+        dead_since: Optional[float] = None
+        deadline = time.monotonic() + self.bootstrap_timeout_s
+        while len(ready) < self.workers:
+            try:
+                message = self._queue.get(timeout=0.1)
+            except queue_mod.Empty:
+                message = None
+            if message is not None:
+                if message[0] == "ready":
+                    ready.add(message[1])
+                    continue
+                if message[0] == "error":
+                    self._shutdown(drain_finals=None)
+                    raise RuntimeError(
+                        f"worker {message[1]} failed to bootstrap:\n{message[2]}"
+                    )
+            dead = [
+                proc.name for widx, proc in enumerate(self._procs)
+                if widx not in ready and not proc.is_alive()
+            ]
+            if dead and self._queue.empty():
+                if dead_since is None:
+                    dead_since = time.monotonic()
+                elif time.monotonic() - dead_since > 0.5:
+                    self._shutdown(drain_finals=None)
+                    raise RuntimeError(f"worker(s) died during bootstrap: {dead}")
+            else:
+                dead_since = None
+            if time.monotonic() > deadline:
+                self._shutdown(drain_finals=None)
+                raise RuntimeError(
+                    f"worker bootstrap exceeded {self.bootstrap_timeout_s:g}s"
+                )
+
+    # -------------------------------------------------------------- explore
+
+    def explore(
+        self,
+        engine: ReplayEngine,
+        assertions: Sequence[Assertion],
+        cap: int = DEFAULT_CAP,
+        stop_on_violation: bool = True,
+    ) -> ExplorationResult:
+        if not self._started:
+            self.prestart(cap=cap, stop_on_violation=stop_on_violation)
+        elif cap != self._cap or stop_on_violation != self._stop_on_violation:
+            raise ValueError(
+                "prestarted pool was configured with different cap/stop settings"
+            )
+        tracer = self.base.tracer
+        metrics = self.base.metrics
+        progress = self.base.progress
+        started = time.perf_counter()
+        root = tracer.begin("explore") if tracer.enabled else None
+
+        pending: Dict[int, Tuple[int, str, Any]] = {}
+        finals: Dict[int, Dict[str, Any]] = {}
+        errors: Dict[int, str] = {}
+        verdicts: Dict[str, str] = {}
+        quarantined: List[QuarantinedReplay] = []
+        next_index = 0
+        explored = 0
+        violating: Optional[InterleavingOutcome] = None
+        crashed = False
+        crash_reason: Optional[str] = None
+
+        self._go.set()
+        suspects: Dict[int, float] = {}
+        try:
+            done = False
+            while not done:
+                message = self._next_message(timeout=0.05)
+                idle = message is None
+                while message is not None:
+                    self._dispatch(message, pending, finals, errors)
+                    message = self._next_message(timeout=0.0)
+                # Commit strictly in candidate order.
+                while next_index in pending:
+                    index, kind, payload = pending.pop(next_index)
+                    next_index += 1
+                    if kind == "crashed":
+                        crashed = True
+                        crash_reason = payload
+                        done = True
+                        break
+                    explored += 1
+                    if kind == "quarantine":
+                        quarantined.append(payload)
+                        verdicts["|".join(payload.interleaving)] = "quarantine"
+                        if metrics.enabled:
+                            metrics.inc("interleavings.quarantined")
+                        if progress is not None:
+                            progress.tick(metrics)
+                        continue
+                    if metrics.enabled:
+                        metrics.inc("interleavings.replayed")
+                    if progress is not None:
+                        progress.tick(metrics)
+                    if kind == "ok":
+                        verdicts["|".join(payload)] = "ok"
+                        continue
+                    il_ids, outcome = payload
+                    verdicts["|".join(il_ids)] = "violation"
+                    violating = outcome
+                    if stop_on_violation:
+                        done = True
+                        break
+                if done:
+                    break
+                if errors:
+                    widx, text = sorted(errors.items())[0]
+                    quarantined.append(self._worker_crash_quarantine(widx, text))
+                    crashed = True
+                    crash_reason = f"worker {widx} crashed"
+                    break
+                if len(finals) + len(errors) >= self.workers:
+                    # Every batch precedes its worker's final on the queue,
+                    # so nothing more can arrive: anything still pending is
+                    # beyond a worker's (legitimate) stopping point.
+                    break
+                if idle:
+                    widx = self._dead_worker_index(finals, errors)
+                    if widx is None:
+                        suspects.clear()
+                    else:
+                        # A worker can look dead while its last frames are
+                        # still in the queue's feeder pipe; declare a crash
+                        # only after a sustained quiet period.
+                        first_seen = suspects.setdefault(widx, time.monotonic())
+                        if time.monotonic() - first_seen > 0.5:
+                            crash = self._worker_crash_quarantine(
+                                widx,
+                                "(no traceback: the process died "
+                                "without reporting)",
+                            )
+                            quarantined.append(crash)
+                            crashed = True
+                            crash_reason = crash.message
+                            break
+        finally:
+            self._shutdown(drain_finals=finals)
+            if metrics.enabled:
+                self._merge_metrics(metrics, finals, explored)
+            self.base._finish_observation(engine, root, explored, mode=self.mode)
+            if metrics.enabled:
+                self._merge_cache_gauges(metrics, finals)
+        self._merge_sanitizer(finals)
+        if violating is None and not crashed:
+            # A generation-side budget crash aborts a serial run too; any
+            # worker that hit it reports the identical stream position.
+            for flush in finals.values():
+                if flush["crash_reason"]:
+                    crashed = True
+                    crash_reason = flush["crash_reason"]
+                    break
+        if violating is not None and stop_on_violation:
+            crashed = False
+            crash_reason = None
+        canonical = self._canonical_flush(finals)
+        elapsed = time.perf_counter() - started
+        return ExplorationResult(
+            mode=self.mode,
+            found=violating is not None,
+            explored=explored,
+            elapsed_s=elapsed,
+            crashed=crashed,
+            crash_reason=crash_reason,
+            violating=violating,
+            pruning_stats=canonical["pruning_stats"] if canonical else {},
+            quarantined=quarantined,
+            fault_events=canonical["fault_events"] if canonical else 0,
+            verdicts=verdicts,
+        )
+
+    # ------------------------------------------------------------- plumbing
+
+    def _next_message(self, timeout: float):
+        try:
+            if timeout <= 0:
+                return self._queue.get_nowait()
+            return self._queue.get(timeout=timeout)
+        except queue_mod.Empty:
+            return None
+
+    @staticmethod
+    def _dispatch(message, pending, finals, errors) -> None:
+        kind = message[0]
+        if kind == "batch":
+            for record in message[2]:
+                pending[record[0]] = record
+        elif kind == "final":
+            finals[message[1]] = message[2]
+        elif kind == "error":
+            errors[message[1]] = message[2]
+        # "ready" from a lazily-started pool raced explore(): ignore.
+
+    def _worker_crash_quarantine(self, widx: int, detail: str) -> QuarantinedReplay:
+        return QuarantinedReplay(
+            interleaving=(),
+            error_type="WorkerCrashed",
+            message=(
+                f"worker {widx} died before flushing results "
+                f"(exit code {self._procs[widx].exitcode})"
+            ),
+            traceback=detail,
+            fault_plan=self.base.fault_plan_description,
+        )
+
+    def _dead_worker_index(self, finals, errors) -> Optional[int]:
+        for widx, proc in enumerate(self._procs):
+            if widx in finals or widx in errors:
+                continue
+            if not proc.is_alive() and self._queue.empty():
+                return widx
+        return None
+
+    def _shutdown(self, drain_finals: Optional[Dict[int, Dict[str, Any]]]) -> None:
+        """Stop workers, drain their final flushes, reap every process.
+
+        ``drain_finals`` collects late ``final`` messages (the metrics merge
+        needs the flush of the worker that enumerated furthest); ``None``
+        discards everything (bootstrap failure).  Bounded by the shutdown
+        timeout: leftover workers are terminated, never waited on forever.
+        """
+        if not self._started:
+            return
+        self._stop.set()
+        self._go.set()  # unblock workers still waiting for the go signal
+        deadline = time.monotonic() + self.shutdown_timeout_s
+        expected = drain_finals if drain_finals is not None else {}
+        while time.monotonic() < deadline:
+            alive = [proc for proc in self._procs if proc.is_alive()]
+            if not alive and self._queue.empty():
+                break
+            try:
+                message = self._queue.get(timeout=0.05)
+            except queue_mod.Empty:
+                continue
+            if drain_finals is not None and message[0] == "final":
+                expected[message[1]] = message[2]
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            proc.join(timeout=1.0)
+        # Residual frames only keep the queue's feeder thread alive; drop them.
+        while True:
+            try:
+                message = self._queue.get_nowait()
+            except queue_mod.Empty:
+                break
+            if drain_finals is not None and message[0] == "final":
+                expected[message[1]] = message[2]
+        self._queue.close()
+        self._queue.cancel_join_thread()
+        self._started = False
+
+    # ---------------------------------------------------------------- merge
+
+    @staticmethod
+    def _canonical_flush(finals: Dict[int, Dict[str, Any]]):
+        """The flush of the worker that enumerated furthest (ties: lowest
+        index).  Its stream is a superset of every worker's committed work:
+        the owner of the last committed candidate enumerated through it, so
+        ``canonical_yields >= committed`` always holds."""
+        if not finals:
+            return None
+        widx = min(finals, key=lambda w: (-finals[w]["yields"], w))
+        return finals[widx]
+
+    def _merge_metrics(self, metrics, finals, explored: int) -> None:
+        canonical = self._canonical_flush(finals)
+        if canonical is None:
+            return
+        if canonical["stream"] is not None:
+            metrics.merge_payload(canonical["stream"])
+        for flush in finals.values():
+            if flush["replay"] is not None:
+                metrics.merge_payload(flush["replay"])
+        discarded = canonical["yields"] - explored
+        if discarded > 0:
+            metrics.inc("interleavings.discarded", discarded)
+        for category, nbytes in canonical["meter"].items():
+            metrics.set_gauge("resource.bytes." + category, nbytes)
+
+    @staticmethod
+    def _merge_cache_gauges(metrics, finals) -> None:
+        entries = 0
+        retained = 0
+        any_cache = False
+        for flush in finals.values():
+            cache = flush["cache"]
+            if cache is not None:
+                any_cache = True
+                entries += cache["entries"]
+                retained += cache["retained_bytes"]
+        if any_cache:
+            metrics.set_gauge("cache.entries", entries)
+            metrics.set_gauge("cache.retained_bytes", retained)
+
+    def _merge_sanitizer(self, finals) -> None:
+        """Adopt worker sanitizer state into the parent's sanitizer.
+
+        Class samplers come from the canonical worker only (its stream is
+        the longest, so its classes subsume every other worker's); shadow
+        divergences and check counts are summed across workers (each worker
+        shadow-checks only the replays its shard owns, so they are
+        disjoint).  The caller then runs ``Sanitizer.finish`` against the
+        parent's reference engine exactly as a serial hunt would.
+        """
+        parent = self.parent_sanitizer
+        if parent is None:
+            return
+        canonical = self._canonical_flush(finals)
+        if canonical is None or canonical["sanitizer"] is None:
+            return
+        watched = parent.watched_pruners
+        for pruner, sampler in zip(watched, canonical["sanitizer"]["samplers"]):
+            pruner.adopt_sampler(sampler)
+        for flush in finals.values():
+            data = flush["sanitizer"]
+            if data is None:
+                continue
+            for divergence in data["divergences"]:
+                parent.log.record(divergence)
+            parent.checker.checks += data["checks"]
+            parent.checker.overhead_s += data["overhead_s"]

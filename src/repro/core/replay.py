@@ -115,6 +115,28 @@ class InterleavingOutcome:
             states = self._states = states()
         return states
 
+    def __getstate__(self):
+        # Pickling (process-backed exploration ships violating outcomes over
+        # IPC) must force the lazy state thunk: the closure holds live
+        # copy-on-write views of the worker's cluster, which neither pickle
+        # nor mean anything in another process.
+        return (
+            self.interleaving,
+            self.event_results,
+            self.states,
+            self.violations,
+            self.duration_s,
+        )
+
+    def __setstate__(self, state) -> None:
+        (
+            self.interleaving,
+            self.event_results,
+            self._states,
+            self.violations,
+            self.duration_s,
+        ) = state
+
     @property
     def violated(self) -> bool:
         return bool(self.violations)

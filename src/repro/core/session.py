@@ -31,7 +31,7 @@ from repro.core.constraints import (
 )
 from repro.core.errors import RecordingError, ResourceExhausted
 from repro.core.events import Event
-from repro.core.explorers import DEFAULT_CAP, ERPiExplorer
+from repro.core.explorers import DEFAULT_CAP, ERPiExplorer, ExplorationResult
 from repro.core.interleavings import GroupingResult
 from repro.core.pruning import Pruner, ReadScopedPruner, ReplicaSpecificPruner
 from repro.core.replay import (
@@ -94,6 +94,50 @@ class SessionReport:
         if self.sanitizer is not None:
             lines.append(self.sanitizer.summary())
         return "\n".join(lines)
+
+
+def persist_exploration(
+    store: InterleavingStore,
+    result: ExplorationResult,
+    metrics: Optional[Any] = None,
+    tracer: Optional[Any] = None,
+) -> Dict[str, int]:
+    """Mirror a hunt's :class:`ExplorationResult` into ``store``.
+
+    The process-backed parallel explorer commits a per-interleaving verdict
+    map during its shard merge (``result.verdicts``); persisting that map
+    turns the merge into Datalog facts — ``interleaving``/``explored``
+    (plus ``quarantined`` with the error type) — so the soundness of the
+    merge can be audited with the same queries as a serial session.
+    Merged observability shards follow via their own persist hooks when a
+    ``metrics`` registry / ``tracer`` is supplied.
+
+    Returns per-verdict fact counts (``{"ok": ..., "violation": ...,
+    "quarantined": ...}``) for callers that assert on the mirror.
+    """
+    counts: Dict[str, int] = {"ok": 0, "violation": 0, "quarantined": 0}
+    if result.verdicts:
+        error_types = {
+            "|".join(q.interleaving): q.error_type for q in result.quarantined
+        }
+        for il_key, verdict in result.verdicts.items():
+            event_ids = il_key.split("|") if il_key else []
+            il_id = store.persist_interleaving(event_ids)
+            if verdict == "quarantine":
+                # The store schema spells the verdict like the session loop.
+                store.mark_explored(il_id, "quarantined")
+                store.persist_quarantine(
+                    il_id, error_types.get(il_key, "unknown")
+                )
+                counts["quarantined"] += 1
+            else:
+                store.mark_explored(il_id, verdict)
+                counts[verdict] = counts.get(verdict, 0) + 1
+    if metrics is not None and getattr(metrics, "enabled", False):
+        metrics.persist(store)
+    if tracer is not None and getattr(tracer, "enabled", False):
+        tracer.persist(store)
+    return counts
 
 
 class ErPi:

@@ -34,11 +34,25 @@ from repro.datalog.terms import Atom, Variable, vars_
 
 
 class InterleavingStore:
-    """A persistence facade mapping ER-pi's objects onto Datalog relations."""
+    """A persistence facade mapping ER-pi's objects onto Datalog relations.
+
+    Alongside the relations themselves the facade maintains per-relation
+    hash indexes (interleaving contents, pruned-by-algorithm, explored
+    verdicts), so the hot session reads — ``surviving_ids``,
+    ``pruned_ids``, ``unexplored_ids``, ``interleaving`` — are dictionary
+    lookups instead of linear scans over every fact.  The facade is the
+    write path: facts added straight to ``self.db`` are still queryable via
+    Datalog but invisible to the indexed accessors.
+    """
 
     def __init__(self) -> None:
         self.db = Database()
         self._next_il_id = 0
+        self._il_events: Dict[int, List[str]] = {}
+        self._pruned_all: set = set()
+        self._pruned_by_algo: Dict[str, set] = {}
+        self._explored_verdicts: Dict[int, str] = {}
+        self._explored_by_verdict: Dict[str, set] = {}
 
     # --------------------------------------------------------------- events
 
@@ -62,20 +76,19 @@ class InterleavingStore:
         for position, event_id in enumerate(event_ids):
             self.db.add("interleaving", il_id, position, event_id)
         self.db.add("il_meta", il_id, len(event_ids))
+        self._il_events[il_id] = list(event_ids)
         return il_id
 
     def persist_many(self, interleavings: Iterable[Sequence[str]]) -> List[int]:
         return [self.persist_interleaving(il) for il in interleavings]
 
     def interleaving(self, il_id: int) -> List[str]:
-        rows = sorted(
-            (row for row in self.db.rows("interleaving") if row[0] == il_id),
-            key=lambda row: row[1],
-        )
-        return [row[2] for row in rows]
+        return list(self._il_events.get(il_id, ()))
 
     def interleaving_ids(self) -> List[int]:
-        return sorted(row[0] for row in self.db.rows("il_meta"))
+        # Ids are allocated by an ascending counter, so insertion order is
+        # already sorted order.
+        return list(self._il_events)
 
     def count(self) -> int:
         return self.db.size("il_meta")
@@ -83,34 +96,40 @@ class InterleavingStore:
     # -------------------------------------------------------------- pruning
 
     def mark_pruned(self, il_id: int, algorithm: str) -> None:
-        self.db.add("pruned", il_id, algorithm)
+        if self.db.add("pruned", il_id, algorithm):
+            self._pruned_all.add(il_id)
+            self._pruned_by_algo.setdefault(algorithm, set()).add(il_id)
 
     def pruned_ids(self, algorithm: Optional[str] = None) -> List[int]:
-        rows = self.db.rows("pruned")
-        if algorithm is not None:
-            rows = frozenset(row for row in rows if row[1] == algorithm)
-        return sorted({row[0] for row in rows})
+        if algorithm is None:
+            return sorted(self._pruned_all)
+        return sorted(self._pruned_by_algo.get(algorithm, ()))
 
     def surviving_ids(self) -> List[int]:
-        pruned = {row[0] for row in self.db.rows("pruned")}
-        return [il_id for il_id in self.interleaving_ids() if il_id not in pruned]
+        pruned = self._pruned_all
+        return [il_id for il_id in self._il_events if il_id not in pruned]
 
     # ------------------------------------------------------------- replay
 
     def mark_explored(self, il_id: int, verdict: str) -> None:
-        self.db.add("explored", il_id, verdict)
+        if self.db.add("explored", il_id, verdict):
+            self._explored_verdicts[il_id] = verdict
+            self._explored_by_verdict.setdefault(verdict, set()).add(il_id)
 
     def explored(self) -> Dict[int, str]:
-        return {row[0]: row[1] for row in self.db.rows("explored")}
+        return dict(self._explored_verdicts)
 
     def unexplored_ids(self) -> List[int]:
-        explored = set(self.explored())
-        return [il_id for il_id in self.surviving_ids() if il_id not in explored]
+        explored = self._explored_verdicts
+        pruned = self._pruned_all
+        return [
+            il_id
+            for il_id in self._il_events
+            if il_id not in pruned and il_id not in explored
+        ]
 
     def violations(self) -> List[int]:
-        return sorted(
-            row[0] for row in self.db.rows("explored") if row[1] == "violation"
-        )
+        return sorted(self._explored_by_verdict.get("violation", ()))
 
     # ----------------------------------------------------------- sanitizer
 

@@ -97,6 +97,27 @@ class Histogram:
         if room > 0:
             self.sample.extend(other.sample[:room])
 
+    def to_payload(self) -> Dict[str, Any]:
+        """A plain-dict snapshot safe to pickle across a process boundary."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "minimum": self.minimum,
+            "maximum": self.maximum,
+            "sample": list(self.sample),
+            "sample_cap": self.sample_cap,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "Histogram":
+        histogram = cls(sample_cap=payload.get("sample_cap", 512))
+        histogram.count = payload["count"]
+        histogram.total = payload["total"]
+        histogram.minimum = payload["minimum"]
+        histogram.maximum = payload["maximum"]
+        histogram.sample = list(payload["sample"])
+        return histogram
+
     def describe(self) -> str:
         if not self.count:
             return "n/a"
@@ -177,6 +198,34 @@ class MetricsRegistry:
                 if mine is None:
                     mine = self.histograms[name] = Histogram()
                 mine.merge(histogram)
+
+    # A registry itself is not picklable (it owns a lock), so process-backed
+    # exploration ships shards across the IPC boundary as plain dicts.
+
+    def to_payload(self) -> Dict[str, Any]:
+        """A picklable snapshot of this registry (for IPC result batches)."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: histogram.to_payload()
+                for name, histogram in self.histograms.items()
+            },
+        }
+
+    def merge_payload(self, payload: Dict[str, Any]) -> None:
+        """Fold a :meth:`to_payload` snapshot into this registry."""
+        with self._merge_lock:
+            for name, value in payload.get("counters", {}).items():
+                self.counters[name] = self.counters.get(name, 0) + value
+            self.gauges.update(payload.get("gauges", {}))
+            for name, histogram_payload in payload.get("histograms", {}).items():
+                mine = self.histograms.get(name)
+                if mine is None:
+                    mine = self.histograms[name] = Histogram(
+                        sample_cap=histogram_payload.get("sample_cap", 512)
+                    )
+                mine.merge(Histogram.from_payload(histogram_payload))
 
     # --------------------------------------------------------------- exports
 
@@ -268,6 +317,12 @@ class NullMetrics:
         return self
 
     def merge(self, other) -> None:
+        pass
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {}
+
+    def merge_payload(self, payload: Dict[str, Any]) -> None:
         pass
 
     def summary(self) -> str:

@@ -267,3 +267,59 @@ class TestCustomReadMethods:
         kinds = {e.event_id: e.kind.value for e in report.events}
         assert kinds["e4"] == "read"
         assert report.cross_violations  # peek depends on sync timing
+
+
+class TestPersistExploration:
+    def test_process_hunt_verdicts_become_datalog_facts(self):
+        from repro.bench.harness import hunt, record_scenario
+        from repro.bugs.registry import scenario
+        from repro.core.session import persist_exploration
+        from repro.datalog.store import InterleavingStore
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        result = hunt(
+            record_scenario(scenario("Roshi-1")),
+            "erpi",
+            workers=2,
+            parallel_backend="process",
+            prefix_cache=True,
+            metrics=metrics,
+        )
+        store = InterleavingStore()
+        counts = persist_exploration(store, result, metrics=metrics)
+        assert sum(counts.values()) == len(result.verdicts)
+        assert len(store.explored()) == len(result.verdicts)
+        assert len(store.violations()) == (1 if result.found else 0)
+        # The merged shard metrics land as metric(...) facts too.
+        persisted = dict(store.metrics())
+        assert persisted["interleavings.generated"] == metrics.counter(
+            "interleavings.generated"
+        )
+
+    def test_quarantine_verdicts_carry_error_types(self):
+        from repro.core.explorers import ExplorationResult
+        from repro.core.session import persist_exploration
+        from repro.datalog.store import InterleavingStore
+        from repro.faults.quarantine import QuarantinedReplay
+
+        result = ExplorationResult(
+            mode="erpi+proc2",
+            found=False,
+            explored=2,
+            elapsed_s=0.0,
+            quarantined=[
+                QuarantinedReplay(
+                    interleaving=("e1", "e2"),
+                    error_type="ReplayTimeout",
+                    message="",
+                    traceback="",
+                )
+            ],
+            verdicts={"e1|e2": "quarantine", "e2|e1": "ok"},
+        )
+        store = InterleavingStore()
+        counts = persist_exploration(store, result)
+        assert counts == {"ok": 1, "violation": 0, "quarantined": 1}
+        assert store.quarantines() == [(0, "ReplayTimeout")]
+        assert store.explored() == {0: "quarantined", 1: "ok"}
