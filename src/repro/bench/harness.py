@@ -115,6 +115,65 @@ def make_explorer(
     raise ValueError(f"unknown exploration mode {mode!r}")
 
 
+def _coordination_journal(
+    journal: Optional[str],
+    resume: Optional[str],
+    recorded: RecordedScenario,
+    *,
+    mode: str,
+    seed: int,
+    cap: int,
+    workers: int,
+    faults: bool,
+    prefix_cache: bool,
+):
+    """Create a fresh hunt journal, or load + validate one for resumption.
+
+    The header pins the hunt's identity; resuming under a different
+    scenario/mode/seed/cap would silently change what the committed prefix
+    means, so any mismatch refuses instead of continuing.
+    """
+    import uuid
+
+    from repro.core.journal import HuntJournal, JournalError
+
+    if journal is not None and resume is not None:
+        raise ValueError("pass either journal= (fresh) or resume=, not both")
+    config = {
+        "scenario": recorded.scenario.name,
+        "mode": mode,
+        "seed": seed,
+        "cap": cap,
+        "workers": workers,
+        "faults": faults,
+        "fixed": recorded.fixed,
+        "prefix_cache": prefix_cache,
+    }
+    if resume is not None:
+        loaded = HuntJournal.load(resume)
+        if loaded.is_final:
+            raise JournalError(
+                f"{resume}: journal is final (hunt completed); nothing to resume"
+            )
+        saved = loaded.header.get("hunt", {})
+        mismatched = {
+            key: (saved.get(key), value)
+            for key, value in config.items()
+            if saved.get(key) != value
+        }
+        if mismatched:
+            detail = ", ".join(
+                f"{key}: journal={was!r} requested={now!r}"
+                for key, (was, now) in sorted(mismatched.items())
+            )
+            raise JournalError(
+                f"{resume}: hunt configuration mismatch ({detail})"
+            )
+        return loaded
+    header = {"hunt": {**config, "hunt_id": uuid.uuid4().hex[:12]}}
+    return HuntJournal.create(journal, header)
+
+
 def hunt(
     recorded: RecordedScenario,
     mode: str,
@@ -132,6 +191,13 @@ def hunt(
     tracer: Optional[object] = None,
     metrics: Optional[object] = None,
     progress: Optional[object] = None,
+    journal: Optional[str] = None,
+    resume: Optional[str] = None,
+    lease_ttl_s: float = 5.0,
+    heartbeat_interval_s: Optional[float] = None,
+    max_releases: int = 3,
+    checkpoint_every: int = 64,
+    lease_farm: Optional[object] = None,
 ) -> ExplorationResult:
     """Explore until the scenario's invariant breaks (bug reproduced).
 
@@ -161,6 +227,17 @@ def hunt(
     :class:`~repro.obs.metrics.MetricsRegistry` and a
     :class:`~repro.obs.progress.ProgressLine` to the whole hunt (explorer,
     replay engine, pruners and — via the engine — the sanitizer).
+
+    ``journal`` (a path) upgrades a process-backed hunt to a **coordinated**
+    one (:class:`~repro.core.coordinator.CoordinatedHuntExplorer`): shard
+    leases through the redisim Redlock farm, verdicts checkpointed to the
+    journal as they commit, crashed workers fenced and re-leased.  ``resume``
+    (a path to an existing journal) continues a previously killed hunt: the
+    committed prefix is replayed from the checkpoint, workers skip past it,
+    and the final verdict map is identical to an uninterrupted run's.  The
+    remaining knobs tune the lease protocol (TTL, heartbeat cadence, retry
+    budget, checkpoint stride); ``lease_farm`` injects a pre-built
+    :class:`~repro.redisim.farm.RedisimFarm` (tests partition it).
     """
     observed_tracer = tracer if tracer is not None else NULL_TRACER
     observed_metrics = metrics if metrics is not None else NULL_METRICS
@@ -203,7 +280,10 @@ def hunt(
             explorer.audit_pruners.append(
                 sanitizer.grouping_auditor(recorded.events, explorer.spec_groups)
             )
-    if workers > 1 and parallel_backend == "process":
+    coordinated = journal is not None or resume is not None
+    if coordinated and parallel_backend != "process":
+        raise ValueError("journal/resume requires the process backend")
+    if (workers > 1 or coordinated) and parallel_backend == "process":
         from repro.core.procpool import ProcessParallelExplorer, ScenarioWorkerTask
 
         task = ScenarioWorkerTask(
@@ -214,9 +294,7 @@ def hunt(
             faults=faults,
             replay_timeout_s=replay_timeout_s,
         )
-        parallel = ProcessParallelExplorer(
-            explorer,
-            task,
+        pool_kwargs = dict(
             workers=workers,
             prefix_cache=prefix_cache,
             sanitize=sanitize,
@@ -224,6 +302,26 @@ def hunt(
             seed=seed,
             parent_sanitizer=sanitizer,
         )
+        if coordinated:
+            from repro.core.coordinator import CoordinatedHuntExplorer
+
+            hunt_journal = _coordination_journal(
+                journal, resume, recorded, mode=mode, seed=seed, cap=cap,
+                workers=workers, faults=faults, prefix_cache=prefix_cache,
+            )
+            parallel = CoordinatedHuntExplorer(
+                explorer,
+                task,
+                journal=hunt_journal,
+                farm=lease_farm,
+                lease_ttl_s=lease_ttl_s,
+                heartbeat_interval_s=heartbeat_interval_s,
+                max_releases=max_releases,
+                checkpoint_every=checkpoint_every,
+                **pool_kwargs,
+            )
+        else:
+            parallel = ProcessParallelExplorer(explorer, task, **pool_kwargs)
         result = parallel.explore(
             recorded.engine, assertions, cap=cap, stop_on_violation=stop_on_violation
         )

@@ -57,6 +57,10 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
         )
     if args.replay_timeout is not None:
         extras.append(f"watchdog {args.replay_timeout:g}s")
+    if args.journal is not None:
+        extras.append(f"journal -> {args.journal}")
+    if args.resume is not None:
+        extras.append(f"resume <- {args.resume}")
     tracer = None
     metrics = None
     progress = None
@@ -90,6 +94,12 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
         tracer=tracer,
         metrics=metrics,
         progress=progress,
+        journal=args.journal,
+        resume=args.resume,
+        lease_ttl_s=args.lease_ttl,
+        heartbeat_interval_s=args.heartbeat_interval,
+        max_releases=args.max_releases,
+        checkpoint_every=args.checkpoint_every,
     )
     if tracer is not None:
         tracer.write_jsonl(args.trace)
@@ -99,6 +109,25 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
         )
     if metrics is not None:
         print(metrics.summary())
+    coordination = getattr(result, "coordination", None)
+    if coordination is not None:
+        parts = [f"hunt {coordination['hunt_id']}",
+                 f"leases via {coordination['backend']}"]
+        if coordination["resumed_commits"]:
+            parts.append(f"resumed {coordination['resumed_commits']} commit(s)")
+        if coordination["releases"]:
+            parts.append(f"re-leased {coordination['releases']} shard(s)")
+        if coordination["abandoned_shards"]:
+            parts.append(
+                f"quarantined shard(s) {coordination['abandoned_shards']}"
+            )
+        if coordination["degraded"]:
+            parts.append(f"DEGRADED: {coordination['degraded_reason']}")
+        parts.append(f"{coordination['checkpoints']} checkpoint(s)")
+        print("coordination: " + "; ".join(parts))
+    # Exit-code contract: reproduced -> 0 (even when the hunt had to recover
+    # from worker crashes along the way); sanitizer divergence -> 2;
+    # unrecoverable crash without a repro -> 3; clean "not reproduced" -> 1.
     status = 1
     if result.found:
         print(
@@ -108,12 +137,15 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
         print(f"violation: {result.violating.violations[0]}")
         if args.show_interleaving:
             for event in result.violating.interleaving:
-                print(f"  {event.describe()}")
+                # A hunt resumed past its violation only knows event ids.
+                print(f"  {event.describe() if hasattr(event, 'describe') else event}")
         status = 0
     else:
         print(f"NOT reproduced within {result.explored:,} interleavings")
     if result.crashed:
         print(f"exploration crashed: {result.crash_reason}")
+        if not result.found:
+            status = 3
     if result.quarantined:
         print(f"{len(result.quarantined)} replay(s) quarantined:")
         for q in result.quarantined[:3]:
@@ -445,6 +477,53 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="count interleavings generated/pruned/replayed/quarantined, "
         "cache hits, messages and replay latency; print the totals",
+    )
+    durability = hunt.add_mutually_exclusive_group()
+    durability.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="run a coordinated hunt: shard leases via the Redlock farm and "
+        "every committed verdict checkpointed to this journal (crashed "
+        "workers are fenced and re-leased; a killed hunt can --resume)",
+    )
+    durability.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help="resume a previously killed coordinated hunt from its journal: "
+        "committed verdicts are replayed from the checkpoint, workers skip "
+        "past them, and the final verdict map matches an uninterrupted run",
+    )
+    hunt.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="shard-lease validity window; a worker whose lease expires "
+        "without a heartbeat is declared dead and its shard re-leased",
+    )
+    hunt.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="worker heartbeat cadence (default: lease TTL / 3)",
+    )
+    hunt.add_argument(
+        "--max-releases",
+        type=int,
+        default=3,
+        metavar="N",
+        help="re-lease budget per shard; past it the shard is quarantined "
+        "(the hunt finishes without it) instead of retrying forever",
+    )
+    hunt.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=64,
+        metavar="N",
+        help="journal durability-barrier stride, in committed verdicts",
     )
 
     table1 = sub.add_parser("table1", help="regenerate Table 1")

@@ -80,6 +80,10 @@ class ExplorationResult:
     #: the process-backed parallel explorer, whose shard merge is easiest to
     #: audit through exactly this map; serial explorers leave it ``None``.
     verdicts: Optional[Dict[str, str]] = None
+    #: Coordination summary (hunt id, lease backend/events, re-leases,
+    #: degradation, checkpoint count, resumed commits, journal path) from a
+    #: :class:`~repro.core.coordinator.CoordinatedHuntExplorer` run.
+    coordination: Optional[Dict[str, object]] = None
 
     @property
     def capped(self) -> bool:

@@ -29,6 +29,17 @@ Determinism is preserved without shipping candidates at all:
   strictly in candidate order**, so the reported first violation and the
   explored count are bit-for-bit identical to a serial hunt.
 
+Each worker slot gets its **own one-writer pipe** to the parent rather than
+a shared ``multiprocessing.Queue``.  The shared queue serialises writers
+through one cross-process lock held by a feeder thread — a worker SIGKILLed
+mid-flush dies holding it and every surviving (and replacement) worker then
+deadlocks on its next send.  With per-slot pipes there is no shared lock to
+poison, a dead worker's half-written frame confines the damage to its own
+channel, and the kernel closing the write end turns worker death into an
+explicit EOF the parent observes instead of a silent hang — the property
+the crash-recovery coordinator (:mod:`repro.core.coordinator`) builds its
+re-lease protocol on.
+
 The exploration identity ``generated == pruned + replayed + quarantined +
 discarded`` survives the shard merge: stream-side counters (generated /
 pruned / invalid) are taken from the worker that enumerated furthest (its
@@ -48,7 +59,7 @@ process boundary.
 from __future__ import annotations
 
 import multiprocessing
-import queue as queue_mod
+import multiprocessing.connection as mp_connection
 import signal
 import time
 import traceback
@@ -217,12 +228,25 @@ class _WorkerConfig:
     #: How many candidates between checks of the shared stop flag (each
     #: check is a semaphore acquisition — too hot to pay per candidate).
     stop_stride: int = 32
+    #: Candidates below this global index are already committed (a resumed
+    #: or re-leased hunt): enumerate them for stream determinism, but skip
+    #: the replay — the parent has their verdicts journaled.
+    skip_below: int = 0
+    #: Send ``("heartbeat", widx, yields)`` at least this often (seconds)
+    #: so the coordinator can renew this worker's shard lease.  ``None``
+    #: disables heartbeats (plain uncoordinated pools).
+    heartbeat_interval_s: Optional[float] = None
 
 
-def _worker_main(task, config, result_queue, stop_event, go_event) -> None:
-    """Entry point of one exploration worker process."""
+def _worker_main(task, config, conn, stop_event, go_event) -> None:
+    """Entry point of one exploration worker process.
+
+    ``conn`` is this slot's private send-end pipe: all frames — ready,
+    batches, heartbeats, the final flush, errors — go through it, and the
+    kernel closing it on process exit is the parent's EOF death signal.
+    """
     # The parent owns shutdown: a Ctrl-C lands there, which sets the stop
-    # flag and drains; workers must not die mid-put from the same SIGINT.
+    # flag and drains; workers must not die mid-send from the same SIGINT.
     try:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover - non-main thread
@@ -230,13 +254,18 @@ def _worker_main(task, config, result_queue, stop_event, go_event) -> None:
     widx = config.worker_index
     try:
         runtime = _build_worker_runtime(task, config)
-        result_queue.put(("ready", widx))
+        conn.send(("ready", widx))
         go_event.wait()
-        _run_worker(runtime, config, result_queue, stop_event)
+        _run_worker(runtime, config, conn, stop_event)
     except BaseException:
         try:
-            result_queue.put(("error", widx, traceback.format_exc()))
-        except Exception:  # pragma: no cover - queue already torn down
+            conn.send(("error", widx, traceback.format_exc()))
+        except Exception:  # pragma: no cover - pipe already torn down
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:  # pragma: no cover - already closed
             pass
 
 
@@ -296,7 +325,7 @@ def _build_worker_runtime(task, config: _WorkerConfig) -> _WorkerRuntime:
 
 
 def _run_worker(runtime: _WorkerRuntime, config: _WorkerConfig,
-                result_queue, stop_event) -> None:
+                conn, stop_event) -> None:
     widx = config.worker_index
     explorer = runtime.explorer
     engine = runtime.engine
@@ -307,12 +336,20 @@ def _run_worker(runtime: _WorkerRuntime, config: _WorkerConfig,
     yields = 0
     crash_reason: Optional[str] = None
     stopped_on_own_violation = False
+    heartbeat_s = config.heartbeat_interval_s
+    last_beat = time.monotonic()
     try:
         # Mirrors the serial loop's check-before-pull cap semantics, so a
         # capped run's stream counters match a capped serial run exactly.
         while yields < config.cap:
-            if yields % config.stop_stride == 0 and stop_event.is_set():
-                break
+            if yields % config.stop_stride == 0:
+                if stop_event.is_set():
+                    break
+                if heartbeat_s is not None:
+                    now = time.monotonic()
+                    if now - last_beat >= heartbeat_s:
+                        conn.send(("heartbeat", widx, yields))
+                        last_beat = now
             try:
                 interleaving = next(candidates, None)
             except ResourceExhausted as exc:
@@ -323,6 +360,11 @@ def _run_worker(runtime: _WorkerRuntime, config: _WorkerConfig,
             index = yields
             yields += 1
             if router.owner(interleaving) != widx:
+                continue
+            if index < config.skip_below:
+                # Already committed by the parent in a previous incarnation
+                # of this hunt; re-replaying it would only produce a result
+                # the parent will deduplicate away.
                 continue
             try:
                 outcome = engine.replay(interleaving, assertions)
@@ -350,8 +392,15 @@ def _run_worker(runtime: _WorkerRuntime, config: _WorkerConfig,
                 else:
                     batch.append((index, "ok", il_ids))
             if len(batch) >= config.batch_size:
-                result_queue.put(("batch", widx, batch))
+                conn.send(("batch", widx, batch))
                 batch = []
+            if heartbeat_s is not None:
+                # Replays dominate wall time; beat after each one so a slow
+                # shard cannot silently outlive its lease.
+                now = time.monotonic()
+                if now - last_beat >= heartbeat_s:
+                    conn.send(("heartbeat", widx, yields))
+                    last_beat = now
     except BaseException:
         # Anything unexpected (the replay loop's own bugs, a pickling
         # failure, SIGTERM-as-exception) must reach the parent through the
@@ -363,8 +412,8 @@ def _run_worker(runtime: _WorkerRuntime, config: _WorkerConfig,
         raise
     finally:
         if batch:
-            result_queue.put(("batch", widx, batch))
-        result_queue.put(("final", widx, _worker_flush(
+            conn.send(("batch", widx, batch))
+        conn.send(("final", widx, _worker_flush(
             runtime, config, yields, crash_reason, stopped_on_own_violation
         )))
 
@@ -410,6 +459,40 @@ def _worker_flush(runtime: _WorkerRuntime, config: _WorkerConfig, yields: int,
 # ------------------------------------------------------------------- parent
 
 
+class QuietWorkerDetector:
+    """Deadline-based dead-worker detection with an injectable clock.
+
+    A worker process can look dead while its last frames are still in the
+    queue's feeder pipe, so a crash is declared only after a *sustained*
+    quiet period: the worker's process is not alive, the queue is drained,
+    and that state has persisted for ``grace_s`` on the supplied clock.
+
+    The previous implementation timed the quiet period with bare
+    ``time.monotonic()`` reads inside the poll loop, which made the grace
+    window untestable (and made the slow-CI flake window — a busy worker
+    misdeclared crashed because the parent was descheduled — impossible to
+    reproduce deterministically).  The clock is now a constructor argument:
+    production passes nothing, tests pass a fake.
+    """
+
+    def __init__(self, grace_s: float = 0.5, clock: Optional[Any] = None) -> None:
+        self.grace_s = grace_s
+        self._clock = clock or time.monotonic
+        self._suspects: Dict[int, float] = {}
+
+    def activity(self) -> None:
+        """A message arrived from the pool: every suspicion is void."""
+        self._suspects.clear()
+
+    def clear(self) -> None:
+        self._suspects.clear()
+
+    def suspect(self, widx: int) -> bool:
+        """Note one dead-looking worker; True once quiet past the grace."""
+        first_seen = self._suspects.setdefault(widx, self._clock())
+        return self._clock() - first_seen >= self.grace_s
+
+
 class ProcessParallelExplorer:
     """Drive a pool of shared-nothing exploration workers.
 
@@ -443,6 +526,9 @@ class ProcessParallelExplorer:
         bootstrap_timeout_s: float = 120.0,
         shutdown_timeout_s: float = 10.0,
         parent_sanitizer: Optional[object] = None,
+        clock: Optional[Any] = None,
+        dead_worker_grace_s: float = 0.5,
+        heartbeat_interval_s: Optional[float] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -459,9 +545,16 @@ class ProcessParallelExplorer:
         self.bootstrap_timeout_s = bootstrap_timeout_s
         self.shutdown_timeout_s = shutdown_timeout_s
         self.parent_sanitizer = parent_sanitizer
+        self.clock = clock or time.monotonic
+        self.dead_worker_grace_s = dead_worker_grace_s
+        self.heartbeat_interval_s = heartbeat_interval_s
         self.mode = f"{base.mode}+proc{workers}"
         self._procs: List[multiprocessing.Process] = []
-        self._queue = None
+        self._ctx = None
+        #: Per-slot receive pipes (the one-writer channels) and the slots
+        #: whose pipe reached EOF — i.e. whose worker process has exited.
+        self._conns: Dict[int, Any] = {}
+        self._eof: set = set()
         self._stop = None
         self._go = None
         self._started = False
@@ -479,44 +572,21 @@ class ProcessParallelExplorer:
         if self._started:
             raise RuntimeError("pool already started")
         ctx = multiprocessing.get_context(self.start_method)
-        self._queue = ctx.Queue()
+        self._ctx = ctx
+        self._conns = {}
+        self._eof = set()
         self._stop = ctx.Event()
         self._go = ctx.Event()
         self._cap = cap
         self._stop_on_violation = stop_on_violation
-        collect_metrics = self.base.metrics.enabled
         self._procs = []
         for widx in range(self.workers):
-            config = _WorkerConfig(
-                worker_index=widx,
-                workers=self.workers,
-                cap=cap,
-                stop_on_violation=stop_on_violation,
-                prefix_cache=self.prefix_cache,
-                collect_metrics=collect_metrics,
-                batch_size=self.batch_size,
-                prefix_len=self.prefix_len,
-                sanitize=self.sanitize,
-                sanitize_sample_k=self.sanitize_sample_k,
-                seed=self.seed,
-            )
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(self.task, config, self._queue, self._stop, self._go),
-                name=f"erpi-proc-{widx}",
-                daemon=True,
-            )
-            proc.start()
-            self._procs.append(proc)
+            self._procs.append(self._spawn_worker(widx))
         self._started = True
         ready = set()
-        dead_since: Optional[float] = None
         deadline = time.monotonic() + self.bootstrap_timeout_s
         while len(ready) < self.workers:
-            try:
-                message = self._queue.get(timeout=0.1)
-            except queue_mod.Empty:
-                message = None
+            message = self._next_message(timeout=0.1)
             if message is not None:
                 if message[0] == "ready":
                     ready.add(message[1])
@@ -526,23 +596,74 @@ class ProcessParallelExplorer:
                     raise RuntimeError(
                         f"worker {message[1]} failed to bootstrap:\n{message[2]}"
                     )
+            # A slot whose pipe hit EOF before "ready" died bootstrapping;
+            # EOF is definitive (the kernel closed the write end), so no
+            # grace period is needed.
             dead = [
-                proc.name for widx, proc in enumerate(self._procs)
-                if widx not in ready and not proc.is_alive()
+                self._procs[widx].name
+                for widx in sorted(self._eof)
+                if widx not in ready
             ]
-            if dead and self._queue.empty():
-                if dead_since is None:
-                    dead_since = time.monotonic()
-                elif time.monotonic() - dead_since > 0.5:
-                    self._shutdown(drain_finals=None)
-                    raise RuntimeError(f"worker(s) died during bootstrap: {dead}")
-            else:
-                dead_since = None
+            if dead:
+                self._shutdown(drain_finals=None)
+                raise RuntimeError(f"worker(s) died during bootstrap: {dead}")
             if time.monotonic() > deadline:
                 self._shutdown(drain_finals=None)
                 raise RuntimeError(
                     f"worker bootstrap exceeded {self.bootstrap_timeout_s:g}s"
                 )
+
+    def _make_config(self, widx: int, skip_below: int = 0) -> _WorkerConfig:
+        return _WorkerConfig(
+            worker_index=widx,
+            workers=self.workers,
+            cap=self._cap,
+            stop_on_violation=self._stop_on_violation,
+            prefix_cache=self.prefix_cache,
+            collect_metrics=self.base.metrics.enabled,
+            batch_size=self.batch_size,
+            prefix_len=self.prefix_len,
+            sanitize=self.sanitize,
+            sanitize_sample_k=self.sanitize_sample_k,
+            seed=self.seed,
+            skip_below=skip_below,
+            heartbeat_interval_s=self.heartbeat_interval_s,
+        )
+
+    def _spawn_worker(
+        self, widx: int, skip_below: int = 0
+    ) -> multiprocessing.Process:
+        """Start one worker-slot process (also the re-lease respawn path).
+
+        Each spawn gets a fresh one-writer pipe for its slot.  The parent
+        closes its copy of the send end immediately after the fork so the
+        child holds the **only** write fd — that is what makes process death
+        (even SIGKILL) surface as EOF on the receive end.
+        """
+        stale = self._conns.pop(widx, None)
+        if stale is not None:
+            # A replacement is superseding a dead predecessor whose pipe was
+            # not yet harvested; its undelivered frames are re-derived by the
+            # replacement (replays are deterministic) and deduped on commit.
+            stale.close()
+        recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                self.task,
+                self._make_config(widx, skip_below=skip_below),
+                send_conn,
+                self._stop,
+                self._go,
+            ),
+            name=f"erpi-proc-{widx}",
+            daemon=True,
+        )
+        proc.start()
+        send_conn.close()  # the child's copy is now the only write end
+        self._conns[widx] = recv_conn
+        self._eof.discard(widx)
+        return proc
 
     # -------------------------------------------------------------- explore
 
@@ -577,7 +698,9 @@ class ProcessParallelExplorer:
         crash_reason: Optional[str] = None
 
         self._go.set()
-        suspects: Dict[int, float] = {}
+        detector = QuietWorkerDetector(
+            grace_s=self.dead_worker_grace_s, clock=self.clock
+        )
         try:
             done = False
             while not done:
@@ -630,25 +753,22 @@ class ProcessParallelExplorer:
                     # so nothing more can arrive: anything still pending is
                     # beyond a worker's (legitimate) stopping point.
                     break
-                if idle:
+                if not idle:
+                    detector.activity()
+                else:
                     widx = self._dead_worker_index(finals, errors)
                     if widx is None:
-                        suspects.clear()
-                    else:
-                        # A worker can look dead while its last frames are
-                        # still in the queue's feeder pipe; declare a crash
-                        # only after a sustained quiet period.
-                        first_seen = suspects.setdefault(widx, time.monotonic())
-                        if time.monotonic() - first_seen > 0.5:
-                            crash = self._worker_crash_quarantine(
-                                widx,
-                                "(no traceback: the process died "
-                                "without reporting)",
-                            )
-                            quarantined.append(crash)
-                            crashed = True
-                            crash_reason = crash.message
-                            break
+                        detector.clear()
+                    elif detector.suspect(widx):
+                        crash = self._worker_crash_quarantine(
+                            widx,
+                            "(no traceback: the process died "
+                            "without reporting)",
+                        )
+                        quarantined.append(crash)
+                        crashed = True
+                        crash_reason = crash.message
+                        break
         finally:
             self._shutdown(drain_finals=finals)
             if metrics.enabled:
@@ -687,24 +807,56 @@ class ProcessParallelExplorer:
     # ------------------------------------------------------------- plumbing
 
     def _next_message(self, timeout: float):
-        try:
-            if timeout <= 0:
-                return self._queue.get_nowait()
-            return self._queue.get(timeout=timeout)
-        except queue_mod.Empty:
-            return None
+        """Receive one frame from any slot pipe, harvesting EOFs.
 
-    @staticmethod
-    def _dispatch(message, pending, finals, errors) -> None:
+        A closed pipe always polls ready, so a dead slot is noticed here —
+        its connection is retired and the slot recorded in ``_eof`` — before
+        the poll loop can go idle.  Returns ``None`` when no frame arrived
+        within ``timeout`` (EOF harvesting alone still returns ``None``: it
+        is not a message).
+        """
+        if not self._conns:
+            if timeout > 0:
+                time.sleep(min(timeout, 0.05))
+            return None
+        ready = mp_connection.wait(list(self._conns.values()), timeout=timeout)
+        for conn in ready:
+            widx = next(w for w, c in self._conns.items() if c is conn)
+            try:
+                return conn.recv()
+            except (EOFError, OSError):
+                # The slot's worker exited (clean exit or SIGKILL): the only
+                # write fd closed.  A torn frame from a mid-send kill also
+                # lands here and is confined to this slot's channel.
+                conn.close()
+                del self._conns[widx]
+                self._eof.add(widx)
+        return None
+
+    def _dispatch(self, message, pending, finals, errors) -> None:
         kind = message[0]
         if kind == "batch":
             for record in message[2]:
-                pending[record[0]] = record
+                # setdefault, not assignment: a re-leased replacement worker
+                # re-delivers results its predecessor already shipped, and
+                # replays are deterministic, so first delivery wins.
+                pending.setdefault(record[0], record)
         elif kind == "final":
             finals[message[1]] = message[2]
         elif kind == "error":
             errors[message[1]] = message[2]
-        # "ready" from a lazily-started pool raced explore(): ignore.
+        elif kind == "heartbeat":
+            self._on_heartbeat(message[1], message[2])
+        elif kind == "ready":
+            # A replacement worker finished bootstrapping mid-run (initial
+            # readiness is consumed by prestart before explore runs).
+            self._on_ready(message[1])
+
+    def _on_heartbeat(self, widx: int, yields: int) -> None:
+        """Hook for lease-renewing subclasses; a plain pool ignores beats."""
+
+    def _on_ready(self, widx: int) -> None:
+        """Hook for re-leasing subclasses; a plain pool never respawns."""
 
     def _worker_crash_quarantine(self, widx: int, detail: str) -> QuarantinedReplay:
         return QuarantinedReplay(
@@ -719,10 +871,11 @@ class ProcessParallelExplorer:
         )
 
     def _dead_worker_index(self, finals, errors) -> Optional[int]:
-        for widx, proc in enumerate(self._procs):
-            if widx in finals or widx in errors:
-                continue
-            if not proc.is_alive() and self._queue.empty():
+        # EOF on a slot's pipe is definitive death — the kernel closed the
+        # only write fd — and every frame the worker did send was already
+        # drained before the EOFError surfaced (pipes deliver in order).
+        for widx in sorted(self._eof):
+            if widx not in finals and widx not in errors:
                 return widx
         return None
 
@@ -740,31 +893,30 @@ class ProcessParallelExplorer:
         self._go.set()  # unblock workers still waiting for the go signal
         deadline = time.monotonic() + self.shutdown_timeout_s
         expected = drain_finals if drain_finals is not None else {}
-        while time.monotonic() < deadline:
-            alive = [proc for proc in self._procs if proc.is_alive()]
-            if not alive and self._queue.empty():
-                break
-            try:
-                message = self._queue.get(timeout=0.05)
-            except queue_mod.Empty:
-                continue
-            if drain_finals is not None and message[0] == "final":
-                expected[message[1]] = message[2]
+        # Drain until every slot pipe reaches EOF (worker exited) or the
+        # deadline lands; each worker closes its pipe on exit, so "all conns
+        # gone" is exactly "all workers done sending".
+        while self._conns and time.monotonic() < deadline:
+            message = self._next_message(timeout=0.05)
+            if message is not None and message[0] == "final":
+                if drain_finals is not None:
+                    expected[message[1]] = message[2]
         for proc in self._procs:
             if proc.is_alive():
                 proc.terminate()
         for proc in self._procs:
             proc.join(timeout=1.0)
-        # Residual frames only keep the queue's feeder thread alive; drop them.
-        while True:
-            try:
-                message = self._queue.get_nowait()
-            except queue_mod.Empty:
-                break
-            if drain_finals is not None and message[0] == "final":
-                expected[message[1]] = message[2]
-        self._queue.close()
-        self._queue.cancel_join_thread()
+        # Late frames from terminated workers: drain without blocking.
+        while self._conns:
+            message = self._next_message(timeout=0.0)
+            if message is None and self._conns:
+                break  # frames exhausted but a pipe is still open: drop it
+            if message is not None and message[0] == "final":
+                if drain_finals is not None:
+                    expected[message[1]] = message[2]
+        for conn in self._conns.values():
+            conn.close()
+        self._conns = {}
         self._started = False
 
     # ---------------------------------------------------------------- merge

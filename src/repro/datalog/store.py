@@ -20,6 +20,11 @@ Schema (all facts):
   a :class:`~repro.obs.tracer.Tracer`.
 * ``metric(name, value)`` — observability counter/gauge totals mirrored
   from a :class:`~repro.obs.metrics.MetricsRegistry`.
+* ``lease(slot, attempt, status)`` — shard-lease lifecycle events
+  (acquired / renewed / expired / re-leased / re-acquired / quarantined)
+  from a coordinated hunt (:mod:`repro.core.coordinator`).
+* ``degraded(component, reason)`` — the coordinator fell down its
+  degradation ladder (e.g. lock farm lost quorum, leases moved in-process).
 
 ER-pi's runtime uses this store as its persistence layer; the exploration
 loop reads back only interleavings that are neither pruned nor explored.
@@ -175,3 +180,19 @@ class InterleavingStore:
 
     def metrics(self) -> List[Tuple[str, int]]:
         return sorted(self.db.rows("metric"))
+
+    # --------------------------------------------------------- coordination
+
+    def persist_lease(self, slot: int, attempt: int, status: str) -> None:
+        """Record one shard-lease lifecycle event as a queryable fact."""
+        self.db.add("lease", slot, attempt, status)
+
+    def leases(self) -> List[Tuple[int, int, str]]:
+        return sorted(self.db.rows("lease"))
+
+    def persist_degraded(self, component: str, reason: str) -> None:
+        """Record one degradation-ladder step as a queryable fact."""
+        self.db.add("degraded", component, reason)
+
+    def degradations(self) -> List[Tuple[str, str]]:
+        return sorted(self.db.rows("degraded"))

@@ -28,7 +28,12 @@ class QuarantinedReplay:
     traceback: str
     #: ``FaultPlan.describe()`` of the active plan, if any.
     fault_plan: Optional[str] = None
+    #: Worker slot whose shard was abandoned, for ``ShardAbandoned``
+    #: records minted by the coordinated-hunt re-lease path.  ``None``
+    #: for ordinary replay-side quarantines.
+    shard: Optional[int] = None
 
     def describe(self) -> str:
         ids = ",".join(self.interleaving)
-        return f"quarantined [{ids}]: {self.error_type}: {self.message}"
+        suffix = f" (shard {self.shard})" if self.shard is not None else ""
+        return f"quarantined [{ids}]: {self.error_type}: {self.message}{suffix}"

@@ -23,6 +23,16 @@ class DistributedLock:
 
     Release is the safe compare-and-delete so a holder can never free a lock
     a later holder re-acquired after expiry.
+
+    Validity follows the Redlock rules: an acquisition only counts when the
+    lock's remaining lifetime — the TTL minus the time the acquisition round
+    itself took, minus the clock-drift allowance ``ttl * drift_factor + 2ms``
+    — is positive.  A majority grant obtained too slowly (or with a TTL
+    smaller than the drift allowance) is rolled back, not held: the keys
+    could expire on the instances before the holder acts on them.  ``held``
+    re-validates the remaining validity window on every read, so a holder
+    that outlived its lease observes ``held == False`` instead of acting on
+    an expired lock.
     """
 
     def __init__(
@@ -31,24 +41,43 @@ class DistributedLock:
         key: str,
         ttl_ms: int = 30_000,
         retry_delay_s: float = 0.0005,
+        drift_factor: float = 0.01,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self._farm = farm
         self._key = key
         self._ttl_ms = ttl_ms
         self._retry_delay_s = retry_delay_s
+        self._drift_factor = drift_factor
+        self._clock = clock or time.monotonic
         self._token: Optional[str] = None
+        self._validity_deadline = 0.0
 
     @property
     def key(self) -> str:
         return self._key
 
     @property
+    def drift_ms(self) -> float:
+        """Redlock's clock-drift allowance for this TTL (ttl*factor + 2ms)."""
+        return self._ttl_ms * self._drift_factor + 2.0
+
+    @property
     def held(self) -> bool:
-        return self._token is not None
+        """True iff the token is set *and* the validity window still runs."""
+        return self._token is not None and self._clock() < self._validity_deadline
+
+    def remaining_validity_ms(self) -> float:
+        """How much of the validity window is left (0 when not held)."""
+        if self._token is None:
+            return 0.0
+        return max((self._validity_deadline - self._clock()) * 1000.0, 0.0)
 
     def try_acquire(self) -> bool:
-        """One acquisition round; True iff a majority granted the lock."""
+        """One acquisition round; True iff a majority granted the lock and
+        the validity window (TTL - elapsed - drift) is still positive."""
         token = uuid.uuid4().hex
+        started = self._clock()
         granted = 0
         for instance in self._farm:
             try:
@@ -56,12 +85,58 @@ class DistributedLock:
                     granted += 1
             except InstanceDownError:
                 continue
-        if granted >= self._farm.quorum:
+        elapsed_ms = (self._clock() - started) * 1000.0
+        validity_ms = self._ttl_ms - elapsed_ms - self.drift_ms
+        if granted >= self._farm.quorum and validity_ms > 0:
             self._token = token
+            self._validity_deadline = started + validity_ms / 1000.0
             return True
-        # Failed round: roll back partial grants so we don't deadlock peers.
+        # Failed round (no quorum, or the round ate the validity window):
+        # roll back partial grants so we don't deadlock peers.
         self._release_token(token)
         return False
+
+    def renew(self, ttl_ms: Optional[int] = None) -> bool:
+        """Heartbeat: re-arm the TTL on a quorum via compare-and-expire.
+
+        Returns True iff a majority still held our token and the renewed
+        validity window is positive; False means the lease is lost (expired
+        or taken over) and must not be relied on further.
+        """
+        if self._token is None:
+            raise LockError("renewing a lock that is not held")
+        ttl = ttl_ms if ttl_ms is not None else self._ttl_ms
+        started = self._clock()
+        renewed = 0
+        for instance in self._farm:
+            try:
+                if instance.compare_and_expire(self._key, self._token, ttl):
+                    renewed += 1
+            except InstanceDownError:
+                continue
+        elapsed_ms = (self._clock() - started) * 1000.0
+        validity_ms = ttl - elapsed_ms - (ttl * self._drift_factor + 2.0)
+        if renewed >= self._farm.quorum and validity_ms > 0:
+            self._validity_deadline = started + validity_ms / 1000.0
+            return True
+        return False
+
+    def verify(self) -> bool:
+        """Re-validate against the farm: a quorum still holds our token with
+        more remaining TTL than the drift allowance, and the local validity
+        window has not lapsed either."""
+        if not self.held:
+            return False
+        confirmed = 0
+        for instance in self._farm:
+            try:
+                if instance.get(self._key) == self._token:
+                    ttl = instance.ttl_ms(self._key)
+                    if ttl is None or ttl > self.drift_ms:
+                        confirmed += 1
+            except InstanceDownError:
+                continue
+        return confirmed >= self._farm.quorum
 
     def acquire(self, timeout_s: float = 5.0) -> None:
         """Acquire with retries; raises :class:`LockError` on timeout."""
@@ -77,6 +152,7 @@ class DistributedLock:
         if self._token is None:
             raise LockError("releasing a lock that is not held")
         token, self._token = self._token, None
+        self._validity_deadline = 0.0
         self._release_token(token)
 
     def _release_token(self, token: str) -> None:

@@ -20,6 +20,7 @@ from repro.core.procpool import (
     CallableWorkerTask,
     PrefixShardRouter,
     ProcessParallelExplorer,
+    QuietWorkerDetector,
     ScenarioWorkerTask,
     auto_prefix_len,
 )
@@ -125,6 +126,64 @@ class TestPrefixShardRouter:
         assert auto_prefix_len(stream_width=8, workers=4) == 1
         assert auto_prefix_len(stream_width=7, workers=4) == 2
         assert auto_prefix_len(stream_width=2, workers=1) == 1
+
+
+class _FakeClock:
+    """Deterministic monotonic clock for the dead-worker grace window."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestQuietWorkerDetector:
+    """Satellite: deterministic dead-worker detection on an injected clock.
+
+    Previously the grace window was timed with bare ``time.monotonic()``
+    reads, so neither the window nor the slow-CI flake it guards against (a
+    busy worker misdeclared crashed while the parent was descheduled) could
+    be reproduced in a test.
+    """
+
+    def test_crash_declared_only_after_sustained_quiet(self):
+        clock = _FakeClock()
+        detector = QuietWorkerDetector(grace_s=0.5, clock=clock)
+        assert not detector.suspect(1)  # first sighting starts the window
+        clock.advance(0.49)
+        assert not detector.suspect(1)
+        clock.advance(0.02)
+        assert detector.suspect(1)
+
+    def test_activity_voids_every_suspicion(self):
+        clock = _FakeClock()
+        detector = QuietWorkerDetector(grace_s=0.5, clock=clock)
+        detector.suspect(1)
+        clock.advance(0.4)
+        detector.activity()  # a frame arrived: the pool is not wedged
+        clock.advance(0.2)
+        # The window restarts from the re-sighting, not the first one.
+        assert not detector.suspect(1)
+        clock.advance(0.5)
+        assert detector.suspect(1)
+
+    def test_suspects_are_tracked_per_worker(self):
+        clock = _FakeClock()
+        detector = QuietWorkerDetector(grace_s=0.5, clock=clock)
+        detector.suspect(1)
+        clock.advance(0.3)
+        detector.suspect(2)
+        clock.advance(0.3)
+        assert detector.suspect(1)  # quiet for 0.6s
+        assert not detector.suspect(2)  # quiet for only 0.3s
+
+    def test_zero_grace_declares_immediately(self):
+        detector = QuietWorkerDetector(grace_s=0.0, clock=_FakeClock())
+        assert detector.suspect(3)
 
 
 # ---------------------------------------------------------------- crash path

@@ -80,22 +80,24 @@ class TestDistributedLock:
         assert lock.try_acquire() is False
 
     def test_ttl_expiry_frees_lock(self):
+        # ttl must clear the drift allowance (ttl*0.01 + 2ms) to be held.
         farm = RedisimFarm(3)
-        stuck = DistributedLock(farm, "key", ttl_ms=1)
+        stuck = DistributedLock(farm, "key", ttl_ms=20)
         stuck.acquire()
         import time
 
-        time.sleep(0.01)
+        time.sleep(0.03)
+        assert not stuck.held  # validity window lapsed with the TTL
         fresh = DistributedLock(farm, "key")
         assert fresh.try_acquire() is True
 
     def test_stale_release_cannot_free_new_holder(self):
         farm = RedisimFarm(3)
-        stale = DistributedLock(farm, "key", ttl_ms=1)
+        stale = DistributedLock(farm, "key", ttl_ms=20)
         stale.acquire()
         import time
 
-        time.sleep(0.01)
+        time.sleep(0.03)
         fresh = DistributedLock(farm, "key")
         fresh.acquire()
         stale.release()  # compare-and-delete misses: token changed
@@ -107,6 +109,90 @@ class TestDistributedLock:
         with DistributedLock(farm, "key") as lock:
             assert lock.held
         assert DistributedLock(farm, "key").try_acquire() is True
+
+
+class _TickClock:
+    """A deterministic clock: reads advance only when the test says so."""
+
+    def __init__(self, per_call_s: float = 0.0) -> None:
+        self.now = 0.0
+        self.per_call_s = per_call_s
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.per_call_s
+        return value
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestRedlockValidity:
+    """Regression: Redlock's drift rules (validity = TTL - elapsed - drift).
+
+    Pre-fix, ``try_acquire`` declared the lock held on any majority grant —
+    even when the TTL was smaller than the clock-drift allowance the paper's
+    Redlock rules require, so a "held" lock could expire on the instances
+    before the holder acted on it.
+    """
+
+    def test_ttl_below_drift_margin_is_rejected(self):
+        clock = _TickClock()
+        farm = RedisimFarm(3, clock=clock)
+        # drift allowance = 2*0.01 + 2 = 2.02ms > ttl: never validly held.
+        lock = DistributedLock(farm, "key", ttl_ms=2, clock=clock)
+        assert lock.try_acquire() is False
+        assert not lock.held
+        # The rejected round rolled its partial grants back.
+        assert all(instance.get("key") is None for instance in farm)
+
+    def test_slow_acquisition_round_eats_validity(self):
+        # Every clock read advances 30ms: the 7 reads of a 3-instance round
+        # (farm sweeps + the lock's own bracketing) consume the 100ms TTL.
+        clock = _TickClock(per_call_s=0.030)
+        farm = RedisimFarm(3, clock=clock)
+        lock = DistributedLock(farm, "key", ttl_ms=100, clock=clock)
+        assert lock.try_acquire() is False
+        assert not lock.held
+
+    def test_held_revalidates_remaining_ttl(self):
+        clock = _TickClock()
+        farm = RedisimFarm(3, clock=clock)
+        lock = DistributedLock(farm, "key", ttl_ms=100, clock=clock)
+        assert lock.try_acquire() is True
+        assert lock.held
+        assert lock.remaining_validity_ms() > 0
+        clock.advance(0.2)  # beyond the TTL
+        assert not lock.held
+        assert lock.remaining_validity_ms() == 0.0
+
+    def test_renew_extends_validity(self):
+        clock = _TickClock()
+        farm = RedisimFarm(3, clock=clock)
+        lock = DistributedLock(farm, "key", ttl_ms=100, clock=clock)
+        assert lock.try_acquire() is True
+        clock.advance(0.08)
+        assert lock.renew() is True
+        clock.advance(0.08)  # 160ms after acquire: dead without the renewal
+        assert lock.held
+        assert lock.verify() is True
+
+    def test_renew_after_expiry_fails(self):
+        clock = _TickClock()
+        farm = RedisimFarm(3, clock=clock)
+        lock = DistributedLock(farm, "key", ttl_ms=50, clock=clock)
+        assert lock.try_acquire() is True
+        clock.advance(0.2)
+        assert lock.renew() is False
+        assert not lock.held
+
+    def test_verify_fails_on_majority_loss(self):
+        clock = _TickClock()
+        farm = RedisimFarm(3, clock=clock)
+        lock = DistributedLock(farm, "key", ttl_ms=100, clock=clock)
+        assert lock.try_acquire() is True
+        farm.partition([0, 1])
+        assert lock.verify() is False
 
 
 class TestSequenceGate:
