@@ -9,6 +9,14 @@ minimal-change order, capped at 1500 candidates.  Four arms:
                   checkpoint/restore/sync payloads, no prefix cache;
 * ``fast``      — current serial engine, structural fast-copy, no cache;
 * ``cache``     — current serial engine with the prefix snapshot cache;
+* ``memo``      — the cache arm plus the semantic pruners
+                  (:class:`~repro.core.pruning.semantic.StateMemoPruner` and
+                  :class:`~repro.core.pruning.semantic.DPORPruner`): each
+                  candidate is first checked against the DPOR trace normal
+                  form and the state-digest memo, and only survivors replay.
+                  The arm verifies per-candidate verdicts against an untimed
+                  cache-only reference pass — pruning must replay strictly
+                  fewer interleavings while reporting identical verdicts;
 * ``traced``    — the cache arm with a live :class:`~repro.obs.tracer.Tracer`
                   and :class:`~repro.obs.metrics.MetricsRegistry` attached to
                   the engine (reports the observability overhead over plain
@@ -30,7 +38,9 @@ minimal-change order, capped at 1500 candidates.  Four arms:
 Every parallel arm reports ``speedup_vs_seed`` and ``efficiency``
 (speedup divided by workers).  Arms are interleaved across repetitions and
 the best rep per arm is kept, which suppresses machine noise.  Results
-land in ``BENCH_replay.json`` at the repo root.  In full mode the run
+land in ``BENCH_replay.json`` at the repo root (``BENCH_replay_smoke.json``
+for ``--smoke`` runs, so a CI sanity pass never clobbers the recorded
+full-run numbers).  In full mode the run
 asserts the acceptance criteria: cached replay sustains >= 3x the seed
 arm's interleavings/sec, and — when the machine actually has >= 4 usable
 cores — ``proc4`` sustains >= 2.5x the serial cache arm.  On smaller boxes
@@ -57,6 +67,8 @@ from typing import Iterator, List, Tuple
 from repro.core.explorers import Explorer, ParallelExplorer
 from repro.core.interleavings import Interleaving, group_events, interleaving_stream
 from repro.core.procpool import CallableWorkerTask, ProcessParallelExplorer
+from repro.core.pruning import DPORPruner, StateMemoPruner
+from repro.core.assertions import assert_read_equals
 from repro.core.replay import ReplayEngine
 from repro.core.sanitizer import Sanitizer
 from repro.fastcopy import legacy_deepcopy
@@ -66,6 +78,11 @@ from repro.proxy.recorder import EventRecorder
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_replay.json"
+OUTPUT_SMOKE = REPO_ROOT / "BENCH_replay_smoke.json"
+
+#: The recorded-order read of the town-reports workload: B removed
+#: "trash-bin" and synced back to A before A's final read.
+MEMO_ASSERTION_VALUE = frozenset({"pothole"})
 
 
 class _FixedStreamExplorer(Explorer):
@@ -158,6 +175,51 @@ def run_arm(name: str, limit: int) -> Tuple[float, dict]:
             "entries": stats.entries,
             "evictions": stats.evictions,
         }
+    elif name == "memo":
+        assertions = (assert_read_equals("e10", MEMO_ASSERTION_VALUE),)
+        # Untimed reference pass: the cache arm's semantics (no semantic
+        # pruning) over the identical candidate list, to diff verdicts.
+        ref_engine = ReplayEngine(seed.build_cluster())
+        ref_engine.checkpoint()
+        ref_engine.enable_prefix_cache()
+        reference = [
+            bool(ref_engine.replay(candidate, assertions).violated)
+            for candidate in candidates
+        ]
+        engine.enable_prefix_cache()
+        dpor = DPORPruner()
+        memo = StateMemoPruner()
+        dpor.bind((engine,), assertions)
+        memo.bind((engine,), assertions)
+        verdicts: List[bool] = []
+        class_verdicts: dict = {}
+        with gc_quiesced():
+            started = time.perf_counter()
+            for candidate in candidates:
+                if dpor.is_redundant(candidate):
+                    # Equal trace normal form => the representative's
+                    # verdict is this candidate's verdict.
+                    verdicts.append(class_verdicts.get(dpor.last_key, False))
+                    continue
+                dpor_key = dpor.last_key
+                if memo.is_redundant(candidate):
+                    # Memo never prunes a stitched violation.
+                    verdicts.append(False)
+                    class_verdicts.setdefault(dpor_key, False)
+                    continue
+                violated = bool(engine.replay(candidate, assertions).violated)
+                verdicts.append(violated)
+                class_verdicts.setdefault(dpor_key, violated)
+            elapsed = time.perf_counter() - started
+        pruned = dpor.stats.pruned + memo.stats.pruned
+        extra = {
+            "replayed": limit - pruned,
+            "pruned": pruned,
+            "dpor_pruned": dpor.stats.pruned,
+            "memo_hits": memo.hits,
+            "stitched_violations_replayed": memo.stitched_violations,
+            "verdicts_match_cache": verdicts == reference,
+        }
     elif name == "traced":
         cache = engine.enable_prefix_cache()
         engine.tracer = Tracer()
@@ -234,6 +296,7 @@ def main() -> int:
         "seed",
         "fast",
         "cache",
+        "memo",
         "traced",
         "sanitized",
         "parallel4",
@@ -276,12 +339,19 @@ def main() -> int:
         arm["workers"] = nworkers
         arm["speedup_vs_seed"] = round(best["seed"] / best[name], 2)
         arm["efficiency"] = round(best["seed"] / best[name] / nworkers, 3)
-    report["proc_scaling_sweep"] = {
-        str(nworkers): round(limit / best[f"proc{nworkers}"], 1)
+    # Worker counts stay ints here (JSON object keys would stringify them,
+    # diverging from the typed "workers" field in the arms themselves).
+    report["proc_scaling_sweep"] = [
+        {
+            "workers": nworkers,
+            "interleavings_per_sec": round(limit / best[f"proc{nworkers}"], 1),
+        }
         for nworkers in (1, 2, 4)
-    }
+    ]
     speedup = best["seed"] / best["cache"]
     report["cached_speedup_vs_seed"] = round(speedup, 2)
+    memo_info = info["memo"]
+    report["memo_replays_vs_cache"] = round(memo_info["replayed"] / limit, 4)
     traced_overhead = best["traced"] / best["cache"]
     report["traced_overhead_vs_cache"] = round(traced_overhead, 2)
     sanitizer_overhead = best["sanitized"] / best["cache"]
@@ -291,15 +361,26 @@ def main() -> int:
     report["proc4_speedup_vs_parallel4"] = round(
         best["parallel4"] / best["proc4"], 2
     )
-    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    output = OUTPUT_SMOKE if args.smoke else OUTPUT
+    output.write_text(json.dumps(report, indent=2) + "\n")
     print(
         f"\ncached speedup vs seed engine: {speedup:.2f}x, "
+        f"memo arm replayed {memo_info['replayed']}/{limit}, "
         f"tracing overhead vs cache: {traced_overhead:.2f}x, "
         f"sanitizer overhead vs cache: {sanitizer_overhead:.2f}x, "
-        f"proc4 vs cache: {proc4_vs_cache:.2f}x ({cores} cores)  -> {OUTPUT.name}"
+        f"proc4 vs cache: {proc4_vs_cache:.2f}x ({cores} cores)  -> {output.name}"
     )
 
     failed = False
+    # Semantic-pruning correctness holds in smoke mode too: the memo arm
+    # must replay strictly fewer candidates than the cache arm while its
+    # per-candidate verdicts stay bit-for-bit identical.
+    if not memo_info.get("verdicts_match_cache", False):
+        print("FAIL: memo arm verdicts diverge from the cache arm")
+        failed = True
+    if memo_info.get("replayed", limit) >= limit:
+        print("FAIL: memo arm must replay strictly fewer than the cache arm")
+        failed = True
     if not args.smoke and speedup < 3.0:
         print("FAIL: acceptance criterion is >= 3x cached vs seed engine")
         failed = True

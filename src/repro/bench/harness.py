@@ -22,10 +22,12 @@ from repro.core.explorers import (
     RandomExplorer,
 )
 from repro.core.pruning import (
+    DPORPruner,
     EventIndependencePruner,
     FailedOpsPruner,
     Pruner,
     ReplicaSpecificPruner,
+    StateMemoPruner,
 )
 from repro.core.replay import ReplayEngine, SequentialExecutor
 from repro.core.resources import ResourceMeter
@@ -98,15 +100,41 @@ def make_explorer(
     seed: int = 0,
     meter: Optional[ResourceMeter] = None,
     events: Optional[Sequence[Event]] = None,
+    memo: bool = False,
+    dpor: bool = False,
+    memo_in_stream: bool = True,
 ) -> Explorer:
+    """Build the exploration stack for one recorded scenario.
+
+    ``memo`` / ``dpor`` add the semantic pruners (ER-pi mode only — the
+    other modes have no pruner pipeline).  ``memo_in_stream=False`` attaches
+    the :class:`StateMemoPruner` as ``explorer.replay_memo`` instead of
+    putting it in the candidate pipeline: process-pool workers consult it at
+    replay time on shard-owned candidates, because a stream-time prune
+    driven by a worker-local memo table would desynchronise the candidate
+    indices the commit protocol relies on.
+    """
     scenario = recorded.scenario
     schedule = tuple(events) if events is not None else recorded.events
     if mode == "erpi":
-        return ERPiExplorer(
+        pruners = scenario_pruners(scenario)
+        if dpor:
+            pruners.append(DPORPruner())
+        memo_pruner = StateMemoPruner() if memo else None
+        if memo_pruner is not None and memo_in_stream:
+            pruners.append(memo_pruner)
+        explorer = ERPiExplorer(
             schedule,
             meter=meter,
             spec_groups=scenario.spec_groups(),
-            pruners=scenario_pruners(scenario),
+            pruners=pruners,
+        )
+        if memo_pruner is not None and not memo_in_stream:
+            explorer.replay_memo = memo_pruner
+        return explorer
+    if memo or dpor:
+        raise ValueError(
+            f"--memo/--dpor require the erpi mode, not {mode!r}"
         )
     if mode == "dfs":
         return DFSExplorer(schedule, meter=meter)
@@ -126,6 +154,8 @@ def _coordination_journal(
     workers: int,
     faults: bool,
     prefix_cache: bool,
+    memo: bool,
+    dpor: bool,
 ):
     """Create a fresh hunt journal, or load + validate one for resumption.
 
@@ -148,6 +178,8 @@ def _coordination_journal(
         "faults": faults,
         "fixed": recorded.fixed,
         "prefix_cache": prefix_cache,
+        "memo": memo,
+        "dpor": dpor,
     }
     if resume is not None:
         loaded = HuntJournal.load(resume)
@@ -183,6 +215,8 @@ def hunt(
     workers: int = 1,
     parallel_backend: str = "process",
     prefix_cache: bool = False,
+    memo: bool = False,
+    dpor: bool = False,
     sanitize: Optional[float] = None,
     sanitize_sample_k: int = 2,
     faults: bool = False,
@@ -261,7 +295,15 @@ def hunt(
         order_constraints = compiled.order_constraints
     if replay_timeout_s is not None:
         recorded.engine.executor = SequentialExecutor(timeout_s=replay_timeout_s)
-    explorer = make_explorer(recorded, mode, seed=seed, meter=meter, events=schedule)
+    coordinated = journal is not None or resume is not None
+    use_process = (workers > 1 or coordinated) and parallel_backend == "process"
+    explorer = make_explorer(
+        recorded, mode, seed=seed, meter=meter, events=schedule,
+        memo=memo, dpor=dpor,
+        # Process workers consult the memo at replay time, so the parent's
+        # pipeline must match theirs (the sanitizer zips pruner lists).
+        memo_in_stream=not use_process,
+    )
     explorer.order_constraints = order_constraints
     explorer.tracer = observed_tracer
     explorer.metrics = observed_metrics
@@ -280,10 +322,9 @@ def hunt(
             explorer.audit_pruners.append(
                 sanitizer.grouping_auditor(recorded.events, explorer.spec_groups)
             )
-    coordinated = journal is not None or resume is not None
     if coordinated and parallel_backend != "process":
         raise ValueError("journal/resume requires the process backend")
-    if (workers > 1 or coordinated) and parallel_backend == "process":
+    if use_process:
         from repro.core.procpool import ProcessParallelExplorer, ScenarioWorkerTask
 
         task = ScenarioWorkerTask(
@@ -293,6 +334,8 @@ def hunt(
             fixed=recorded.fixed,
             faults=faults,
             replay_timeout_s=replay_timeout_s,
+            memo=memo,
+            dpor=dpor,
         )
         pool_kwargs = dict(
             workers=workers,
@@ -308,6 +351,7 @@ def hunt(
             hunt_journal = _coordination_journal(
                 journal, resume, recorded, mode=mode, seed=seed, cap=cap,
                 workers=workers, faults=faults, prefix_cache=prefix_cache,
+                memo=memo, dpor=dpor,
             )
             parallel = CoordinatedHuntExplorer(
                 explorer,

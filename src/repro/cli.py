@@ -48,6 +48,10 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
         extras.append(f"{args.workers} {args.parallel_backend} workers")
     if args.prefix_cache:
         extras.append("prefix cache")
+    if args.memo:
+        extras.append("state memo")
+    if args.dpor:
+        extras.append("dpor")
     if args.sanitize is not None:
         extras.append(f"sanitize {args.sanitize:g}")
     if args.faults:
@@ -88,6 +92,8 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
         workers=args.workers,
         parallel_backend=args.parallel_backend,
         prefix_cache=args.prefix_cache,
+        memo=args.memo,
+        dpor=args.dpor,
         sanitize=args.sanitize,
         faults=args.faults,
         replay_timeout_s=args.replay_timeout,
@@ -109,6 +115,16 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
         )
     if metrics is not None:
         print(metrics.summary())
+    if args.memo or args.dpor:
+        semantic = {
+            name: result.pruning_stats.get(name, 0)
+            for name, wanted in (("state_memo", args.memo), ("dpor", args.dpor))
+            if wanted
+        }
+        print(
+            "semantic pruning: "
+            + ", ".join(f"{name} skipped {count:,}" for name, count in semantic.items())
+        )
     coordination = getattr(result, "coordination", None)
     if coordination is not None:
         parts = [f"hunt {coordination['hunt_id']}",
@@ -271,7 +287,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
     sc = scenario(args.bug)
     cluster = sc.build_cluster()
-    erpi = ErPi(cluster, persist=True)
+    erpi = ErPi(cluster, persist=True, memo=args.memo, dpor=args.dpor)
     erpi.start()
     sc.workload(cluster)
     for pair in sc.spec_groups():
@@ -353,6 +369,8 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             args.mode,
             cap=args.cap,
             seed=args.seed,
+            memo=args.memo,
+            dpor=args.dpor,
             faults=True,
             replay_timeout_s=args.replay_timeout,
         )
@@ -437,6 +455,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--prefix-cache",
         action="store_true",
         help="reuse cached event-prefix snapshots between replays",
+    )
+    hunt.add_argument(
+        "--memo",
+        action="store_true",
+        help="memoize canonical state digests and skip replays whose suffix "
+        "outcome is already known from an equal intermediate state "
+        "(sound-or-off: auto-disabled for subjects without "
+        "canonical_state(), and never applied across fault events)",
+    )
+    hunt.add_argument(
+        "--dpor",
+        action="store_true",
+        help="sleep-set/happens-before pruning: skip permutations that only "
+        "reorder independent events (per-replica read/write footprints)",
     )
     hunt.add_argument(
         "--sanitize",
@@ -564,6 +596,17 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("bug")
     export.add_argument("output")
     export.add_argument("--cap", type=int, default=200)
+    export.add_argument(
+        "--memo",
+        action="store_true",
+        help="arm the state-digest memo; prunes land as memo(digest, il) facts",
+    )
+    export.add_argument(
+        "--dpor",
+        action="store_true",
+        help="arm sleep-set pruning; prunes carry footprint(il, event, mode, "
+        "key) facts",
+    )
 
     sanitize = sub.add_parser(
         "sanitize",
@@ -593,6 +636,19 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--mode", choices=("erpi", "dfs", "rand"), default="erpi")
     faults.add_argument("--cap", type=int, default=10_000)
     faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument(
+        "--memo",
+        action="store_true",
+        help="enable the state-digest memo pruner (inert on fault-bearing "
+        "candidates, which is every candidate here — exercises the "
+        "fault-boundary gating)",
+    )
+    faults.add_argument(
+        "--dpor",
+        action="store_true",
+        help="enable sleep-set pruning (fault events are barriers: nothing "
+        "commutes across a crash, recover or partition)",
+    )
     faults.add_argument(
         "--replay-timeout",
         type=float,

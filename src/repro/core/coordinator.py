@@ -364,7 +364,7 @@ class CoordinatedHuntExplorer(ProcessParallelExplorer):
             tracer = self.base.tracer
             span = tracer.begin("re-lease") if tracer.enabled else None
             self._procs[widx] = self._spawn_worker(
-                widx, skip_below=self._watermark
+                widx, skip_below=self._watermark, attempt=self._attempts[widx]
             )
             self._metric("coordinator.releases")
             if span is not None:
@@ -422,7 +422,12 @@ class CoordinatedHuntExplorer(ProcessParallelExplorer):
     def _ensure_owner_stream(self) -> None:
         if self._owner_candidates is not None:
             return
-        explorer, _engine, _assertions, _audit = self.task.build()
+        explorer, engine, assertions, _audit = self.task.build()
+        # The owner stream must make byte-identical pruning decisions to the
+        # workers' streams, so its pruners are bound the same way (the DPOR
+        # pruner is a deterministic function of the schedule; the replay
+        # memo never participates in stream-time pruning).
+        explorer.bind_semantic((engine,), assertions)
         if self.base.metrics.enabled:
             self._owner_metrics = MetricsRegistry()
             explorer.metrics = self._owner_metrics
@@ -477,15 +482,25 @@ class CoordinatedHuntExplorer(ProcessParallelExplorer):
         violating: Optional[InterleavingOutcome] = None
         violation_messages: List[str] = []
         explored = 0
+        parent_pruned = 0  # replay-time memo hits committed as prunes
         next_index = 0
 
         # ---- replay the journal's committed prefix (resume) -------------
         for record in self._resumed:
             verdict = record["verdict"]
             il_key = record["il"]
+            next_index += 1
+            if verdict == "pruned":
+                # A memo hit committed by the previous incarnation: it
+                # consumed a candidate index but was never explored.
+                parent_pruned += 1
+                if metrics.enabled:
+                    metrics.inc("coordinator.commits.resumed")
+                    metrics.inc("interleavings.pruned")
+                    metrics.inc("pruned.state_memo")
+                continue
             verdicts[il_key] = verdict
             explored += 1
-            next_index += 1
             if metrics.enabled:
                 metrics.inc("coordinator.commits.resumed")
                 if verdict == "quarantine":
@@ -518,6 +533,7 @@ class CoordinatedHuntExplorer(ProcessParallelExplorer):
             return self._finish(
                 verdicts, quarantined, violating, explored, started,
                 crashed=False, crash_reason=None, finals={},
+                parent_pruned=parent_pruned,
             )
 
         if not self._started:
@@ -573,6 +589,32 @@ class CoordinatedHuntExplorer(ProcessParallelExplorer):
                         crash_reason = payload
                         done = True
                         break
+                    if kind == "pruned":
+                        # Replay-time memo hit (see procpool): journaled so a
+                        # resumed hunt keeps candidate indices aligned, but
+                        # not explored and absent from the verdict map,
+                        # matching a serial hunt's stream-time prune.
+                        parent_pruned += 1
+                        commits_since_checkpoint += 1
+                        il_key = "|".join(payload)
+                        if journal is not None:
+                            journal.commit(
+                                index=next_index - 1,
+                                verdict="pruned",
+                                il_key=il_key,
+                            )
+                        if metrics.enabled:
+                            metrics.inc("interleavings.pruned")
+                            metrics.inc("pruned.state_memo")
+                        if progress is not None:
+                            progress.tick(metrics)
+                        if (
+                            journal is not None
+                            and commits_since_checkpoint >= self.checkpoint_every
+                        ):
+                            self._checkpoint(next_index)
+                            commits_since_checkpoint = 0
+                        continue
                     explored += 1
                     commits_since_checkpoint += 1
                     if kind == "quarantine":
@@ -685,7 +727,7 @@ class CoordinatedHuntExplorer(ProcessParallelExplorer):
             if self._lease_table is not None:
                 self._lease_table.release_all()
             if metrics.enabled:
-                self._merge_metrics(metrics, finals, explored)
+                self._merge_metrics(metrics, finals, explored + parent_pruned)
             self.base._finish_observation(engine, root, explored, mode=self.mode)
             if metrics.enabled:
                 self._merge_cache_gauges(metrics, finals)
@@ -702,6 +744,7 @@ class CoordinatedHuntExplorer(ProcessParallelExplorer):
         return self._finish(
             verdicts, quarantined, violating, explored, started,
             crashed=crashed, crash_reason=crash_reason, finals=finals,
+            parent_pruned=parent_pruned,
         )
 
     # ------------------------------------------------------------- finish
@@ -743,10 +786,11 @@ class CoordinatedHuntExplorer(ProcessParallelExplorer):
         crashed: bool,
         crash_reason: Optional[str],
         finals: Dict[int, Dict[str, Any]],
+        parent_pruned: int = 0,
     ) -> ExplorationResult:
         journal = self.journal
         if journal is not None:
-            self._checkpoint(explored)  # compact + durability-barrier the tail
+            self._checkpoint(explored + parent_pruned)  # compact the tail
             journal.final(
                 found=violating is not None,
                 explored=explored,
@@ -755,6 +799,11 @@ class CoordinatedHuntExplorer(ProcessParallelExplorer):
             )
             journal.close()
         canonical = self._canonical_flush(finals)
+        pruning_stats = dict(canonical["pruning_stats"]) if canonical else {}
+        if parent_pruned:
+            pruning_stats["state_memo"] = (
+                pruning_stats.get("state_memo", 0) + parent_pruned
+            )
         elapsed = time.perf_counter() - started
         result = ExplorationResult(
             mode=self.mode,
@@ -764,7 +813,7 @@ class CoordinatedHuntExplorer(ProcessParallelExplorer):
             crashed=crashed,
             crash_reason=crash_reason,
             violating=violating,
-            pruning_stats=canonical["pruning_stats"] if canonical else {},
+            pruning_stats=pruning_stats,
             quarantined=quarantined,
             fault_events=canonical["fault_events"] if canonical else 0,
             verdicts=verdicts,
@@ -774,7 +823,7 @@ class CoordinatedHuntExplorer(ProcessParallelExplorer):
 
     # --------------------------------------------------------------- merge
 
-    def _merge_metrics(self, metrics, finals, explored: int) -> None:
+    def _merge_metrics(self, metrics, finals, committed: int) -> None:
         canonical = self._canonical_flush(finals)
         parent_enumerated = (
             len(self._owners) if self._owner_metrics is not None else None
@@ -782,16 +831,16 @@ class CoordinatedHuntExplorer(ProcessParallelExplorer):
         if canonical is not None and (
             parent_enumerated is None or canonical["yields"] >= parent_enumerated
         ):
-            super()._merge_metrics(metrics, finals, explored)
+            super()._merge_metrics(metrics, finals, committed)
             return
         # The parent's own enumeration (for abandoned-shard commits) went
         # furthest — every live worker died or stopped short — so its
         # stream-side counters are the superset.
         if self._owner_metrics is not None:
             metrics.merge_payload(self._owner_metrics.to_payload())
-        for flush in finals.values():
+        for flush in list(finals.values()) + self._stale_finals:
             if flush["replay"] is not None:
                 metrics.merge_payload(flush["replay"])
-        discarded = (parent_enumerated or 0) - explored
+        discarded = (parent_enumerated or 0) - committed
         if discarded > 0:
             metrics.inc("interleavings.discarded", discarded)

@@ -145,6 +145,7 @@ class Explorer(abc.ABC):
         crash_reason: Optional[str] = None
         quarantined: List[QuarantinedReplay] = []
         root = tracer.begin("explore") if tracer.enabled else None
+        self.bind_semantic((engine,), assertions)
         candidates = self.candidates()
         try:
             # The cap is checked *before* pulling the next candidate, so a
@@ -216,6 +217,17 @@ class Explorer(abc.ABC):
 
     def _pruning_stats(self) -> Dict[str, int]:
         return {}
+
+    def bind_semantic(
+        self, engines: Sequence[ReplayEngine], assertions: Sequence[Assertion]
+    ) -> None:
+        """Bind semantic pruners (state memo / DPOR) to the replay engines.
+
+        A no-op for explorers without a pruning pipeline; the parallel
+        explorers call this with *all* worker engines so every replay feeds
+        the worker-shared memo table.  Sound-or-off: each pruner decides
+        for itself whether the engines support it.
+        """
 
     def _finish_observation(
         self,
@@ -340,7 +352,12 @@ class ERPiExplorer(Explorer):
         metrics = self.metrics
         for pruner in self.audit_pruners:
             pruner.reset()
-        for interleaving in interleaving_stream(self.grouping.units, order=self.order):
+        for interleaving in interleaving_stream(
+            self.grouping.units,
+            order=self.order,
+            meter=self.meter,
+            on_degrade=self._enumeration_degraded,
+        ):
             # Validity comes before pruning: an invalid schedule (e.g. a
             # recover before its crash) must never become a class's seen
             # representative — the sanitizer replays pruned class members,
@@ -364,6 +381,24 @@ class ERPiExplorer(Explorer):
             if metrics.enabled:
                 metrics.inc("interleavings.generated")
             yield interleaving
+
+    def bind_semantic(
+        self, engines: Sequence[ReplayEngine], assertions: Sequence[Assertion]
+    ) -> None:
+        for pruner in self.pipeline.pruners:
+            bind = getattr(pruner, "bind", None)
+            if callable(bind):
+                bind(engines, assertions, meter=self.meter)
+
+    def _enumeration_degraded(self, reason: str) -> None:
+        """The relocation order's dedup set ran out of budget and the stream
+        fell back to exact SJT minimal-change order — loud, not silent."""
+        if self.metrics.enabled:
+            self.metrics.inc("enumeration.degraded")
+        if self.tracer.enabled:
+            self.tracer.end(
+                self.tracer.begin("enumeration-degraded"), reason=reason
+            )
 
     def _pruning_stats(self) -> Dict[str, int]:
         stats: Dict[str, int] = {
@@ -477,6 +512,9 @@ class ParallelExplorer:
         root = tracer.begin("explore") if tracer.enabled else None
 
         workers = self._build_engines(engine, assertions)
+        self.base.bind_semantic(
+            tuple(worker_engine for worker_engine, _ in workers), assertions
+        )
         idle: "queue.Queue[Tuple[ReplayEngine, Sequence[Assertion]]]" = queue.Queue()
         for item in workers:
             idle.put(item)

@@ -23,9 +23,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.core.errors import ErPiError
+from repro.core.errors import ErPiError, ResourceExhausted
 from repro.core.events import Event, EventKind
 
 #: A unit is an atomic run of events that always replay consecutively.
@@ -214,7 +214,17 @@ def lehmer_rank(perm: Sequence[int]) -> int:
     return rank
 
 
-def relocation_permutations(units: Sequence[Unit]) -> Iterator[Tuple[Unit, ...]]:
+#: Retained bytes charged per Lehmer rank in the relocation seen-set (the
+#: set slot plus the rank's int object; ranks are bignums past 20 units).
+SEEN_RANK_COST = 64
+SEEN_CATEGORY = "relocation_seen"
+
+
+def relocation_permutations(
+    units: Sequence[Unit],
+    meter: Optional[object] = None,
+    on_degrade: Optional[Callable[[str], None]] = None,
+) -> Iterator[Tuple[Unit, ...]]:
     """Neighbourhood-first enumeration: ER-pi's production order.
 
     Yields, without repetition:
@@ -232,8 +242,16 @@ def relocation_permutations(units: Sequence[Unit]) -> Iterator[Tuple[Unit, ...]]
 
     Deduplication stores one Lehmer-code rank (an int) per permutation seen
     in the relocation phases — O(n^4) ints at most — and nothing during the
-    SJT tail, whose membership checks only consult the relocation-phase set;
-    remembering every yielded n-tuple made long runs scale with n! memory.
+    SJT tail, whose membership checks only consult the relocation-phase set.
+    O(n^4) is "at most" in permutations but unbounded in bytes as the unit
+    count grows (the ranks are bignums), so when a ``meter`` is supplied
+    every new rank is charged to it *before* it is remembered.  If the
+    budget runs out the curated phases are abandoned — the stream degrades,
+    loudly via ``on_degrade`` (called once with the reason), to exact SJT
+    minimal-change order over everything not already yielded.  The retained
+    (fully charged) seen-set keeps the degraded stream duplicate-free and
+    complete: every yielded permutation was recorded before yielding, and
+    the SJT tail skips exactly that set.
     """
     items = list(units)
     n = len(items)
@@ -241,11 +259,24 @@ def relocation_permutations(units: Sequence[Unit]) -> Iterator[Tuple[Unit, ...]]
         yield ()
         return
     seen: set = set()
+    exhausted = False
 
     def emit(perm: List[int]) -> Optional[Tuple[Unit, ...]]:
+        nonlocal exhausted
         rank = lehmer_rank(perm)
         if rank in seen:
             return None
+        if meter is not None:
+            try:
+                meter.charge(SEEN_CATEGORY, SEEN_RANK_COST)
+            except ResourceExhausted as exc:
+                # The failed charge was recorded before raising; give it
+                # back so the meter reflects only ranks actually retained.
+                meter.release(SEEN_CATEGORY, SEEN_RANK_COST)
+                exhausted = True
+                if on_degrade is not None:
+                    on_degrade(str(exc))
+                return None
         seen.add(rank)
         return tuple(items[i] for i in perm)
 
@@ -262,6 +293,8 @@ def relocation_permutations(units: Sequence[Unit]) -> Iterator[Tuple[Unit, ...]]
     # Distance 1: all single relocations.
     singles: List[List[int]] = []
     for src in range(n):
+        if exhausted:
+            break
         for dst in range(n):
             if src == dst:
                 continue
@@ -270,15 +303,23 @@ def relocation_permutations(units: Sequence[Unit]) -> Iterator[Tuple[Unit, ...]]
             result = emit(moved)
             if result is not None:
                 yield result
+            elif exhausted:
+                break
     # Distance 2: compositions of two relocations.
     for moved in singles:
+        if exhausted:
+            break
         for src in range(n):
+            if exhausted:
+                break
             for dst in range(n):
                 if src == dst:
                     continue
                 result = emit(relocate(moved, src, dst))
                 if result is not None:
                     yield result
+                elif exhausted:
+                    break
     # Everything else: SJT over the remaining permutations.  SJT visits each
     # permutation exactly once, so only the relocation-phase set needs
     # consulting — nothing new is remembered here.
@@ -298,14 +339,20 @@ def interleaving_stream(
     units: Sequence[Unit],
     order: str = "sjt",
     limit: Optional[int] = None,
+    meter: Optional[object] = None,
+    on_degrade: Optional[Callable[[str], None]] = None,
 ) -> Iterator[Interleaving]:
-    """Flat event interleavings in the requested order, optionally capped."""
+    """Flat event interleavings in the requested order, optionally capped.
+
+    ``meter`` / ``on_degrade`` pass through to
+    :func:`relocation_permutations` (the only order with retained
+    deduplication state worth charging)."""
     if order == "sjt":
         stream: Iterator[Tuple[Unit, ...]] = sjt_permutations(units)
     elif order == "lexicographic":
         stream = lexicographic_permutations(units)
     elif order == "relocation":
-        stream = relocation_permutations(units)
+        stream = relocation_permutations(units, meter=meter, on_degrade=on_degrade)
     else:
         raise ErPiError(f"unknown enumeration order {order!r}")
     for index, unit_perm in enumerate(stream):

@@ -161,6 +161,8 @@ class ScenarioWorkerTask(WorkerTask):
     fixed: bool = False
     faults: bool = False
     replay_timeout_s: Optional[float] = None
+    memo: bool = False
+    dpor: bool = False
 
     def build(self) -> Tuple[Explorer, ReplayEngine, Sequence[Assertion], tuple]:
         # Imports are deferred so pickling the task never drags the bug
@@ -187,7 +189,14 @@ class ScenarioWorkerTask(WorkerTask):
             recorded.engine.executor = SequentialExecutor(
                 timeout_s=self.replay_timeout_s
             )
-        explorer = make_explorer(recorded, self.mode, seed=self.seed, events=schedule)
+        explorer = make_explorer(
+            recorded, self.mode, seed=self.seed, events=schedule,
+            memo=self.memo, dpor=self.dpor,
+            # A stream-time memo prune driven by a worker-local table would
+            # desynchronise candidate indices across workers; the memo is
+            # consulted at replay time instead (see _run_worker).
+            memo_in_stream=False,
+        )
         explorer.order_constraints = order_constraints
         if fault_plan is not None:
             explorer.fault_plan_description = fault_plan.describe()
@@ -236,6 +245,12 @@ class _WorkerConfig:
     #: so the coordinator can renew this worker's shard lease.  ``None``
     #: disables heartbeats (plain uncoordinated pools).
     heartbeat_interval_s: Optional[float] = None
+    #: Which incarnation of this slot the worker is (1 = original, 2+ =
+    #: re-leased replacements).  Stamped into the worker's metrics payload
+    #: epochs so the parent merges each (slot, attempt) at most once even
+    #: when a dead predecessor's partial flush and its replacement's full
+    #: flush both reach the merge.
+    attempt: int = 1
 
 
 def _worker_main(task, config, conn, stop_event, go_event) -> None:
@@ -271,10 +286,10 @@ def _worker_main(task, config, conn, stop_event, go_event) -> None:
 
 class _WorkerRuntime:
     __slots__ = ("explorer", "engine", "assertions", "sanitizer", "router",
-                 "stream_metrics", "replay_metrics")
+                 "stream_metrics", "replay_metrics", "memo")
 
     def __init__(self, explorer, engine, assertions, sanitizer, router,
-                 stream_metrics, replay_metrics) -> None:
+                 stream_metrics, replay_metrics, memo=None) -> None:
         self.explorer = explorer
         self.engine = engine
         self.assertions = assertions
@@ -282,6 +297,7 @@ class _WorkerRuntime:
         self.router = router
         self.stream_metrics = stream_metrics
         self.replay_metrics = replay_metrics
+        self.memo = memo
 
 
 def _build_worker_runtime(task, config: _WorkerConfig) -> _WorkerRuntime:
@@ -314,13 +330,26 @@ def _build_worker_runtime(task, config: _WorkerConfig) -> _WorkerRuntime:
             explorer.audit_pruners.append(
                 sanitizer.grouping_auditor(audit_events, explorer.spec_groups)
             )
+    # Bind the semantic pruners exactly as a serial explore() would (the
+    # worker loop pulls candidates() directly, bypassing explore()).
+    explorer.bind_semantic((engine,), assertions)
+    memo = getattr(explorer, "replay_memo", None)
+    if memo is not None:
+        memo.bind((engine,), assertions, meter=explorer.meter)
+        if not memo.enabled:
+            memo = None
+    # Runtime write-set validation can disable the DPOR pruner, and a
+    # disable observed by one worker but not another would desynchronise
+    # the candidate streams.  The static footprint model is conservative on
+    # its own; the validation hook stays a serial-path defence.
+    engine.footprint_observer = None
     prefix_len = config.prefix_len or auto_prefix_len(
         _stream_width(explorer), config.workers
     )
     router = PrefixShardRouter(config.workers, prefix_len)
     return _WorkerRuntime(
         explorer, engine, assertions, sanitizer, router,
-        stream_metrics, replay_metrics,
+        stream_metrics, replay_metrics, memo=memo,
     )
 
 
@@ -365,6 +394,16 @@ def _run_worker(runtime: _WorkerRuntime, config: _WorkerConfig,
                 # Already committed by the parent in a previous incarnation
                 # of this hunt; re-replaying it would only produce a result
                 # the parent will deduplicate away.
+                continue
+            if runtime.memo is not None and runtime.memo.is_redundant(interleaving):
+                # Replay-time memo hit on an owned candidate: the stitched
+                # outcome was clean, so ship a "pruned" verdict instead of
+                # re-replaying.  (Stream-time pruning would shift candidate
+                # indices, which must stay identical across workers.)
+                batch.append(
+                    (index, "pruned",
+                     tuple(event.event_id for event in interleaving))
+                )
                 continue
             try:
                 outcome = engine.replay(interleaving, assertions)
@@ -435,8 +474,13 @@ def _worker_flush(runtime: _WorkerRuntime, config: _WorkerConfig, yields: int,
         "sanitizer": None,
     }
     if runtime.stream_metrics is not None:
-        flush["stream"] = runtime.stream_metrics.to_payload()
-        flush["replay"] = runtime.replay_metrics.to_payload()
+        widx = config.worker_index
+        flush["stream"] = runtime.stream_metrics.to_payload(
+            epoch=("stream", widx, config.attempt)
+        )
+        flush["replay"] = runtime.replay_metrics.to_payload(
+            epoch=("replay", widx, config.attempt)
+        )
     cache = engine.prefix_cache
     if cache is not None:
         flush["cache"] = {
@@ -555,6 +599,11 @@ class ProcessParallelExplorer:
         #: whose pipe reached EOF — i.e. whose worker process has exited.
         self._conns: Dict[int, Any] = {}
         self._eof: set = set()
+        #: Finals superseded by a replacement worker's flush for the same
+        #: slot.  Retained (not clobbered) so the dead predecessor's
+        #: replay-side work is still merged; payload epochs keep the merge
+        #: idempotent per (slot, attempt).
+        self._stale_finals: List[Dict[str, Any]] = []
         self._stop = None
         self._go = None
         self._started = False
@@ -575,6 +624,7 @@ class ProcessParallelExplorer:
         self._ctx = ctx
         self._conns = {}
         self._eof = set()
+        self._stale_finals = []
         self._stop = ctx.Event()
         self._go = ctx.Event()
         self._cap = cap
@@ -613,7 +663,9 @@ class ProcessParallelExplorer:
                     f"worker bootstrap exceeded {self.bootstrap_timeout_s:g}s"
                 )
 
-    def _make_config(self, widx: int, skip_below: int = 0) -> _WorkerConfig:
+    def _make_config(
+        self, widx: int, skip_below: int = 0, attempt: int = 1
+    ) -> _WorkerConfig:
         return _WorkerConfig(
             worker_index=widx,
             workers=self.workers,
@@ -628,10 +680,11 @@ class ProcessParallelExplorer:
             seed=self.seed,
             skip_below=skip_below,
             heartbeat_interval_s=self.heartbeat_interval_s,
+            attempt=attempt,
         )
 
     def _spawn_worker(
-        self, widx: int, skip_below: int = 0
+        self, widx: int, skip_below: int = 0, attempt: int = 1
     ) -> multiprocessing.Process:
         """Start one worker-slot process (also the re-lease respawn path).
 
@@ -651,7 +704,7 @@ class ProcessParallelExplorer:
             target=_worker_main,
             args=(
                 self.task,
-                self._make_config(widx, skip_below=skip_below),
+                self._make_config(widx, skip_below=skip_below, attempt=attempt),
                 send_conn,
                 self._stop,
                 self._go,
@@ -693,6 +746,7 @@ class ProcessParallelExplorer:
         quarantined: List[QuarantinedReplay] = []
         next_index = 0
         explored = 0
+        parent_pruned = 0  # replay-time memo hits committed as prunes
         violating: Optional[InterleavingOutcome] = None
         crashed = False
         crash_reason: Optional[str] = None
@@ -718,6 +772,18 @@ class ProcessParallelExplorer:
                         crash_reason = payload
                         done = True
                         break
+                    if kind == "pruned":
+                        # A worker's replay-time memo hit: counted exactly
+                        # like a stream-time prune (not explored, no verdict
+                        # entry — matching a serial hunt, where the pipeline
+                        # drops the candidate before it is ever yielded).
+                        parent_pruned += 1
+                        if metrics.enabled:
+                            metrics.inc("interleavings.pruned")
+                            metrics.inc("pruned.state_memo")
+                        if progress is not None:
+                            progress.tick(metrics)
+                        continue
                     explored += 1
                     if kind == "quarantine":
                         quarantined.append(payload)
@@ -772,7 +838,9 @@ class ProcessParallelExplorer:
         finally:
             self._shutdown(drain_finals=finals)
             if metrics.enabled:
-                self._merge_metrics(metrics, finals, explored)
+                # Committed = explored + parent-side prunes: both consume a
+                # candidate index, so both come out of the discard residue.
+                self._merge_metrics(metrics, finals, explored + parent_pruned)
             self.base._finish_observation(engine, root, explored, mode=self.mode)
             if metrics.enabled:
                 self._merge_cache_gauges(metrics, finals)
@@ -789,6 +857,11 @@ class ProcessParallelExplorer:
             crashed = False
             crash_reason = None
         canonical = self._canonical_flush(finals)
+        pruning_stats = dict(canonical["pruning_stats"]) if canonical else {}
+        if parent_pruned:
+            pruning_stats["state_memo"] = (
+                pruning_stats.get("state_memo", 0) + parent_pruned
+            )
         elapsed = time.perf_counter() - started
         return ExplorationResult(
             mode=self.mode,
@@ -798,7 +871,7 @@ class ProcessParallelExplorer:
             crashed=crashed,
             crash_reason=crash_reason,
             violating=violating,
-            pruning_stats=canonical["pruning_stats"] if canonical else {},
+            pruning_stats=pruning_stats,
             quarantined=quarantined,
             fault_events=canonical["fault_events"] if canonical else 0,
             verdicts=verdicts,
@@ -842,7 +915,7 @@ class ProcessParallelExplorer:
                 # replays are deterministic, so first delivery wins.
                 pending.setdefault(record[0], record)
         elif kind == "final":
-            finals[message[1]] = message[2]
+            self._note_final(finals, message[1], message[2])
         elif kind == "error":
             errors[message[1]] = message[2]
         elif kind == "heartbeat":
@@ -851,6 +924,21 @@ class ProcessParallelExplorer:
             # A replacement worker finished bootstrapping mid-run (initial
             # readiness is consumed by prestart before explore runs).
             self._on_ready(message[1])
+
+    def _note_final(self, finals, widx: int, flush: Dict[str, Any]) -> None:
+        """Record a worker's final flush, retaining any superseded one.
+
+        With re-leasing, a slot can flush twice — the crashed predecessor's
+        partial (sent from its ``finally`` block) and the replacement's full
+        flush.  The replacement wins the slot entry (its stream went
+        furthest), but the predecessor's flush is kept aside so its
+        replay-side counters still merge; the payload epochs make that merge
+        idempotent per (slot, attempt) no matter which flush arrives first.
+        """
+        prior = finals.get(widx)
+        if prior is not None:
+            self._stale_finals.append(prior)
+        finals[widx] = flush
 
     def _on_heartbeat(self, widx: int, yields: int) -> None:
         """Hook for lease-renewing subclasses; a plain pool ignores beats."""
@@ -900,7 +988,7 @@ class ProcessParallelExplorer:
             message = self._next_message(timeout=0.05)
             if message is not None and message[0] == "final":
                 if drain_finals is not None:
-                    expected[message[1]] = message[2]
+                    self._note_final(expected, message[1], message[2])
         for proc in self._procs:
             if proc.is_alive():
                 proc.terminate()
@@ -913,7 +1001,7 @@ class ProcessParallelExplorer:
                 break  # frames exhausted but a pipe is still open: drop it
             if message is not None and message[0] == "final":
                 if drain_finals is not None:
-                    expected[message[1]] = message[2]
+                    self._note_final(expected, message[1], message[2])
         for conn in self._conns.values():
             conn.close()
         self._conns = {}
@@ -932,16 +1020,16 @@ class ProcessParallelExplorer:
         widx = min(finals, key=lambda w: (-finals[w]["yields"], w))
         return finals[widx]
 
-    def _merge_metrics(self, metrics, finals, explored: int) -> None:
+    def _merge_metrics(self, metrics, finals, committed: int) -> None:
         canonical = self._canonical_flush(finals)
         if canonical is None:
             return
         if canonical["stream"] is not None:
             metrics.merge_payload(canonical["stream"])
-        for flush in finals.values():
+        for flush in list(finals.values()) + self._stale_finals:
             if flush["replay"] is not None:
                 metrics.merge_payload(flush["replay"])
-        discarded = canonical["yields"] - explored
+        discarded = canonical["yields"] - committed
         if discarded > 0:
             metrics.inc("interleavings.discarded", discarded)
         for category, nbytes in canonical["meter"].items():

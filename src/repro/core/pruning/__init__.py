@@ -9,9 +9,16 @@ from repro.core.pruning.replica_specific import (
     ReplicaSpecificPruner,
     observation_signature,
 )
+from repro.core.pruning.semantic import (
+    DPORPruner,
+    StateMemoPruner,
+    event_footprint,
+    trace_normal_form,
+)
 
 __all__ = [
     "ClassSampler",
+    "DPORPruner",
     "EventGroupPruner",
     "EventIndependencePruner",
     "FailedOpsPruner",
@@ -20,6 +27,9 @@ __all__ = [
     "PrunerPipeline",
     "ReadScopedPruner",
     "ReplicaSpecificPruner",
+    "StateMemoPruner",
     "default_interference",
+    "event_footprint",
     "observation_signature",
+    "trace_normal_form",
 ]

@@ -622,6 +622,13 @@ class ReplayEngine:
         #: attached, a configurable fraction of cache-accelerated replays are
         #: shadow-replayed from scratch and diffed against the cached result.
         self.sanitizer: Optional[Any] = None
+        #: Semantic pruning hooks (see repro.core.pruning.semantic).  When a
+        #: :class:`StateMemoPruner` is bound, memo-eligible replays run
+        #: through the digest-capture path and feed it; a bound
+        #: ``footprint_observer`` (the DPOR pruner) receives each event's
+        #: observed write set for model validation.
+        self.state_memo: Optional[Any] = None
+        self.footprint_observer: Optional[Any] = None
         self._checkpoint: Optional[Dict[str, Any]] = None
         # Fault-injection bookkeeping: the checkpoint's partition topology
         # (fault events may partition/heal mid-replay) and whether the last
@@ -691,6 +698,35 @@ class ReplayEngine:
         return all(
             host.rdl.supports_state_view for host in self.cluster._hosts.values()
         )
+
+    def semantic_supported(self, require_digest: bool = True) -> bool:
+        """True when semantic pruning may bind to this engine.
+
+        The requirements mirror :meth:`prefix_cache_active` — replay must
+        be a pure function of the event sequence — plus, for the state
+        memo (``require_digest``), every subject must expose
+        ``canonical_state()`` so the cluster is digestible.
+        """
+        return self.semantic_unsupported_reason(require_digest) is None
+
+    def semantic_unsupported_reason(
+        self, require_digest: bool = True
+    ) -> Optional[str]:
+        """Why semantic pruning cannot bind here, or None when it can."""
+        if self._checkpoint is None:
+            return "no checkpoint taken"
+        if type(self.executor) is not SequentialExecutor:
+            return f"executor {type(self.executor).__name__} is not sequential"
+        conditions = self.cluster.transport.conditions
+        if not conditions.fifo:
+            return "transport is not FIFO"
+        if conditions.drop_rate != 0 or conditions.duplicate_rate != 0:
+            return "transport has random drops/duplicates"
+        if getattr(conditions, "latency_ticks", 0):
+            return "transport has delivery latency"
+        if require_digest and self.cluster.state_digest() is None:
+            return "a subject does not implement canonical_state()"
+        return None
 
     def replay(
         self,
@@ -768,6 +804,20 @@ class ReplayEngine:
         has_fault = any(event.is_fault for event in interleaving)
         if self._fault_dirty:
             self._reset_fault_state()
+        memo = self.state_memo
+        if memo is not None and memo.enabled and not has_fault:
+            # Memo-eligible replays run the digest-capture path (fresh from
+            # the checkpoint, recording the cluster digest at every event
+            # boundary) so the memo table learns this replay's states.
+            # These replays bypass the prefix cache: the memo trades prefix
+            # *restoration* speed for skipping whole replays.
+            self._last_was_cached = False
+            outcome = self._replay_digest(interleaving, memo)
+            for assertion in assertions:
+                message = assertion(outcome)
+                if message is not None:
+                    outcome.violations.append(message)
+            return outcome
         cached = not has_fault and self.prefix_cache_active()
         self._last_was_cached = cached
         if cached:
@@ -880,6 +930,74 @@ class ReplayEngine:
             violations=[],
             duration_s=duration,
         )
+
+    def _replay_digest(
+        self, interleaving: Interleaving, memo: Any
+    ) -> InterleavingOutcome:
+        """A fresh replay that captures the cluster digest at every event
+        boundary and feeds the bound state-memo pruner.
+
+        The per-boundary digest is a hash DAG: per-replica digests (all
+        recomputed after every event, so the *observed* write set — which
+        replicas' digests actually changed — is exact at replica
+        granularity) combined with the transport digest (recomputed only
+        after sync events, the only ones that touch the transport).  The
+        observed write set is reported to ``footprint_observer`` so the
+        DPOR pruner can falsify its static model (sound-or-off).
+        """
+        from repro.statehash import combine_digests
+
+        cluster = self.cluster
+        transport = cluster.transport
+        cluster.restore(self._checkpoint)
+        before = transport.stats()
+        self._forget_live_versions()
+        started = time.perf_counter()
+        rids = cluster.replica_ids()
+        rdigests = {rid: cluster.replica_state_digest(rid) for rid in rids}
+        tdigest = cluster.transport_digest()
+
+        def combined() -> str:
+            parts = list(rdigests.items())
+            parts.append(("#transport", tdigest))
+            return combine_digests(parts)
+
+        digests: List[str] = [combined()]
+        results: List[EventResult] = []
+        observer = self.footprint_observer
+        timeout = getattr(self.executor, "timeout_s", None)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for lamport, event in enumerate(interleaving, 1):
+            if deadline is not None and time.monotonic() > deadline:
+                raise ReplayTimeout(
+                    f"replay exceeded the {timeout}s watchdog after "
+                    f"{lamport - 1} of {len(interleaving)} events"
+                )
+            results.append(_invoke(cluster, event, lamport))
+            changed: List[str] = []
+            for rid in rids:
+                digest = cluster.replica_state_digest(rid)
+                if digest != rdigests[rid]:
+                    rdigests[rid] = digest
+                    changed.append(rid)
+            if event.is_sync:
+                tdigest = cluster.transport_digest()
+            digests.append(combined())
+            if observer is not None:
+                observer.observe_write_set(event, changed)
+        duration = time.perf_counter() - started
+        after = transport.stats()
+        self.last_transport_stats = tuple(n - b for n, b in zip(after, before))
+        self.last_suppressed_count = len(cluster.suppressed_sends)
+        outcome = InterleavingOutcome(
+            interleaving=interleaving,
+            event_results=results,
+            states=cluster.states(),
+            violations=[],
+            duration_s=duration,
+        )
+        memo.record_replay(interleaving, outcome, digests)
+        return outcome
 
     def _ensure_root(self, cache: PrefixSnapshotCache) -> _RootEntry:
         root = cache.root

@@ -33,7 +33,14 @@ from repro.core.errors import RecordingError, ResourceExhausted
 from repro.core.events import Event
 from repro.core.explorers import DEFAULT_CAP, ERPiExplorer, ExplorationResult
 from repro.core.interleavings import GroupingResult
-from repro.core.pruning import Pruner, ReadScopedPruner, ReplicaSpecificPruner
+from repro.core.pruning import (
+    DPORPruner,
+    Pruner,
+    ReadScopedPruner,
+    ReplicaSpecificPruner,
+    StateMemoPruner,
+    event_footprint,
+)
 from repro.core.replay import (
     Assertion,
     InterleavingOutcome,
@@ -167,6 +174,8 @@ class ErPi:
         lock_stepped: bool = False,
         read_methods: Optional[Sequence[str]] = None,
         prefix_cache: bool = False,
+        memo: bool = False,
+        dpor: bool = False,
         sanitize: Optional[float] = None,
         sanitize_sample_k: int = 2,
         sanitize_seed: int = 0,
@@ -191,6 +200,16 @@ class ErPi:
         engine falls back to fresh full replays whenever reuse would be
         unsound (lock-stepped executor, nondeterministic network, or a
         subject without copy-on-write state views).
+        ``memo`` enables canonical state-hash memoization
+        (:class:`~repro.core.pruning.semantic.StateMemoPruner`): replays
+        whose stitched outcome is already known from an equal intermediate
+        digest are pruned.  ``dpor`` enables sleep-set pruning
+        (:class:`~repro.core.pruning.semantic.DPORPruner`): permutations
+        that only reorder independent events are skipped.  Both are
+        sound-or-off — they stay disabled (and say why in
+        ``disabled_reason``) when a subject lacks ``canonical_state()`` or
+        the executor is not deterministic, and with ``persist=True`` their
+        prunes land as ``memo``/``footprint`` Datalog facts.
         ``sanitize`` enables the differential soundness sanitizer: it is the
         probability (0..1) that a cache-accelerated replay is shadow-replayed
         from scratch and diffed; independently, every pruner's equivalence
@@ -239,6 +258,10 @@ class ErPi:
         self._engine.metrics = self.metrics
         if prefix_cache:
             self._engine.enable_prefix_cache()
+        self.memo = memo
+        self.dpor = dpor
+        self._memo_pruner: Optional[StateMemoPruner] = None
+        self._dpor_pruner: Optional[DPORPruner] = None
         self._sanitizer: Optional[Sanitizer] = None
         if sanitize is not None:
             self._sanitizer = Sanitizer(
@@ -338,6 +361,12 @@ class ErPi:
             else:
                 pruners.append(ReplicaSpecificPruner(self.replica_scope))
         pruners.extend(pruners_from(constraints))
+        self._dpor_pruner = DPORPruner() if self.dpor else None
+        self._memo_pruner = StateMemoPruner() if self.memo else None
+        if self._dpor_pruner is not None:
+            pruners.append(self._dpor_pruner)
+        if self._memo_pruner is not None:
+            pruners.append(self._memo_pruner)
 
         explorer = ERPiExplorer(
             schedule_events,
@@ -355,6 +384,14 @@ class ErPi:
             self._sanitizer.watch_pruners(explorer.pipeline.pruners)
             explorer.audit_pruners.append(
                 self._sanitizer.grouping_auditor(schedule_events, explorer.spec_groups)
+            )
+        # Arm the semantic pruners (sound-or-off: bind refuses and records
+        # why when the engine or a subject cannot support them).
+        if self._dpor_pruner is not None:
+            self._dpor_pruner.bind((self._engine,), assertions)
+        if self._memo_pruner is not None:
+            self._memo_pruner.bind(
+                (self._engine,), assertions, meter=explorer.meter
             )
 
         outcomes: List[InterleavingOutcome] = []
@@ -459,6 +496,28 @@ class ErPi:
                 )
             for first_id, second_id in explorer.grouping.grouped_pairs:
                 self.store.persist_sync_pair(first_id, second_id)
+            # Semantic-pruning audit trail: each memo prune carries the
+            # digest that justified it, each DPOR prune the footprint-model
+            # entries behind the independence claim.
+            if self._memo_pruner is not None:
+                for digest, il_key in self._memo_pruner.memo_log:
+                    il_id = self.store.persist_interleaving(il_key.split("|"))
+                    self.store.mark_pruned(il_id, "state_memo")
+                    self.store.persist_memo(digest, il_id)
+            if self._dpor_pruner is not None:
+                by_id = {event.event_id: event for event in schedule_events}
+                for il_key in self._dpor_pruner.prune_log:
+                    event_ids = il_key.split("|")
+                    il_id = self.store.persist_interleaving(event_ids)
+                    self.store.mark_pruned(il_id, "dpor")
+                    for event_id in event_ids:
+                        event = by_id.get(event_id)
+                        if event is None:
+                            continue
+                        for key, mode in event_footprint(event):
+                            self.store.persist_footprint(
+                                il_id, event_id, mode, key
+                            )
             # Observability telemetry becomes queryable alongside the
             # interleavings it describes (span/metric facts).
             if self.tracer.enabled:

@@ -25,6 +25,13 @@ Schema (all facts):
   from a coordinated hunt (:mod:`repro.core.coordinator`).
 * ``degraded(component, reason)`` — the coordinator fell down its
   degradation ladder (e.g. lock farm lost quorum, leases moved in-process).
+* ``memo(digest, il_id)`` — a state-memo prune: the canonical cluster
+  digest whose memoized suffix outcome short-circuited interleaving
+  ``il_id`` (:class:`~repro.core.pruning.semantic.StateMemoPruner`).
+* ``footprint(il_id, event_id, mode, key)`` — the static read/write
+  footprint model entry that justified pruning ``il_id`` as a reordering
+  of independent events (:class:`~repro.core.pruning.semantic.DPORPruner`;
+  mode is ``r``/``w``/``b``, key a ``replica:``/``chan:`` location).
 
 ER-pi's runtime uses this store as its persistence layer; the exploration
 loop reads back only interleavings that are neither pruned nor explored.
@@ -196,3 +203,21 @@ class InterleavingStore:
 
     def degradations(self) -> List[Tuple[str, str]]:
         return sorted(self.db.rows("degraded"))
+
+    # ---------------------------------------------------- semantic pruning
+
+    def persist_memo(self, digest: str, il_id: int) -> None:
+        """Record one state-memo prune as a queryable fact."""
+        self.db.add("memo", digest, il_id)
+
+    def memos(self) -> List[Tuple[str, int]]:
+        return sorted(self.db.rows("memo"))
+
+    def persist_footprint(
+        self, il_id: int, event_id: str, mode: str, key: str
+    ) -> None:
+        """Record one footprint-model entry behind a DPOR prune."""
+        self.db.add("footprint", il_id, event_id, mode, key)
+
+    def footprints(self) -> List[Tuple[int, str, str, str]]:
+        return sorted(self.db.rows("footprint"))

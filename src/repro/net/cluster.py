@@ -20,6 +20,7 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 from repro.net.conditions import NetworkConditions
 from repro.net.replica import ReplicaHost
 from repro.net.transport import Transport, TransportError
+from repro.statehash import combine_digests, state_digest
 
 
 class ClusterError(Exception):
@@ -207,6 +208,56 @@ class Cluster:
 
     def states(self) -> Dict[str, Any]:
         return {rid: host.state() for rid, host in self._hosts.items()}
+
+    # ------------------------------------------------------- canonical hash
+
+    def replica_state_digest(self, replica_id: str) -> Optional[str]:
+        """Canonical digest of one replica's full semantic state.
+
+        ``None`` when the subject does not implement ``canonical_state``
+        (semantic pruning is then auto-disabled for this cluster).  The
+        host's liveness flag is folded in so a crashed replica never hashes
+        equal to a live one with the same data.
+        """
+        host = self.host(replica_id)
+        state = host.rdl.canonical_state()
+        if state is None:
+            return None
+        return state_digest((host.up, state))
+
+    def transport_digest(self) -> str:
+        """Canonical digest of the transport: in-flight payloads + topology.
+
+        Only semantic content is hashed — queued payloads per channel in
+        FIFO order, plus the partition set.  Message ids, ticks and the
+        monotonic counters are excluded: they differ between two replays
+        that reach the same semantic state, and (under the deterministic
+        conditions semantic pruning requires) they never influence future
+        behaviour.
+        """
+        queues = {
+            channel: [message.payload for message in queue]
+            for channel, queue in self.transport._queues.items()
+            if queue
+        }
+        partitions = self.transport.conditions.partitions
+        return state_digest((queues, sorted(map(sorted, partitions))))
+
+    def state_digest(self) -> Optional[str]:
+        """One canonical digest of the whole cluster (the memo pruner's key).
+
+        Order-independent over replicas (a hash DAG: per-replica digests
+        combined under sorted labels, plus the transport digest), or
+        ``None`` when any subject lacks ``canonical_state``.
+        """
+        parts = []
+        for rid in self.replica_ids():
+            digest = self.replica_state_digest(rid)
+            if digest is None:
+                return None
+            parts.append((rid, digest))
+        parts.append(("#transport", self.transport_digest()))
+        return combine_digests(parts)
 
     def converged(self) -> bool:
         """True iff all replicas report the same observable value."""

@@ -137,6 +137,7 @@ class MetricsRegistry:
         self.gauges: Dict[str, float] = {}
         self.histograms: Dict[str, Histogram] = {}
         self._merge_lock = threading.Lock()
+        self._merged_epochs: set = set()
 
     # ------------------------------------------------------------- recording
 
@@ -202,9 +203,16 @@ class MetricsRegistry:
     # A registry itself is not picklable (it owns a lock), so process-backed
     # exploration ships shards across the IPC boundary as plain dicts.
 
-    def to_payload(self) -> Dict[str, Any]:
-        """A picklable snapshot of this registry (for IPC result batches)."""
-        return {
+    def to_payload(self, epoch: Any = None) -> Dict[str, Any]:
+        """A picklable snapshot of this registry (for IPC result batches).
+
+        ``epoch`` optionally tags the snapshot with a hashable identity —
+        procpool uses ``(slot, attempt)`` so a *cumulative* snapshot can be
+        re-sent (e.g. a dead worker's last partial batch followed by the
+        replacement's full totals for the same shard attempt) and merged at
+        most once.  Untagged payloads always sum, matching :meth:`merge`.
+        """
+        payload: Dict[str, Any] = {
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
             "histograms": {
@@ -212,10 +220,26 @@ class MetricsRegistry:
                 for name, histogram in self.histograms.items()
             },
         }
+        if epoch is not None:
+            payload["epoch"] = epoch
+        return payload
 
     def merge_payload(self, payload: Dict[str, Any]) -> None:
-        """Fold a :meth:`to_payload` snapshot into this registry."""
+        """Fold a :meth:`to_payload` snapshot into this registry.
+
+        Epoch-tagged payloads are idempotent per epoch: the first snapshot
+        for an epoch wins and later ones (a crashed worker's stale partial
+        arriving after its replacement already reported the full shard, or
+        the same final batch delivered twice through a re-lease) are
+        dropped rather than double-counted.
+        """
         with self._merge_lock:
+            epoch = payload.get("epoch")
+            if epoch is not None:
+                key = tuple(epoch) if isinstance(epoch, list) else epoch
+                if key in self._merged_epochs:
+                    return
+                self._merged_epochs.add(key)
             for name, value in payload.get("counters", {}).items():
                 self.counters[name] = self.counters.get(name, 0) + value
             self.gauges.update(payload.get("gauges", {}))
@@ -278,6 +302,7 @@ class MetricsRegistry:
         self.counters.clear()
         self.gauges.clear()
         self.histograms.clear()
+        self._merged_epochs.clear()
 
 
 class NullMetrics:
@@ -319,7 +344,7 @@ class NullMetrics:
     def merge(self, other) -> None:
         pass
 
-    def to_payload(self) -> Dict[str, Any]:
+    def to_payload(self, epoch: Any = None) -> Dict[str, Any]:
         return {}
 
     def merge_payload(self, payload: Dict[str, Any]) -> None:

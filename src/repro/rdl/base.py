@@ -80,6 +80,24 @@ class RDLReplica(abc.ABC):
         self.__dict__.clear()
         self.__dict__.update(copy_state(snapshot))
 
+    def canonical_state(self) -> Any:
+        """The replica's full semantic state, for canonical hashing.
+
+        The semantic memo pruner (:mod:`repro.core.pruning.semantic`)
+        digests this value (via :func:`repro.statehash.state_digest`) to
+        decide whether a replay prefix reached an already-seen cluster
+        state.  The contract: two replicas with equal ``canonical_state``
+        must behave identically under every future event sequence —
+        include *everything* that influences behaviour (volatile and
+        durable data, clocks, arrival orders), and nothing that does not
+        (caches that are recomputed, debug counters).
+
+        The default returns ``None``, which disables semantic pruning for
+        clusters containing this subject — sound-or-off, like the prefix
+        cache's ``supports_state_view`` gate.
+        """
+        return None
+
     # --- crash/recover protocol ------------------------------------------
     #
     # A crash discards the replica process; what survives is whatever the

@@ -240,6 +240,11 @@ class CRDTLibrary(RDLReplica):
         }
         return out
 
+    def canonical_state(self) -> Any:
+        """Full behavioural state: the CRDT structures, the (shared) Lamport
+        clock, and the list arrival order the tiebreak defects consult."""
+        return self.__dict__
+
     def checkpoint(self) -> Any:
         if not fast_mode():
             return RDLReplica.checkpoint(self)

@@ -211,6 +211,11 @@ class OrbitDBStore(RDLReplica):
             "sender": self.replica_id,
         }
 
+    def canonical_state(self) -> Any:
+        """Full behavioural state: the entry log, heads (live and cached),
+        arrival order, ACL, clock, and the open/lock process flags."""
+        return self.__dict__
+
     def durable_snapshot(self) -> Any:
         """What survives a crash: the persisted log, plus the lock *file*.
 

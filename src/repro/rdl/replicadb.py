@@ -155,6 +155,11 @@ class ReplicaDBJob(RDLReplica):
 
     # -------------------------------------------------------- host protocol
 
+    def canonical_state(self) -> Any:
+        """Full behavioural state: source/sink tables, tombstones, versions
+        and the job-runner counters."""
+        return self.__dict__
+
     def durable_snapshot(self) -> Any:
         """What survives a crash: the source and sink tables (databases).
 

@@ -251,6 +251,17 @@ class RoshiReplica(RDLReplica):
         self._last_op = dict(snapshot["last_op"])
         self._arrival = {key: list(order) for key, order in snapshot["arrival"].items()}
 
+    def canonical_state(self) -> Any:
+        """Everything that influences behaviour: the farm contents plus the
+        volatile arrival/last-op bookkeeping (both leak into responses under
+        the tie-break and select-order defects)."""
+        return {
+            "farm": self.farm,
+            "keys": self._keys,
+            "last_op": self._last_op,
+            "arrival": self._arrival,
+        }
+
     def durable_snapshot(self) -> Any:
         """What survives a crash: the Redis farm (and the key index derived
         from it).  The process's arrival-order bookkeeping is volatile."""

@@ -149,6 +149,11 @@ class YorkieDocument(RDLReplica):
         self._durable_checkpoint = self._push_checkpoint()
         return payload
 
+    def canonical_state(self) -> Any:
+        """Full behavioural state: the JSON document, move log, dedup cache,
+        op counter and the durable push checkpoint."""
+        return self.__dict__
+
     def durable_snapshot(self) -> Dict[str, Any]:
         """What survives a client crash: the state as of the last push.
 

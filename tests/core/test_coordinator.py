@@ -192,6 +192,29 @@ class TestCrashRecovery:
         assert len(loaded.commits) == CAP
         assert (1, 2, "re-leased") in loaded.lease_events
 
+    def test_kill_mid_batch_merges_metrics_exactly_once(
+        self, baseline, tmp_path
+    ):
+        """Regression for the metrics-merge double count: a re-leased slot
+        can surface two finals (the dead incarnation's partial and its
+        replacement's full shard).  Epoch-tagged merges keep exactly one
+        count per committed candidate, so the merged replay counter equals
+        the committed total and the exploration identity holds."""
+        sentinel = str(tmp_path / "merge.sentinel")
+        path = str(tmp_path / "merge.jsonl")
+        journal = HuntJournal.create(path, {"hunt": {"hunt_id": "merge"}})
+        metrics = MetricsRegistry()
+        result, _ = coordinated(
+            CallableWorkerTask(kill_once_stack, (sentinel, 10)),
+            journal=journal, metrics=metrics,
+            lease_ttl_s=1.0, heartbeat_interval_s=0.1,
+            backoff_base_s=0.01, batch_size=8, checkpoint_every=16,
+        )
+        assert result.explored == CAP
+        assert metrics.consistent(), metrics.counters_with_prefix("interleavings")
+        assert metrics.counter("interleavings.replayed") == result.explored
+        assert metrics.counter("interleavings.generated") == result.explored
+
     def test_repeatedly_dying_shard_is_quarantined_not_the_hunt(
         self, baseline, tmp_path
     ):

@@ -165,3 +165,58 @@ def test_all_orders_enumerate_exactly_n_factorial(n):
     assert len(set(lexicographic_permutations(units))) == expected
     assert len(set(sjt_permutations(units))) == expected
     assert len(set(relocation_permutations(units))) == expected
+
+
+class TestRelocationSeenSetMetering:
+    """Regression: the relocation order's Lehmer-rank seen-set grew without
+    bound or accounting.  With a meter attached every retained rank is
+    charged, and on exhaustion the curated phases degrade — loudly, once —
+    to exact SJT order while staying complete and duplicate-free."""
+
+    def test_degrade_fires_once_and_stream_stays_complete(self):
+        from repro.core.interleavings import SEEN_RANK_COST
+        from repro.core.resources import ResourceMeter
+
+        units = [(f"u{i}",) for i in range(5)]
+        meter = ResourceMeter(budget_bytes=SEEN_RANK_COST * 7)
+        reasons = []
+        out = list(
+            relocation_permutations(
+                units, meter=meter, on_degrade=reasons.append
+            )
+        )
+        assert len(reasons) == 1
+        assert "exhausted" in reasons[0]
+        assert len(out) == math.factorial(5)
+        assert len(set(out)) == math.factorial(5)
+
+    def test_retained_bytes_stay_within_budget(self):
+        from repro.core.interleavings import SEEN_CATEGORY, SEEN_RANK_COST
+        from repro.core.resources import ResourceMeter
+
+        units = [(f"u{i}",) for i in range(5)]
+        budget = SEEN_RANK_COST * 7
+        meter = ResourceMeter(budget_bytes=budget)
+        list(relocation_permutations(units, meter=meter, on_degrade=lambda r: None))
+        assert meter.by_category[SEEN_CATEGORY] <= budget
+
+    def test_generous_budget_never_degrades(self):
+        from repro.core.interleavings import SEEN_RANK_COST
+        from repro.core.resources import ResourceMeter
+
+        units = [(f"u{i}",) for i in range(4)]
+        meter = ResourceMeter(budget_bytes=SEEN_RANK_COST * 10_000)
+        reasons = []
+        out = list(
+            relocation_permutations(
+                units, meter=meter, on_degrade=reasons.append
+            )
+        )
+        assert reasons == []
+        assert len(out) == math.factorial(4)
+
+    def test_unmetered_behaviour_unchanged(self):
+        units = [(f"u{i}",) for i in range(4)]
+        assert list(relocation_permutations(units)) == list(
+            relocation_permutations(units, meter=None)
+        )

@@ -154,3 +154,55 @@ class TestNullMetrics:
         assert NULL_METRICS.as_dict() == {}
         assert NULL_METRICS.persist(InterleavingStore()) == 0
         assert isinstance(NULL_METRICS, NullMetrics)
+
+
+class TestEpochIdempotentMerge:
+    """Regression: a coordinator re-lease could deliver the same worker
+    snapshot twice (the dead incarnation's final surfacing after its
+    replacement already reported), double-counting every replay counter and
+    breaking the exploration identity.  Epoch-tagged payloads merge once."""
+
+    def snapshot(self, value, epoch):
+        worker = MetricsRegistry()
+        worker.inc("interleavings.replayed", value)
+        return worker.to_payload(epoch=epoch)
+
+    def test_same_epoch_merges_once(self):
+        parent = MetricsRegistry()
+        payload = self.snapshot(10, ("replay", 1, 1))
+        parent.merge_payload(payload)
+        parent.merge_payload(payload)  # re-delivered after a re-lease
+        assert parent.counter("interleavings.replayed") == 10
+
+    def test_distinct_attempts_both_merge(self):
+        parent = MetricsRegistry()
+        parent.merge_payload(self.snapshot(10, ("replay", 1, 1)))
+        parent.merge_payload(self.snapshot(7, ("replay", 1, 2)))
+        assert parent.counter("interleavings.replayed") == 17
+
+    def test_untagged_payloads_always_sum(self):
+        parent = MetricsRegistry()
+        worker = MetricsRegistry()
+        worker.inc("x", 1)
+        parent.merge_payload(worker.to_payload())
+        parent.merge_payload(worker.to_payload())
+        assert parent.counter("x") == 2
+
+    def test_epoch_survives_json_roundtrip(self):
+        import json
+
+        parent = MetricsRegistry()
+        payload = json.loads(
+            json.dumps(self.snapshot(3, ("stream", 0, 1)))
+        )
+        parent.merge_payload(payload)
+        parent.merge_payload(payload)
+        assert parent.counter("interleavings.replayed") == 3
+
+    def test_clear_forgets_merged_epochs(self):
+        parent = MetricsRegistry()
+        payload = self.snapshot(5, ("replay", 2, 1))
+        parent.merge_payload(payload)
+        parent.clear()
+        parent.merge_payload(payload)
+        assert parent.counter("interleavings.replayed") == 5
