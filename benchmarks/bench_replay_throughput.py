@@ -31,9 +31,15 @@ minimal-change order, capped at 1500 candidates.  Four arms:
 * ``proc1/2/4`` — the shared-nothing multiprocess backend
                   (:class:`~repro.core.procpool.ProcessParallelExplorer`)
                   as a 1/2/4-worker scaling sweep with prefix-shard
-                  scheduling and per-worker prefix caches.  Pool bootstrap
-                  runs before the timer (``prestart``), so the arms measure
-                  steady-state replay throughput, not process spawn.
+                  scheduling and per-worker prefix caches.  Workers run a
+                  real ER-pi explorer so the **sharded enumeration** fast
+                  path engages (each worker flattens only its own shards)
+                  and verdicts ship over **columnar IPC**; the arms report
+                  ``ipc_bytes_per_replay``, per-worker ``enumerated_per_worker``
+                  materialisation counts and the ``steals`` count.  Pool
+                  bootstrap runs before the timer (``prestart``), so the
+                  arms measure steady-state replay throughput, not process
+                  spawn.
 
 Every parallel arm reports ``speedup_vs_seed`` and ``efficiency``
 (speedup divided by workers).  Arms are interleaved across repetitions and
@@ -117,9 +123,16 @@ def proc_worker_stack(limit: int):
     """Rebuild the bench stack inside a process worker (CallableWorkerTask).
 
     Module-level so the task pickles as a name under both fork and spawn.
+    The worker gets a *real* ER-pi explorer (SJT order, no pruners) rather
+    than a pre-enumerated list: its candidate stream is bit-for-bit the
+    parent's ``interleaving_stream(units, "sjt")``, and with no pruners the
+    sharded-enumeration fast path engages — the worker derives shard keys
+    from leading units and never flattens foreign candidates.
     """
-    _, engine, events, candidates = build_workload(limit)
-    explorer = _FixedStreamExplorer(events, candidates)
+    from repro.core.explorers import ERPiExplorer
+
+    _, engine, events, _candidates = build_workload(limit)
+    explorer = ERPiExplorer(events, order="sjt")
     return explorer, engine, (), events
 
 
@@ -272,7 +285,23 @@ def run_arm(name: str, limit: int) -> Tuple[float, dict]:
             started = time.perf_counter()
             result = pool.explore(engine, assertions=(), cap=len(candidates))
             elapsed = time.perf_counter() - started
-        extra = {"explored": result.explored, "mode": result.mode}
+        stats = result.worker_stats or {}
+        total_ipc = sum(s["ipc_bytes"] for s in stats.values())
+        extra = {
+            "explored": result.explored,
+            "mode": result.mode,
+            "ipc_bytes_per_replay": round(
+                total_ipc / max(1, result.explored), 1
+            ),
+            # Sharded enumeration: how many candidates each worker actually
+            # flattened (vs the full stream it walks positions of).
+            "enumerated_per_worker": {
+                str(widx): s["materialized"] for widx, s in sorted(stats.items())
+            },
+            "steals": (getattr(result, "coordination", None) or {}).get(
+                "steals", 0
+            ),
+        }
     else:
         raise ValueError(name)
     return elapsed, extra
@@ -381,6 +410,17 @@ def main() -> int:
     if memo_info.get("replayed", limit) >= limit:
         print("FAIL: memo arm must replay strictly fewer than the cache arm")
         failed = True
+    # Sharded-enumeration/columnar-IPC schema: every proc arm must report
+    # its wire and materialisation accounting (smoke mode included).
+    for name in ("proc1", "proc2", "proc4"):
+        missing = [
+            key
+            for key in ("ipc_bytes_per_replay", "enumerated_per_worker", "steals")
+            if key not in report["arms"][name]
+        ]
+        if missing:
+            print(f"FAIL: {name} arm is missing report fields {missing}")
+            failed = True
     if not args.smoke and speedup < 3.0:
         print("FAIL: acceptance criterion is >= 3x cached vs seed engine")
         failed = True

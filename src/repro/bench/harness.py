@@ -232,6 +232,8 @@ def hunt(
     max_releases: int = 3,
     checkpoint_every: int = 64,
     lease_farm: Optional[object] = None,
+    batch_size: int = 64,
+    steal_margin: Optional[int] = 512,
 ) -> ExplorationResult:
     """Explore until the scenario's invariant breaks (bug reproduced).
 
@@ -272,6 +274,10 @@ def hunt(
     remaining knobs tune the lease protocol (TTL, heartbeat cadence, retry
     budget, checkpoint stride); ``lease_farm`` injects a pre-built
     :class:`~repro.redisim.farm.RedisimFarm` (tests partition it).
+
+    ``batch_size`` caps the workers' adaptive columnar IPC frames;
+    ``steal_margin`` sets how far a coordinated worker may trail the lead
+    before its shard suffix is stolen (``None`` disables stealing).
     """
     observed_tracer = tracer if tracer is not None else NULL_TRACER
     observed_metrics = metrics if metrics is not None else NULL_METRICS
@@ -344,6 +350,7 @@ def hunt(
             sanitize_sample_k=sanitize_sample_k,
             seed=seed,
             parent_sanitizer=sanitizer,
+            batch_size=batch_size,
         )
         if coordinated:
             from repro.core.coordinator import CoordinatedHuntExplorer
@@ -362,6 +369,7 @@ def hunt(
                 heartbeat_interval_s=heartbeat_interval_s,
                 max_releases=max_releases,
                 checkpoint_every=checkpoint_every,
+                steal_margin=steal_margin,
                 **pool_kwargs,
             )
         else:

@@ -106,6 +106,8 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
         heartbeat_interval_s=args.heartbeat_interval,
         max_releases=args.max_releases,
         checkpoint_every=args.checkpoint_every,
+        batch_size=args.batch_size,
+        steal_margin=args.steal_margin,
     )
     if tracer is not None:
         tracer.write_jsonl(args.trace)
@@ -133,6 +135,8 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
             parts.append(f"resumed {coordination['resumed_commits']} commit(s)")
         if coordination["releases"]:
             parts.append(f"re-leased {coordination['releases']} shard(s)")
+        if coordination.get("steals"):
+            parts.append(f"stole {coordination['steals']} trailing shard(s)")
         if coordination["abandoned_shards"]:
             parts.append(
                 f"quarantined shard(s) {coordination['abandoned_shards']}"
@@ -556,6 +560,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=64,
         metavar="N",
         help="journal durability-barrier stride, in committed verdicts",
+    )
+    hunt.add_argument(
+        "--batch-size",
+        type=int,
+        default=64,
+        metavar="N",
+        help="cap on the workers' adaptive columnar IPC frames (frames "
+        "start small, double under load up to this, and flush early on an "
+        "idle deadline)",
+    )
+    hunt.add_argument(
+        "--steal-margin",
+        type=int,
+        default=512,
+        metavar="N",
+        help="coordinated hunts only: once the fastest shard finishes, a "
+        "worker trailing the lead by N stream positions has its shard "
+        "suffix stolen (fenced and respawned at the commit watermark); "
+        "0 disables stealing",
     )
 
     table1 = sub.add_parser("table1", help="regenerate Table 1")

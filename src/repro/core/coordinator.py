@@ -15,6 +15,11 @@ pool into a service that survives its *own infrastructure* failing:
   mid-batch — is **re-leased**: the slot's process is fenced (terminated if
   somehow still alive) and a replacement worker is spawned for the same
   shard set after an exponential backoff, with bounded retries;
+* the same fencing machinery powers **work stealing**: once the fastest
+  shard finishes, a live worker trailing the lead by ``steal_margin``
+  stream positions has its lease stolen — fenced and respawned at the
+  commit watermark so the trailing suffix runs at full speed — and
+  index-deduplicated commits keep the verdict map bit-for-bit identical;
 * committed verdicts are checkpointed to a durable
   :class:`~repro.core.journal.HuntJournal` *as they commit*, so a killed
   parent can ``hunt --resume`` the journal: committed verdicts are replayed
@@ -39,6 +44,7 @@ uninterrupted serial hunt's.
 
 from __future__ import annotations
 
+import pickle
 import time
 import uuid
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
@@ -187,6 +193,7 @@ class CoordinatedHuntExplorer(ProcessParallelExplorer):
         backoff_cap_s: float = 2.0,
         checkpoint_every: int = 64,
         hunt_id: Optional[str] = None,
+        steal_margin: Optional[int] = 512,
         **kwargs: Any,
     ) -> None:
         super().__init__(
@@ -206,6 +213,13 @@ class CoordinatedHuntExplorer(ProcessParallelExplorer):
         self.backoff_base_s = backoff_base_s
         self.backoff_cap_s = backoff_cap_s
         self.checkpoint_every = max(1, checkpoint_every)
+        #: Work stealing: when a live, heartbeating worker trails the lead
+        #: (the furthest final flush) by at least this many stream
+        #: positions, its lease is stolen — the slot is fenced and respawned
+        #: at the commit watermark through the existing re-lease machinery —
+        #: so a skewed shard's tail does not serialise the hunt.  ``None``
+        #: or 0 disables stealing; each slot is stolen at most once per run.
+        self.steal_margin = steal_margin
         if hunt_id is None and journal is not None:
             hunt_id = journal.header.get("hunt", {}).get("hunt_id")
         self.hunt_id = hunt_id or uuid.uuid4().hex[:12]
@@ -223,6 +237,11 @@ class CoordinatedHuntExplorer(ProcessParallelExplorer):
         self._degraded_reason: Optional[str] = None
         self._lease_log: List[Tuple[int, int, str]] = []
         self._checkpoint_seq = 0
+        # Work-stealing state: last heartbeated stream position per slot,
+        # slots already stolen from, and the steal count for the summary.
+        self._progress: Dict[int, int] = {}
+        self._stolen: Set[int] = set()
+        self._steals = 0
         self._watermark = 0  # committed candidate indices below this
         # Parent-side owner stream (built lazily, only for abandoned slots).
         self._owner_candidates = None
@@ -311,6 +330,7 @@ class CoordinatedHuntExplorer(ProcessParallelExplorer):
             )
 
     def _on_heartbeat(self, widx: int, yields: int) -> None:
+        self._progress[widx] = yields
         table = self._lease_table
         if table is None or widx not in self._leased:
             return
@@ -334,9 +354,11 @@ class CoordinatedHuntExplorer(ProcessParallelExplorer):
 
     # ------------------------------------------------------- crash & re-lease
 
-    def _schedule_release(self, widx: int, reason: str) -> None:
-        """Fence a dead/expired slot and queue its re-lease (with backoff),
-        or abandon the shard once the retry budget is exhausted."""
+    def _schedule_release(
+        self, widx: int, reason: str, status: str = "expired"
+    ) -> None:
+        """Fence a dead/expired/stolen slot and queue its re-lease (with
+        backoff), or abandon the shard once the retry budget is exhausted."""
         if widx in self._abandoned or widx in self._respawn_at:
             return
         proc = self._procs[widx]
@@ -345,7 +367,7 @@ class CoordinatedHuntExplorer(ProcessParallelExplorer):
         self._leased.discard(widx)
         if self._lease_table is not None:
             self._lease_table.release(widx)
-        self._record_lease(widx, "expired")
+        self._record_lease(widx, status)
         attempt = self._attempts[widx]
         if attempt > self.max_releases:
             self._abandon(widx, reason)
@@ -416,6 +438,44 @@ class CoordinatedHuntExplorer(ProcessParallelExplorer):
                     self._schedule_release(
                         widx, f"lease expired with worker {widx} dead"
                     )
+
+    def _maybe_steal(self, finals: Dict[int, Dict[str, Any]]) -> None:
+        """Steal the lease of a worker trailing the lead past the margin.
+
+        Skew shows up once the fastest shard finishes: its final flush
+        fixes the lead position, and a live laggard that has heartbeated at
+        least once (no spurious steal before the first beat) and trails by
+        ``steal_margin`` stream positions gets fenced and respawned at the
+        commit watermark — running the stolen suffix at full speed on a
+        fresh process.  Dedup-by-index keeps the verdict map identical no
+        matter how the original's in-flight frames interleave with the
+        thief's.
+        """
+        margin = self.steal_margin
+        if not margin or not finals:
+            return
+        lead = max(flush["yields"] for flush in finals.values())
+        for widx in range(self.workers):
+            if (
+                widx in finals
+                or widx in self._abandoned
+                or widx in self._respawn_at
+                or widx in self._stolen
+                or widx not in self._leased
+            ):
+                continue
+            progress = self._progress.get(widx)
+            if progress is None or lead - progress < margin:
+                continue
+            self._stolen.add(widx)
+            self._steals += 1
+            self._metric("coordinator.steals")
+            self._schedule_release(
+                widx,
+                f"worker {widx} trailing the lead by "
+                f"{lead - progress} stream positions",
+                status="stolen",
+            )
 
     # ------------------------------------------------- parent owner stream
 
@@ -665,6 +725,10 @@ class CoordinatedHuntExplorer(ProcessParallelExplorer):
                             metrics.inc("interleavings.replayed")
                     else:  # violation
                         il_ids, outcome = payload
+                        if isinstance(outcome, (bytes, bytearray)):
+                            # Columnar frames defer outcome deserialisation
+                            # to the committed index — here.
+                            outcome = pickle.loads(outcome)
                         il_key = "|".join(il_ids)
                         verdicts[il_key] = "violation"
                         violating = outcome
@@ -712,6 +776,7 @@ class CoordinatedHuntExplorer(ProcessParallelExplorer):
                     detector.activity()
                 else:
                     self._check_leases()
+                    self._maybe_steal(finals)
                     widx = self._dead_worker_index(finals, errors)
                     if widx is None:
                         detector.clear()
@@ -771,6 +836,7 @@ class CoordinatedHuntExplorer(ProcessParallelExplorer):
                 1 for _, _, status in self._lease_log if status == "re-leased"
             ),
             "abandoned_shards": sorted(self._abandoned),
+            "steals": self._steals,
             "checkpoints": self._checkpoint_seq,
             "resumed_commits": len(self._resumed),
             "journal": self.journal.path if self.journal is not None else None,
@@ -817,6 +883,7 @@ class CoordinatedHuntExplorer(ProcessParallelExplorer):
             quarantined=quarantined,
             fault_events=canonical["fault_events"] if canonical else 0,
             verdicts=verdicts,
+            worker_stats=self._worker_stats(finals),
         )
         result.coordination = self.coordination_summary()
         return result

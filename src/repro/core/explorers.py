@@ -45,6 +45,7 @@ from repro.core.interleavings import (
     flatten,
     group_events,
     interleaving_stream,
+    unit_permutation_stream,
 )
 from repro.core.pruning.base import Pruner, PrunerPipeline
 from repro.core.replay import Assertion, InterleavingOutcome, ReplayEngine
@@ -81,9 +82,15 @@ class ExplorationResult:
     #: audit through exactly this map; serial explorers leave it ``None``.
     verdicts: Optional[Dict[str, str]] = None
     #: Coordination summary (hunt id, lease backend/events, re-leases,
-    #: degradation, checkpoint count, resumed commits, journal path) from a
-    #: :class:`~repro.core.coordinator.CoordinatedHuntExplorer` run.
+    #: degradation, checkpoint count, resumed commits, steals, journal path)
+    #: from a :class:`~repro.core.coordinator.CoordinatedHuntExplorer` run.
     coordination: Optional[Dict[str, object]] = None
+    #: Per-worker-slot stats from a process-backed run: stream positions
+    #: enumerated (``yields``), owned candidates actually materialised
+    #: (``materialized`` — under sharded enumeration a worker flattens only
+    #: its own shards), and verdict-pipe bytes shipped (``ipc_bytes``).
+    #: Serial and thread-backed explorers leave it ``None``.
+    worker_stats: Optional[Dict[int, Dict[str, int]]] = None
 
     @property
     def capped(self) -> bool:
@@ -118,6 +125,28 @@ class Explorer(abc.ABC):
     @abc.abstractmethod
     def candidates(self) -> Iterator[Interleaving]:
         """A lazy stream of interleavings to replay, in exploration order."""
+
+    def sharded_candidates(
+        self, router: object, worker_index: int
+    ) -> Iterator[Optional[Interleaving]]:
+        """The candidate stream as one shard worker sees it.
+
+        Yields the interleaving for stream positions ``worker_index`` owns
+        (per the ``router``'s deterministic prefix-shard assignment) and
+        ``None`` for foreign positions.  Every position — owned or not —
+        produces exactly one yield, so a worker's candidate *indices* stay
+        identical to the full stream's; only the materialisation differs.
+
+        The default implementation generates the full stream and filters
+        (the behaviour every worker had before sharded enumeration);
+        subclasses whose generator can derive the shard key without
+        flattening override this to skip foreign candidates wholesale.
+        """
+        for interleaving in self.candidates():
+            if router.owner(interleaving) == worker_index:
+                yield interleaving
+            else:
+                yield None
 
     def _quarantine(self, interleaving: Interleaving, exc: BaseException) -> QuarantinedReplay:
         return QuarantinedReplay(
@@ -381,6 +410,68 @@ class ERPiExplorer(Explorer):
             if metrics.enabled:
                 metrics.inc("interleavings.generated")
             yield interleaving
+
+    def sharded_candidates(
+        self, router: object, worker_index: int
+    ) -> Iterator[Optional[Interleaving]]:
+        """Enumerate only this worker's shards without flattening the rest.
+
+        The shard key is the first ``router.prefix_len`` event ids, which
+        are fully determined by the *unit* permutation — so foreign
+        candidates can be recognised from the leading units and skipped
+        before flattening.  Pruners disqualify the fast path: a pruner sees
+        (and may learn from) every candidate, so with pruners attached the
+        stream falls back to the generate-then-filter default.
+
+        Meter charges and generated-counts are identical to
+        :meth:`candidates` for every stream position, so a budget crash or
+        the parent's merge identity (``generated == pruned + replayed +
+        quarantined + discarded``) cannot tell the two apart.
+        """
+        if (
+            self.pipeline.pruners
+            or self.audit_pruners
+            # Instance-level candidates() instrumentation (crash-injection
+            # wrappers, tracing shims) must keep seeing the stream; only an
+            # unwrapped explorer may skip it.
+            or "candidates" in self.__dict__
+        ):
+            yield from super().sharded_candidates(router, worker_index)
+            return
+        self.pipeline.reset()
+        self.pipeline.tracer = self.tracer
+        self.pipeline.metrics = self.metrics
+        metrics = self.metrics
+        footprint = interleaving_footprint(len(self.events))
+        prefix_len = router.prefix_len
+        for unit_perm in unit_permutation_stream(
+            self.grouping.units,
+            order=self.order,
+            meter=self.meter,
+            on_degrade=self._enumeration_degraded,
+        ):
+            flat: Optional[Interleaving] = None
+            if self.order_constraints:
+                flat = flatten(unit_perm)
+                if not self._valid(flat):
+                    if metrics.enabled:
+                        metrics.inc("interleavings.invalid")
+                    continue
+            self.meter.charge("erpi_seen", footprint)
+            if metrics.enabled:
+                metrics.inc("interleavings.generated")
+            key: List[str] = []
+            for unit in unit_perm:
+                for event in unit:
+                    key.append(event.event_id)
+                    if len(key) == prefix_len:
+                        break
+                if len(key) == prefix_len:
+                    break
+            if router.owner_of_key(tuple(key)) != worker_index:
+                yield None
+                continue
+            yield flat if flat is not None else flatten(unit_perm)
 
     def bind_semantic(
         self, engines: Sequence[ReplayEngine], assertions: Sequence[Assertion]

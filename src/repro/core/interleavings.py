@@ -335,6 +335,31 @@ def permutation_count(unit_count: int) -> int:
     return math.factorial(unit_count)
 
 
+def unit_permutation_stream(
+    units: Sequence[Unit],
+    order: str = "sjt",
+    meter: Optional[object] = None,
+    on_degrade: Optional[Callable[[str], None]] = None,
+) -> Iterator[Tuple[Unit, ...]]:
+    """Unit permutations (pre-flatten) in the requested order.
+
+    The sharded enumeration fast path consumes this stream directly: a
+    worker can derive a candidate's shard key by walking the leading units
+    and flatten only the permutations its shard owns, instead of
+    materialising the full flat interleaving for every stream position.
+
+    ``meter`` / ``on_degrade`` pass through to
+    :func:`relocation_permutations` (the only order with retained
+    deduplication state worth charging)."""
+    if order == "sjt":
+        return sjt_permutations(units)
+    if order == "lexicographic":
+        return lexicographic_permutations(units)
+    if order == "relocation":
+        return relocation_permutations(units, meter=meter, on_degrade=on_degrade)
+    raise ErPiError(f"unknown enumeration order {order!r}")
+
+
 def interleaving_stream(
     units: Sequence[Unit],
     order: str = "sjt",
@@ -344,17 +369,11 @@ def interleaving_stream(
 ) -> Iterator[Interleaving]:
     """Flat event interleavings in the requested order, optionally capped.
 
-    ``meter`` / ``on_degrade`` pass through to
-    :func:`relocation_permutations` (the only order with retained
-    deduplication state worth charging)."""
-    if order == "sjt":
-        stream: Iterator[Tuple[Unit, ...]] = sjt_permutations(units)
-    elif order == "lexicographic":
-        stream = lexicographic_permutations(units)
-    elif order == "relocation":
-        stream = relocation_permutations(units, meter=meter, on_degrade=on_degrade)
-    else:
-        raise ErPiError(f"unknown enumeration order {order!r}")
+    A flatten wrapper over :func:`unit_permutation_stream`, so both paths
+    enumerate byte-identical permutation sequences by construction."""
+    stream = unit_permutation_stream(
+        units, order=order, meter=meter, on_degrade=on_degrade
+    )
     for index, unit_perm in enumerate(stream):
         if limit is not None and index >= limit:
             return

@@ -12,11 +12,17 @@ cross-process synchronisation on the hot path.
 
 Determinism is preserved without shipping candidates at all:
 
-* every worker enumerates the **full** candidate stream locally.  Candidate
-  generation — grouping, enumeration order, validity filtering and the
-  pruner pipeline — is a deterministic function of the recorded events, so
-  all workers (and a serial run) see byte-identical streams and make
-  byte-identical pruning decisions;
+* every worker walks the **full** candidate stream's positions locally.
+  Candidate generation — grouping, enumeration order, validity filtering
+  and the pruner pipeline — is a deterministic function of the recorded
+  events, so all workers (and a serial run) agree on every candidate
+  index.  With no pruners attached, the explorer's *sharded* fast path
+  (:meth:`~repro.core.explorers.Explorer.sharded_candidates`) derives each
+  candidate's shard key from the leading units of the permutation and
+  skips foreign candidates without ever flattening them — a worker
+  materialises only its own shards, while stream accounting (meter
+  charges, generated counts, budget-crash positions) stays identical to
+  the full stream;
 * a worker *replays* only the candidates its **prefix shard** owns: the
   shard key is the first ``prefix_len`` event ids of the interleaving, and
   :class:`PrefixShardRouter` assigns keys to workers round-robin in order
@@ -24,10 +30,19 @@ Determinism is preserved without shipping candidates at all:
   randomised per process).  Minimal-change orders (SJT) mutate the prefix
   slowly, so consecutive candidates usually land on the same worker and its
   prefix cache keeps its high hit rate;
-* verdicts stream back over batched IPC (one pickle frame per
-  ``batch_size`` results, not per replay) and the parent **commits them
-  strictly in candidate order**, so the reported first violation and the
-  explored count are bit-for-bit identical to a serial hunt.
+* verdicts stream back as **columnar frames** (:class:`AdaptiveBatcher`):
+  event ids are interned as positions into the shared schedule — both
+  sides derive the identical table independently — verdict records are
+  flat parallel arrays, and only violations/quarantines/crashes carry a
+  Python object, with violation outcomes shipped as pickle bytes that the
+  parent deserialises lazily at commit time (duplicate deliveries from a
+  re-leased slot are deduplicated *before* they are ever unpickled).
+  Frames size themselves adaptively — start small for low latency, double
+  on every full flush up to ``batch_size``, and flush early on an idle
+  deadline so a slow shard's verdicts (and a coordinator's watermark)
+  never sit in a half-full buffer.  The parent **commits records strictly
+  in candidate order**, so the reported first violation and the explored
+  count are bit-for-bit identical to a serial hunt.
 
 Each worker slot gets its **own one-writer pipe** to the parent rather than
 a shared ``multiprocessing.Queue``.  The shared queue serialises writers
@@ -60,11 +75,13 @@ from __future__ import annotations
 
 import multiprocessing
 import multiprocessing.connection as mp_connection
+import pickle
 import signal
 import time
 import traceback
+from array import array
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.errors import ResourceExhausted
 from repro.core.explorers import DEFAULT_CAP, ExplorationResult, Explorer
@@ -218,6 +235,121 @@ class CallableWorkerTask(WorkerTask):
         return self.factory(*self.args)
 
 
+# ------------------------------------------------------------- columnar IPC
+
+#: Verdict kind codes for columnar frames.  Codes below ``_KIND_VIOLATION``
+#: are fully described by (index, kind, event positions); codes at or above
+#: it carry exactly one entry in the frame's ``other`` list.
+_KIND_OK = 0
+_KIND_PRUNED = 1
+_KIND_VIOLATION = 2
+_KIND_QUARANTINE = 3
+_KIND_CRASHED = 4
+
+#: Distinguishes "stream exhausted" from "foreign-shard position" in the
+#: sharded candidate stream, where ``None`` is a legitimate yield.
+_EXHAUSTED = object()
+
+
+def _send_counted(conn, obj: Any) -> int:
+    """Send one frame and return its wire size in bytes.
+
+    ``Connection.send`` pickles internally but never reveals the size, so
+    frames whose bytes we account (everything a worker ships except the
+    final flush) are pickled here and pushed through ``send_bytes`` — the
+    receiving ``Connection.recv`` unpickles either form identically.
+    """
+    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    conn.send_bytes(data)
+    return len(data)
+
+
+class AdaptiveBatcher:
+    """Columnar verdict buffer with adaptive sizing and an idle deadline.
+
+    Records accumulate into flat parallel arrays — candidate indices
+    (``array('I')``), kind codes (bytes), concatenated event *positions*
+    with per-record lengths (``array('I')`` twice) — plus an ``other`` list
+    holding the one payload object of each violation/quarantine/crash.
+    A frame of N ok-verdicts therefore pickles as a handful of contiguous
+    buffers instead of N tuples of N-string event-id tuples.
+
+    Sizing is adaptive: the batch starts small (low first-verdict latency),
+    doubles every time it fills (amortising per-frame cost under load) and
+    is capped at the configured ``batch_size``.  ``due()`` reports when a
+    partial buffer has waited at least ``idle_flush_s`` since the last
+    flush, so trailing verdicts ship promptly even when replays are slow.
+    The clock is injectable for deterministic tests.
+    """
+
+    __slots__ = ("cap", "size", "idle_flush_s", "_clock", "_last_flush",
+                 "indices", "kinds", "ev", "ev_lens", "other")
+
+    def __init__(
+        self,
+        cap: int,
+        idle_flush_s: float = 0.05,
+        clock: Optional[Callable[[], float]] = None,
+        min_batch: int = 8,
+    ) -> None:
+        self.cap = max(1, cap)
+        self.size = min(max(1, min_batch), self.cap)
+        self.idle_flush_s = idle_flush_s
+        self._clock = clock or time.monotonic
+        self._last_flush = self._clock()
+        self._reset()
+
+    def _reset(self) -> None:
+        self.indices = array("I")
+        self.kinds = bytearray()
+        self.ev = array("I")
+        self.ev_lens = array("I")
+        self.other: List[Any] = []
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    @property
+    def full(self) -> bool:
+        return len(self.indices) >= self.size
+
+    def add(self, index: int, kind: int,
+            ev_positions: Optional[Iterable[int]], other: Any = None) -> None:
+        self.indices.append(index)
+        self.kinds.append(kind)
+        if ev_positions is not None:
+            before = len(self.ev)
+            self.ev.extend(ev_positions)
+            self.ev_lens.append(len(self.ev) - before)
+        else:
+            self.ev_lens.append(0)
+        if kind >= _KIND_VIOLATION:
+            self.other.append(other)
+
+    def due(self) -> bool:
+        """True when a non-empty partial buffer has idled past the deadline."""
+        if not self.indices:
+            return False
+        return self._clock() - self._last_flush >= self.idle_flush_s
+
+    def flush(self, grow: bool = False):
+        """Detach and return the frame payload (``None`` when empty).
+
+        ``grow=True`` — used when flushing because the buffer filled —
+        doubles the target size up to the cap; deadline flushes pass False
+        so a slow trickle of verdicts keeps its low-latency small batches.
+        """
+        self._last_flush = self._clock()
+        if not self.indices:
+            return None
+        frame = (self.indices, bytes(self.kinds), self.ev, self.ev_lens,
+                 self.other)
+        self._reset()
+        if grow:
+            self.size = min(self.size * 2, self.cap)
+        return frame
+
+
 # ------------------------------------------------------------ worker process
 
 
@@ -251,6 +383,15 @@ class _WorkerConfig:
     #: when a dead predecessor's partial flush and its replacement's full
     #: flush both reach the merge.
     attempt: int = 1
+    #: Ship a partial columnar frame once it has idled this long (seconds)
+    #: since the previous flush, so trailing verdicts — and the coordinated
+    #: watermark they advance — never wait on a buffer filling up.
+    idle_flush_s: float = 0.05
+    #: Testing/CI knob: sleep this long before each owned replay to force
+    #: deterministic shard skew (exercises work stealing).  Applied only to
+    #: a slot's first incarnation — stolen-shard replacements run at full
+    #: speed, which is the point of stealing.
+    throttle_s: Optional[float] = None
 
 
 def _worker_main(task, config, conn, stop_event, go_event) -> None:
@@ -316,7 +457,12 @@ def _build_worker_runtime(task, config: _WorkerConfig) -> _WorkerRuntime:
         explorer.metrics = stream_metrics
         engine.metrics = replay_metrics
     if config.prefix_cache and engine.prefix_cache is None:
-        engine.enable_prefix_cache(meter=explorer.meter)
+        # Charge retained snapshots to the meter only when a budget is
+        # actually armed: the deep footprint walk roughly doubles the cost
+        # of a cached replay, and the default unlimited meter enforces
+        # nothing the walk could trip.
+        meter = explorer.meter if explorer.meter.budget_bytes is not None else None
+        engine.enable_prefix_cache(meter=meter)
     sanitizer = None
     if config.sanitize is not None:
         sanitizer = Sanitizer(
@@ -359,14 +505,36 @@ def _run_worker(runtime: _WorkerRuntime, config: _WorkerConfig,
     explorer = runtime.explorer
     engine = runtime.engine
     assertions = runtime.assertions
-    router = runtime.router
-    candidates = explorer.candidates()
-    batch: List[Tuple[int, str, Any]] = []
+    # Sharded enumeration: the explorer yields owned candidates and ``None``
+    # for foreign stream positions (which still consume an index).  The
+    # ER-pi fast path skips flattening foreign permutations entirely; the
+    # default falls back to generate-then-filter.
+    candidates = explorer.sharded_candidates(runtime.router, widx)
+    # Event-id interning table: both sides derive positions into the shared
+    # schedule independently, so frames carry small ints instead of strings.
+    eidx = {event.event_id: pos for pos, event in enumerate(explorer.events)}
+    batcher = AdaptiveBatcher(config.batch_size, idle_flush_s=config.idle_flush_s)
     yields = 0
+    materialized = 0
+    ipc_bytes = 0
     crash_reason: Optional[str] = None
     stopped_on_own_violation = False
     heartbeat_s = config.heartbeat_interval_s
+    throttle_s = config.throttle_s
     last_beat = time.monotonic()
+
+    def ship(grow: bool) -> None:
+        nonlocal ipc_bytes
+        frame = batcher.flush(grow=grow)
+        if frame is not None:
+            ipc_bytes += _send_counted(conn, ("cbatch", widx, frame))
+
+    def record(index: int, kind: int,
+               positions: Optional[List[int]], other: Any = None) -> None:
+        batcher.add(index, kind, positions, other)
+        if batcher.full:
+            ship(grow=True)
+
     try:
         # Mirrors the serial loop's check-before-pull cap semantics, so a
         # capped run's stream counters match a capped serial run exactly.
@@ -374,22 +542,28 @@ def _run_worker(runtime: _WorkerRuntime, config: _WorkerConfig,
             if yields % config.stop_stride == 0:
                 if stop_event.is_set():
                     break
+                if batcher.due():
+                    ship(grow=False)
                 if heartbeat_s is not None:
                     now = time.monotonic()
                     if now - last_beat >= heartbeat_s:
-                        conn.send(("heartbeat", widx, yields))
+                        ipc_bytes += _send_counted(
+                            conn, ("heartbeat", widx, yields))
                         last_beat = now
             try:
-                interleaving = next(candidates, None)
+                interleaving = next(candidates, _EXHAUSTED)
             except ResourceExhausted as exc:
                 crash_reason = str(exc)
                 break
-            if interleaving is None:
+            if interleaving is _EXHAUSTED:
                 break
             index = yields
             yields += 1
-            if router.owner(interleaving) != widx:
+            if interleaving is None:
+                # Foreign shard: the position is consumed (indices stay
+                # aligned across workers) but nothing was materialised.
                 continue
+            materialized += 1
             if index < config.skip_below:
                 # Already committed by the parent in a previous incarnation
                 # of this hunt; re-replaying it would only produce a result
@@ -400,45 +574,47 @@ def _run_worker(runtime: _WorkerRuntime, config: _WorkerConfig,
                 # outcome was clean, so ship a "pruned" verdict instead of
                 # re-replaying.  (Stream-time pruning would shift candidate
                 # indices, which must stay identical across workers.)
-                batch.append(
-                    (index, "pruned",
-                     tuple(event.event_id for event in interleaving))
-                )
+                record(index, _KIND_PRUNED,
+                       [eidx[event.event_id] for event in interleaving])
                 continue
+            if throttle_s is not None:
+                time.sleep(throttle_s)
             try:
                 outcome = engine.replay(interleaving, assertions)
             except ResourceExhausted as exc:
-                batch.append((index, "crashed", str(exc)))
+                record(index, _KIND_CRASHED, None, other=str(exc))
                 crash_reason = str(exc)
                 break
             except Exception as exc:
-                batch.append(
-                    (index, "quarantine", explorer._quarantine(interleaving, exc))
-                )
+                record(index, _KIND_QUARANTINE, None,
+                       other=explorer._quarantine(interleaving, exc))
                 engine.restore()
             else:
-                il_ids = tuple(event.event_id for event in interleaving)
+                positions = [eidx[event.event_id] for event in interleaving]
                 if outcome.violated:
                     # Forcing .states happens inside __getstate__ at pickle
                     # time; shipping the whole outcome keeps the parent's
-                    # result identical to a serial run's.
-                    batch.append((index, "violation", (il_ids, outcome)))
+                    # result identical to a serial run's.  It rides the
+                    # frame as pickle bytes the parent defers deserialising
+                    # until (unless) this index actually commits.
+                    record(index, _KIND_VIOLATION, positions,
+                           other=pickle.dumps(
+                               outcome, protocol=pickle.HIGHEST_PROTOCOL))
                     if config.stop_on_violation:
                         # This worker cannot contribute anything the parent
                         # will commit past its own first violation.
                         stopped_on_own_violation = True
                         break
                 else:
-                    batch.append((index, "ok", il_ids))
-            if len(batch) >= config.batch_size:
-                conn.send(("batch", widx, batch))
-                batch = []
+                    record(index, _KIND_OK, positions)
+            if batcher.due():
+                ship(grow=False)
             if heartbeat_s is not None:
                 # Replays dominate wall time; beat after each one so a slow
                 # shard cannot silently outlive its lease.
                 now = time.monotonic()
                 if now - last_beat >= heartbeat_s:
-                    conn.send(("heartbeat", widx, yields))
+                    ipc_bytes += _send_counted(conn, ("heartbeat", widx, yields))
                     last_beat = now
     except BaseException:
         # Anything unexpected (the replay loop's own bugs, a pickling
@@ -450,19 +626,22 @@ def _run_worker(runtime: _WorkerRuntime, config: _WorkerConfig,
             crash_reason = traceback.format_exc()
         raise
     finally:
-        if batch:
-            conn.send(("batch", widx, batch))
+        ship(grow=False)
         conn.send(("final", widx, _worker_flush(
-            runtime, config, yields, crash_reason, stopped_on_own_violation
+            runtime, config, yields, crash_reason, stopped_on_own_violation,
+            materialized, ipc_bytes,
         )))
 
 
 def _worker_flush(runtime: _WorkerRuntime, config: _WorkerConfig, yields: int,
-                  crash_reason: Optional[str], stopped: bool) -> Dict[str, Any]:
+                  crash_reason: Optional[str], stopped: bool,
+                  materialized: int, ipc_bytes: int) -> Dict[str, Any]:
     explorer = runtime.explorer
     engine = runtime.engine
     flush: Dict[str, Any] = {
         "yields": yields,
+        "materialized": materialized,
+        "ipc_bytes": ipc_bytes,
         "crash_reason": crash_reason,
         "stopped_on_violation": stopped,
         "pruning_stats": explorer._pruning_stats(),
@@ -573,6 +752,8 @@ class ProcessParallelExplorer:
         clock: Optional[Any] = None,
         dead_worker_grace_s: float = 0.5,
         heartbeat_interval_s: Optional[float] = None,
+        idle_flush_s: float = 0.05,
+        throttle_s_by_slot: Optional[Dict[int, float]] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -592,7 +773,15 @@ class ProcessParallelExplorer:
         self.clock = clock or time.monotonic
         self.dead_worker_grace_s = dead_worker_grace_s
         self.heartbeat_interval_s = heartbeat_interval_s
+        self.idle_flush_s = idle_flush_s
+        self.throttle_s_by_slot = dict(throttle_s_by_slot or {})
         self.mode = f"{base.mode}+proc{workers}"
+        #: The columnar-frame interning table: workers ship event positions,
+        #: the parent maps them back through the (identically derived)
+        #: schedule of the base explorer.
+        self._event_ids: Tuple[str, ...] = tuple(
+            event.event_id for event in base.events
+        )
         self._procs: List[multiprocessing.Process] = []
         self._ctx = None
         #: Per-slot receive pipes (the one-writer channels) and the slots
@@ -681,6 +870,12 @@ class ProcessParallelExplorer:
             skip_below=skip_below,
             heartbeat_interval_s=self.heartbeat_interval_s,
             attempt=attempt,
+            idle_flush_s=self.idle_flush_s,
+            # Skew throttles apply to first incarnations only: a stolen
+            # shard's replacement must run at full speed.
+            throttle_s=(
+                self.throttle_s_by_slot.get(widx) if attempt == 1 else None
+            ),
         )
 
     def _spawn_worker(
@@ -802,6 +997,10 @@ class ProcessParallelExplorer:
                         continue
                     il_ids, outcome = payload
                     verdicts["|".join(il_ids)] = "violation"
+                    if isinstance(outcome, (bytes, bytearray)):
+                        # Columnar frames ship the outcome as pickle bytes;
+                        # only a *committed* violation pays deserialisation.
+                        outcome = pickle.loads(outcome)
                     violating = outcome
                     if stop_on_violation:
                         done = True
@@ -875,7 +1074,19 @@ class ProcessParallelExplorer:
             quarantined=quarantined,
             fault_events=canonical["fault_events"] if canonical else 0,
             verdicts=verdicts,
+            worker_stats=self._worker_stats(finals),
         )
+
+    @staticmethod
+    def _worker_stats(finals: Dict[int, Dict[str, Any]]) -> Dict[int, Dict[str, int]]:
+        return {
+            widx: {
+                "yields": flush["yields"],
+                "materialized": flush.get("materialized", 0),
+                "ipc_bytes": flush.get("ipc_bytes", 0),
+            }
+            for widx, flush in sorted(finals.items())
+        }
 
     # ------------------------------------------------------------- plumbing
 
@@ -908,11 +1119,16 @@ class ProcessParallelExplorer:
 
     def _dispatch(self, message, pending, finals, errors) -> None:
         kind = message[0]
-        if kind == "batch":
-            for record in message[2]:
+        if kind == "cbatch":
+            for record in self._decode_cbatch(message[2]):
                 # setdefault, not assignment: a re-leased replacement worker
                 # re-delivers results its predecessor already shipped, and
                 # replays are deterministic, so first delivery wins.
+                pending.setdefault(record[0], record)
+        elif kind == "batch":
+            # Legacy row-oriented frames (nothing in-tree sends these any
+            # more, but custom worker mains may).
+            for record in message[2]:
                 pending.setdefault(record[0], record)
         elif kind == "final":
             self._note_final(finals, message[1], message[2])
@@ -924,6 +1140,41 @@ class ProcessParallelExplorer:
             # A replacement worker finished bootstrapping mid-run (initial
             # readiness is consumed by prestart before explore runs).
             self._on_ready(message[1])
+
+    def _decode_cbatch(
+        self, frame
+    ) -> List[Tuple[int, str, Any]]:
+        """Rehydrate one columnar frame into (index, kind, payload) records.
+
+        Event positions are mapped back to ids through the parent's own
+        interning table.  Violation payloads stay as pickle bytes here —
+        commit-time code deserialises them only for the index that actually
+        commits, so duplicate deliveries cost nothing beyond the dedup.
+        """
+        indices, kinds, ev, ev_lens, other = frame
+        event_ids = self._event_ids
+        records: List[Tuple[int, str, Any]] = []
+        pos = 0
+        oidx = 0
+        for i, index in enumerate(indices):
+            kind = kinds[i]
+            count = ev_lens[i]
+            il_ids = tuple(event_ids[p] for p in ev[pos:pos + count])
+            pos += count
+            if kind == _KIND_OK:
+                records.append((index, "ok", il_ids))
+            elif kind == _KIND_PRUNED:
+                records.append((index, "pruned", il_ids))
+            elif kind == _KIND_VIOLATION:
+                records.append((index, "violation", (il_ids, other[oidx])))
+                oidx += 1
+            elif kind == _KIND_QUARANTINE:
+                records.append((index, "quarantine", other[oidx]))
+                oidx += 1
+            else:
+                records.append((index, "crashed", other[oidx]))
+                oidx += 1
+        return records
 
     def _note_final(self, finals, widx: int, flush: Dict[str, Any]) -> None:
         """Record a worker's final flush, retaining any superseded one.

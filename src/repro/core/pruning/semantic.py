@@ -110,6 +110,7 @@ def footprints_conflict(left: Footprint, right: Footprint) -> bool:
 def trace_normal_form(
     interleaving: Sequence[Event],
     footprints: Optional[Dict[str, Footprint]] = None,
+    conflicts: Optional[Dict[Tuple[str, str], bool]] = None,
 ) -> Tuple[str, ...]:
     """The canonical representative of the interleaving's Mazurkiewicz trace.
 
@@ -118,6 +119,11 @@ def trace_normal_form(
     (greedy topological sort picking the smallest eligible event id).  Two
     interleavings that differ only by swapping adjacent independent events
     have equal normal forms.
+
+    ``conflicts`` is an optional memo of pairwise conflict decisions keyed
+    by ``(earlier_event_id, later_event_id)``: footprints are static per
+    event id, so a caller evaluating many interleavings over the same
+    event universe (the DPOR pruner) pays each pairwise check once.
     """
     events = list(interleaving)
     count = len(events)
@@ -134,7 +140,15 @@ def trace_normal_form(
     successors: List[List[int]] = [[] for _ in range(count)]
     for later in range(count):
         for earlier in range(later):
-            if footprints_conflict(fps[earlier], fps[later]):
+            if conflicts is None:
+                conflict = footprints_conflict(fps[earlier], fps[later])
+            else:
+                pair = (events[earlier].event_id, events[later].event_id)
+                conflict = conflicts.get(pair)
+                if conflict is None:
+                    conflict = footprints_conflict(fps[earlier], fps[later])
+                    conflicts[pair] = conflict
+            if conflict:
                 successors[earlier].append(later)
                 indegree[later] += 1
     ready = sorted(
@@ -180,6 +194,9 @@ class DPORPruner(Pruner):
         self.disabled_reason: Optional[str] = "not bound to an engine"
         #: Event-id -> static footprint for the bound event universe.
         self._model: Dict[str, Footprint] = {}
+        #: Pairwise conflict memo shared across key() calls (footprints are
+        #: static per event id, so decisions never go stale).
+        self._conflicts: Dict[Tuple[str, str], bool] = {}
         #: ``"a|b|c"`` keys of pruned interleavings, for Datalog export.
         self.prune_log: List[str] = []
 
@@ -221,7 +238,7 @@ class DPORPruner(Pruner):
                 return
 
     def key(self, interleaving: Interleaving) -> Hashable:
-        return ("dpor", trace_normal_form(interleaving, self._model))
+        return ("dpor", trace_normal_form(interleaving, self._model, self._conflicts))
 
     def is_redundant(self, interleaving: Interleaving) -> bool:
         if not self.enabled:
@@ -236,6 +253,7 @@ class DPORPruner(Pruner):
     def reset(self) -> None:
         super().reset()
         self._model.clear()
+        self._conflicts.clear()
         self.prune_log = []
 
 

@@ -302,13 +302,21 @@ def _invoke(cluster: Cluster, event: Event, lamport: int) -> EventResult:
             # An op against a crashed replica raises ReplicaDownError —
             # recorded below as a failed op, like the real library's client
             # erroring out against a dead process.
-            cluster.host(event.replica_id).require_up()
-            rdl = cluster.rdl(event.replica_id)
+            host = cluster.host(event.replica_id)
+            host.require_up()
+            rdl = host.rdl
             method = getattr(rdl, event.op_name, None)
             if method is None or not callable(method):
                 raise ReplayError(
                     f"replica {event.replica_id!r} has no method {event.op_name!r}"
                 )
+            # Ops mutate the RDL directly (not through the cluster's sync
+            # methods), so the digest invalidation happens here — before the
+            # call, so a partially-applied failing op can never leave a stale
+            # cached digest behind.  READs invalidate too: the footprint
+            # model already treats every local op as a replica write because
+            # subjects mutate on read (Roshi's select/score read-repair).
+            host.invalidate_digest()
             if event.kwargs:
                 result = method(*event.args, **dict(event.kwargs))
             else:
@@ -653,6 +661,17 @@ class ReplayEngine:
         # Sync counters are not tracked — they are two ints, always restored.
         self._live_rdl: Dict[str, Optional[_Snap]] = {}
         self._live_transport: Optional[_Snap] = None
+        # Incremental-digest state for the memo path (see _replay_digest):
+        # the checkpoint boundary's digests, the (digest, event-id) ->
+        # boundary-digest transition memo, the last cluster hit/miss counts
+        # already folded into metrics, and the sound-or-off switch sampled
+        # verification flips.
+        self._checkpoint_digests: Optional[Tuple[Dict[str, str], str, str]] = None
+        self._digest_trie: Dict[Tuple[str, ...], Tuple[Dict[str, str], str, str]] = {}
+        self._digest_trie_limit = 200_000
+        self._digest_reported: Tuple[int, int] = (0, 0)
+        self._digest_replays = 0
+        self._digest_exact = True
 
     def enable_prefix_cache(
         self,
@@ -672,6 +691,10 @@ class ReplayEngine:
         if self.prefix_cache is not None:
             self.prefix_cache.clear()
         self._forget_live_versions()
+        # A new baseline voids every memoised boundary digest.
+        self._checkpoint_digests = None
+        self._digest_trie.clear()
+        self.cluster.invalidate_digests()
 
     def prefix_cache_active(self) -> bool:
         """True when replays will actually use the prefix cache.
@@ -788,6 +811,15 @@ class ReplayEngine:
             metrics.inc("messages.dropped", dropped)
         if self.last_suppressed_count:
             metrics.inc("messages.suppressed", self.last_suppressed_count)
+        hits = self.cluster.digest_hits
+        misses = self.cluster.digest_misses
+        reported_hits, reported_misses = self._digest_reported
+        if hits > reported_hits:
+            metrics.inc("digest.cache_hits", hits - reported_hits)
+        if misses > reported_misses:
+            metrics.inc("digest.cache_misses", misses - reported_misses)
+        if (hits, misses) != (reported_hits, reported_misses):
+            self._digest_reported = (hits, misses)
         metrics.observe("replay.duration_us", outcome.duration_s * 1e6)
 
     def _replay_checked(
@@ -937,34 +969,119 @@ class ReplayEngine:
         """A fresh replay that captures the cluster digest at every event
         boundary and feeds the bound state-memo pruner.
 
-        The per-boundary digest is a hash DAG: per-replica digests (all
-        recomputed after every event, so the *observed* write set — which
-        replicas' digests actually changed — is exact at replica
-        granularity) combined with the transport digest (recomputed only
-        after sync events, the only ones that touch the transport).  The
-        observed write set is reported to ``footprint_observer`` so the
-        DPOR pruner can falsify its static model (sound-or-off).
+        The per-boundary digest is a hash DAG: per-replica digests combined
+        with the transport digest, exactly as :meth:`Cluster.state_digest`
+        builds them.  Digesting is incremental on three levels:
+
+        1. *Per-replica caching* — the cluster's opt-in digest cache (armed
+           lazily on the first digest replay) means only the replica an
+           event actually touched pays a canonical walk; the others return
+           their cached digests, so the *observed* write set — which
+           replicas' digests actually changed — stays exact at replica
+           granularity and is reported to ``footprint_observer`` so the
+           DPOR pruner can falsify its static model (sound-or-off).
+        2. *Checkpoint re-priming* — the checkpoint boundary's digests are
+           computed once per checkpoint and re-primed into the host caches
+           after every restore.
+        3. *A transition memo* — ``(combined digest before, event id) ->
+           boundary digests after``.  Minimal-change enumeration revisits
+           the same states through thousands of prefixes, and commuting
+           subject ops make *different* prefixes converge to the same
+           state; both reuse the memoised transition (events still
+           re-execute — only the canonical walks are skipped).  Sound under
+           exactly the assumption the memo pruner itself rests on: a
+           digest identifies the semantic state, and replaying an event
+           from the same semantic state reaches the same semantic state.
+
+        When a ``footprint_observer`` is bound, every 64th replay (and the
+        first) recomputes all digests from scratch and cross-checks the
+        incremental values; a mismatch — a subject mutating outside the
+        invalidation hooks — permanently drops back to exact per-boundary
+        digesting (sound-or-off).
         """
-        from repro.statehash import combine_digests
+        from repro.statehash import combine_digests, state_digest
 
         cluster = self.cluster
         transport = cluster.transport
+        hosts = cluster._hosts
+        rids = cluster.replica_ids()
+        observer = self.footprint_observer
+        if cluster.digest_cache_enabled != self._digest_exact:
+            if self._digest_exact:
+                # Recording is over once replays start: every mutation from
+                # here flows through the invalidation hooks, so per-replica
+                # digest caching becomes sound to switch on.
+                cluster.enable_digest_cache()
+            else:
+                cluster.digest_cache_enabled = False
+                cluster.invalidate_digests()
+        base = self._checkpoint_digests
+        transitions = self._digest_trie if self._digest_exact else None
+        if base is not None and transitions is not None:
+            # Fast path: when every boundary's transition is already
+            # memoised, the whole digest sequence is determined without a
+            # single canonical walk — and the replay itself can then run
+            # through the prefix cache (same events, same outcome, and the
+            # memo path's full checkpoint restore is skipped too).
+            chain_digests: List[str] = [base[2]]
+            chain_entries: List[Tuple[Dict[str, str], str, str]] = []
+            node = base[2]
+            get_transition = transitions.get
+            complete = True
+            for event in interleaving:
+                entry = get_transition((node, event.event_id))
+                if entry is None:
+                    complete = False
+                    break
+                chain_entries.append(entry)
+                node = entry[1]
+                chain_digests.append(node)
+            if complete and self.prefix_cache_active():
+                cluster.digest_hits += len(chain_entries)
+                outcome = self._replay_cached(interleaving)
+                if observer is not None:
+                    prev = base[0]
+                    for event, entry in zip(interleaving, chain_entries):
+                        entry_rdigests = entry[0]
+                        observer.observe_write_set(
+                            event,
+                            [
+                                rid
+                                for rid, digest in entry_rdigests.items()
+                                if prev[rid] != digest
+                            ],
+                        )
+                        prev = entry_rdigests
+                memo.record_replay(interleaving, outcome, chain_digests)
+                return outcome
         cluster.restore(self._checkpoint)
         before = transport.stats()
         self._forget_live_versions()
         started = time.perf_counter()
-        rids = cluster.replica_ids()
-        rdigests = {rid: cluster.replica_state_digest(rid) for rid in rids}
-        tdigest = cluster.transport_digest()
+        if base is None:
+            rdigests = {rid: cluster.replica_state_digest(rid) for rid in rids}
+            tdigest = cluster.transport_digest()
+            parts = list(rdigests.items())
+            parts.append(("#transport", tdigest))
+            base_combined = combine_digests(parts)
+            if self._digest_exact:
+                self._checkpoint_digests = (dict(rdigests), tdigest, base_combined)
+        else:
+            base_rdigests, tdigest, base_combined = base
+            rdigests = dict(base_rdigests)
+            # restore() invalidated every host cache; the checkpoint values
+            # are exactly what a fresh walk would recompute.
+            for rid in rids:
+                hosts[rid].digest_cache = rdigests[rid]
+            cluster._transport_digest_cache = tdigest
 
         def combined() -> str:
             parts = list(rdigests.items())
             parts.append(("#transport", tdigest))
             return combine_digests(parts)
 
-        digests: List[str] = [combined()]
+        digests: List[str] = [base_combined]
         results: List[EventResult] = []
-        observer = self.footprint_observer
         timeout = getattr(self.executor, "timeout_s", None)
         deadline = None if timeout is None else time.monotonic() + timeout
         for lamport, event in enumerate(interleaving, 1):
@@ -975,16 +1092,57 @@ class ReplayEngine:
                 )
             results.append(_invoke(cluster, event, lamport))
             changed: List[str] = []
-            for rid in rids:
-                digest = cluster.replica_state_digest(rid)
-                if digest != rdigests[rid]:
-                    rdigests[rid] = digest
-                    changed.append(rid)
-            if event.is_sync:
-                tdigest = cluster.transport_digest()
-            digests.append(combined())
+            key = (digests[-1], event.event_id)
+            entry = transitions.get(key) if transitions is not None else None
+            if entry is not None:
+                entry_rdigests, combined_digest, tdigest = entry
+                for rid, digest in entry_rdigests.items():
+                    if digest != rdigests[rid]:
+                        rdigests[rid] = digest
+                        changed.append(rid)
+                    # _invoke invalidated the touched replica's host cache;
+                    # by the memo assumption the memoised transition value
+                    # is its current digest.
+                    hosts[rid].digest_cache = digest
+                cluster._transport_digest_cache = tdigest
+                cluster.digest_hits += 1
+                digests.append(combined_digest)
+            else:
+                for rid in rids:
+                    digest = cluster.replica_state_digest(rid)
+                    if digest != rdigests[rid]:
+                        rdigests[rid] = digest
+                        changed.append(rid)
+                if event.is_sync:
+                    tdigest = cluster.transport_digest()
+                combined_digest = combined()
+                digests.append(combined_digest)
+                if transitions is not None:
+                    if len(transitions) >= self._digest_trie_limit:
+                        transitions.clear()
+                    transitions[key] = (dict(rdigests), combined_digest, tdigest)
             if observer is not None:
                 observer.observe_write_set(event, changed)
+        self._digest_replays += 1
+        if (
+            observer is not None
+            and self._digest_exact
+            and (self._digest_replays == 1 or self._digest_replays % 64 == 0)
+        ):
+            fresh = {
+                rid: state_digest((hosts[rid].up, hosts[rid].rdl.canonical_state()))
+                for rid in rids
+            }
+            if fresh != rdigests:
+                # A subject mutated state some invalidation hook cannot see:
+                # stop trusting every digest cache, permanently.
+                self._digest_exact = False
+                self._checkpoint_digests = None
+                self._digest_trie.clear()
+                cluster.digest_cache_enabled = False
+                cluster.invalidate_digests()
+                if self.metrics.enabled:
+                    self.metrics.inc("digest.verify_failures")
         duration = time.perf_counter() - started
         after = transport.stats()
         self.last_transport_stats = tuple(n - b for n, b in zip(after, before))
@@ -1082,11 +1240,15 @@ class ReplayEngine:
             if live.get(rid) is not snap:
                 host.rdl.adopt(snap.data)
                 live[rid] = snap
+                # Adoption swaps RDL state behind the cluster's back; any
+                # cached digest is for the state being replaced.
+                host.digest_cache = None
             host.applied_syncs = applied
             host.sent_syncs = sent
         if self._live_transport is not tsnap:
             transport.restore_snapshot(tsnap.data)
             self._live_transport = tsnap
+            cluster._transport_digest_cache = None
 
         stats = cache.stats
         stats.replays += 1
@@ -1130,6 +1292,7 @@ class ReplayEngine:
                     snap = live.get(rid)
                     if snap is not None:
                         hosts[rid].rdl.restore(snap.data)
+                        hosts[rid].digest_cache = None
                         live[rid] = None
                 is_sync = kind is kind_sync_req or kind is kind_exec_sync
                 if is_sync:

@@ -55,6 +55,15 @@ class Cluster:
         #: :meth:`restore` — fault-window scenarios assert on these instead
         #: of having partition losses silently swallowed.
         self.suppressed_sends: List[SuppressedSend] = []
+        #: Incremental-digest switch.  Off by default: code that mutates RDL
+        #: objects directly (tests, ad-hoc drivers) bypasses the cluster's
+        #: invalidation hooks, so digests are only cached once a replay
+        #: engine — whose every mutation flows through :meth:`send_sync` /
+        #: :meth:`execute_sync` / the fault methods — opts in.
+        self.digest_cache_enabled = False
+        self.digest_hits = 0
+        self.digest_misses = 0
+        self._transport_digest_cache: Optional[str] = None
 
     # ------------------------------------------------------------- topology
 
@@ -91,12 +100,17 @@ class Cluster:
         source = self.host(sender)
         source.require_up()
         payload = source.rdl.sync_payload(receiver)
+        # Invalidate unconditionally: a push-mutating subject
+        # (``mutates_on_push``) changes sender state inside ``sync_payload``,
+        # and the footprint model already treats SYNC_REQ as a sender write.
+        source.invalidate_digest()
         message = self.transport.send(sender, receiver, payload)
         if message is None:
             reason = self.transport.last_send_outcome or "drop"
             self.suppressed_sends.append(SuppressedSend(sender, receiver, reason))
             return False
         source.sent_syncs += 1
+        self._transport_digest_cache = None
         return True
 
     def execute_sync(self, sender: str, receiver: str) -> bool:
@@ -113,9 +127,11 @@ class Cluster:
         # The message is consumed before the liveness check: a payload that
         # reaches a dead node is lost, not left queued for a later execute
         # (which would silently re-pair sync requests with wrong executes).
+        self._transport_digest_cache = None
         target.require_up()
         target.rdl.apply_sync(message.payload, sender)
         target.applied_syncs += 1
+        target.invalidate_digest()
         return True
 
     def sync(self, sender: str, receiver: str) -> bool:
@@ -163,9 +179,11 @@ class Cluster:
 
     def partition(self, replica_a: str, replica_b: str) -> None:
         self.transport.conditions.partition(replica_a, replica_b)
+        self._transport_digest_cache = None
 
     def heal(self, replica_a: Optional[str] = None, replica_b: Optional[str] = None) -> None:
         self.transport.conditions.heal(replica_a, replica_b)
+        self._transport_digest_cache = None
 
     # ------------------------------------------------------------ lifecycle
 
@@ -179,6 +197,7 @@ class Cluster:
             self.host(rid).restore(snapshot)
         self.transport.reset()
         self.suppressed_sends.clear()
+        self._transport_digest_cache = None
 
     def snapshot(self) -> Dict[str, Any]:
         """Fast full-cluster snapshot: every host plus the transport.
@@ -197,6 +216,7 @@ class Cluster:
         for rid, host_snapshot in snapshot["replicas"].items():
             self.host(rid).restore_snapshot(host_snapshot)
         self.transport.restore_snapshot(snapshot["transport"])
+        self._transport_digest_cache = None
 
     def snapshot_replica(self, replica_id: str) -> Any:
         """Snapshot a single host (the prefix cache snapshots only the
@@ -211,6 +231,21 @@ class Cluster:
 
     # ------------------------------------------------------- canonical hash
 
+    def enable_digest_cache(self) -> None:
+        """Opt in to per-replica digest caching (replay-engine use only).
+
+        All cached digests are dropped first so mutations that happened
+        before the opt-in can never surface as stale hits.
+        """
+        self.invalidate_digests()
+        self.digest_cache_enabled = True
+
+    def invalidate_digests(self) -> None:
+        """Drop every cached digest (per-replica and transport)."""
+        for host in self._hosts.values():
+            host.digest_cache = None
+        self._transport_digest_cache = None
+
     def replica_state_digest(self, replica_id: str) -> Optional[str]:
         """Canonical digest of one replica's full semantic state.
 
@@ -220,10 +255,19 @@ class Cluster:
         equal to a live one with the same data.
         """
         host = self.host(replica_id)
+        if self.digest_cache_enabled:
+            cached = host.digest_cache
+            if cached is not None:
+                self.digest_hits += 1
+                return cached
         state = host.rdl.canonical_state()
         if state is None:
             return None
-        return state_digest((host.up, state))
+        digest = state_digest((host.up, state))
+        if self.digest_cache_enabled:
+            self.digest_misses += 1
+            host.digest_cache = digest
+        return digest
 
     def transport_digest(self) -> str:
         """Canonical digest of the transport: in-flight payloads + topology.
@@ -235,13 +279,20 @@ class Cluster:
         conditions semantic pruning requires) they never influence future
         behaviour.
         """
+        if self.digest_cache_enabled and self._transport_digest_cache is not None:
+            self.digest_hits += 1
+            return self._transport_digest_cache
         queues = {
             channel: [message.payload for message in queue]
             for channel, queue in self.transport._queues.items()
             if queue
         }
         partitions = self.transport.conditions.partitions
-        return state_digest((queues, sorted(map(sorted, partitions))))
+        digest = state_digest((queues, sorted(map(sorted, partitions))))
+        if self.digest_cache_enabled:
+            self.digest_misses += 1
+            self._transport_digest_cache = digest
+        return digest
 
     def state_digest(self) -> Optional[str]:
         """One canonical digest of the whole cluster (the memo pruner's key).

@@ -51,25 +51,38 @@ class NetworkConditions:
         self.reseed(self.seed)
 
     def reseed(self, seed: int) -> None:
-        """(Re)derive the per-purpose random streams from ``seed``."""
+        """(Re)derive the per-purpose random streams from ``seed``.
+
+        A no-op when the streams are still virgin (no draw since the last
+        reseed) and the seed is unchanged: deterministic configurations
+        never draw, and replay-boundary resets would otherwise rebuild
+        three generators per replay for nothing.
+        """
+        if seed == self.seed and getattr(self, "_streams_virgin", False):
+            return
         self.seed = seed
         self._drop_rng = random.Random(f"{seed}:drop")
         self._duplicate_rng = random.Random(f"{seed}:duplicate")
         self._reorder_rng = random.Random(f"{seed}:reorder")
+        self._streams_virgin = True
 
     def should_drop(self) -> bool:
-        return self.drop_rate > 0 and self._drop_rng.random() < self.drop_rate
+        if self.drop_rate <= 0:
+            return False
+        self._streams_virgin = False
+        return self._drop_rng.random() < self.drop_rate
 
     def should_duplicate(self) -> bool:
-        return (
-            self.duplicate_rate > 0
-            and self._duplicate_rng.random() < self.duplicate_rate
-        )
+        if self.duplicate_rate <= 0:
+            return False
+        self._streams_virgin = False
+        return self._duplicate_rng.random() < self.duplicate_rate
 
     def pick_index(self, queue_length: int) -> int:
         """Which queued message to deliver next (0 under FIFO)."""
         if self.fifo or queue_length <= 1:
             return 0
+        self._streams_virgin = False
         return self._reorder_rng.randrange(queue_length)
 
     def is_partitioned(self, replica_a: str, replica_b: str) -> bool:

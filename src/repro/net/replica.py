@@ -42,6 +42,15 @@ class ReplicaHost:
         self.sent_syncs = 0
         self.up = True
         self._durable: Any = None
+        #: Cached canonical digest of ``(up, canonical_state())``.  Consulted
+        #: only when the owning cluster has opted in (replay-time digesting);
+        #: the invalidation hooks below fire unconditionally — they are cheap
+        #: and keep the cache safe to enable at any point.
+        self.digest_cache: Optional[str] = None
+
+    def invalidate_digest(self) -> None:
+        """Drop the cached canonical digest (state or liveness changed)."""
+        self.digest_cache = None
 
     # ---------------------------------------------------------- crash/recover
 
@@ -52,6 +61,7 @@ class ReplicaHost:
         durable = getattr(self.rdl, "durable_snapshot", None)
         self._durable = durable() if callable(durable) else self.rdl.checkpoint()
         self.up = False
+        self.invalidate_digest()
 
     def recover(self) -> None:
         """Restart the node from the durable snapshot captured at crash."""
@@ -64,6 +74,7 @@ class ReplicaHost:
             self.rdl.restore(self._durable)
         self.up = True
         self._durable = None
+        self.invalidate_digest()
 
     def require_up(self) -> None:
         if not self.up:
@@ -73,6 +84,7 @@ class ReplicaHost:
         """Reset fault state without a recovery (replay-boundary reset)."""
         self.up = True
         self._durable = None
+        self.invalidate_digest()
 
     def state(self) -> Any:
         return self.rdl.value()
@@ -107,6 +119,7 @@ class ReplicaHost:
         self.sent_syncs = snapshot["sent_syncs"]
         self.up = snapshot.get("up", True)
         self._durable = snapshot.get("durable")
+        self.invalidate_digest()
 
     def __repr__(self) -> str:
         return f"ReplicaHost({self.replica_id!r}, rdl={type(self.rdl).__name__})"

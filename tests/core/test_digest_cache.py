@@ -1,0 +1,167 @@
+"""Incremental digest caching must never serve a stale digest.
+
+The digest cache (``Cluster.enable_digest_cache``) memoises per-replica
+canonical digests and the transport digest, invalidated by the mutation
+hooks (ops, sync phases, crash/recover, snapshot restore).  Its whole
+soundness contract is one property: at any observation point, the cached
+digest equals the digest a from-scratch canonical walk computes.  These
+tests drive every RDL subject through a fault schedule and assert exactly
+that after each step, then pin the replay-engine integration (digests
+stay coherent across memoised, prefix-cache-accelerated replays, and the
+cache actually hits).
+"""
+
+import itertools
+
+import pytest
+
+from repro.bench.harness import hunt, make_explorer, record_scenario
+from repro.bugs.registry import scenario
+from repro.misconceptions.seeds import CRDTsNoCoordination
+
+#: One scenario per registry subject; the CRDTLibrary subject has no
+#: registered bug scenario, so its misconception seed stands in below.
+SUBJECT_SCENARIOS = ("Roshi-1", "OrbitDB-1", "ReplicaDB-1", "Yorkie-1")
+
+
+def assert_digest_coherent(cluster):
+    """The one soundness property: cached == recomputed-from-scratch."""
+    cached = cluster.state_digest()
+    repeat = cluster.state_digest()
+    assert repeat == cached  # a second read serves the cache, unchanged
+    cluster.invalidate_digests()
+    fresh = cluster.state_digest()
+    assert fresh == cached, "digest cache served a stale digest"
+    return fresh
+
+
+def subject_clusters():
+    """One populated cluster per RDL subject, digest cache enabled.
+
+    The cache is switched on only *after* the workload ran: recording-time
+    workloads mutate the RDL objects directly (exactly like user code), so
+    caching is sound only once every further mutation flows through the
+    cluster API — the same contract the replay engine relies on.
+    """
+    for name in SUBJECT_SCENARIOS:
+        cluster = record_scenario(scenario(name)).engine.cluster
+        cluster.enable_digest_cache()
+        yield name, cluster
+    seed = CRDTsNoCoordination()
+    cluster = seed.build_cluster()
+    seed.workload(cluster)
+    cluster.enable_digest_cache()
+    yield "CRDTs", cluster
+
+
+class TestFaultScheduleCoherence:
+    """Satellite: the cache survives the full fault vocabulary on all five
+    subjects — crash (``durable_snapshot``), recover, partition/heal,
+    suppressed and delivered syncs, and mid-flight snapshot restore."""
+
+    @pytest.mark.parametrize(
+        "name,cluster", subject_clusters(), ids=lambda value: str(value)[:16]
+    )
+    def test_digests_stay_coherent_through_faults(self, name, cluster):
+        a, b = cluster.replica_ids()[:2]
+        baseline = assert_digest_coherent(cluster)
+
+        cluster.sync_all()
+        assert_digest_coherent(cluster)
+
+        cluster.crash(a)  # durable_snapshot() captured, liveness folded in
+        crashed = assert_digest_coherent(cluster)
+        assert crashed != baseline, "crash must change the cluster digest"
+
+        cluster.recover(a)
+        assert_digest_coherent(cluster)
+
+        cluster.partition(a, b)
+        assert not cluster.send_sync(b, a)  # suppressed on the wire
+        assert_digest_coherent(cluster)
+
+        cluster.heal()
+        cluster.send_sync(b, a)  # in-flight payload hashes into transport
+        assert_digest_coherent(cluster)
+        cluster.execute_sync(b, a)
+        assert_digest_coherent(cluster)
+
+        snapshot = cluster.snapshot()
+        cluster.crash(b)
+        assert_digest_coherent(cluster)
+        cluster.restore_snapshot(snapshot)
+        restored = assert_digest_coherent(cluster)
+        assert restored == cluster.state_digest()
+
+    def test_direct_rdl_mutation_is_caught_by_the_property(self):
+        """Sanity-check the property itself: a mutation that bypasses the
+        invalidation hooks (writing the RDL object directly) is exactly
+        what ``assert_digest_coherent`` exists to flag."""
+        seed = CRDTsNoCoordination()
+        cluster = seed.build_cluster()
+        seed.workload(cluster)
+        cluster.enable_digest_cache()
+        cached = cluster.state_digest()
+        cluster.rdl("A").set_add("problems", "streetlight")  # behind the API
+        assert cluster.state_digest() == cached  # stale — hooks never fired
+        cluster.invalidate_digests()
+        assert cluster.state_digest() != cached
+
+    def test_cache_opt_in_drops_pre_enable_state(self):
+        cluster = record_scenario(scenario("Roshi-1")).engine.cluster
+        cluster.enable_digest_cache()
+        first = cluster.state_digest()
+        hits_before = cluster.digest_hits
+        assert cluster.state_digest() == first
+        assert cluster.digest_hits > hits_before
+
+
+class TestEngineIntegration:
+    """The memo pipeline's digest replays — with copy-on-write prefix-cache
+    adoption — keep the caches coherent and actually hit."""
+
+    def test_memo_hunt_with_prefix_cache_keeps_digests_coherent(self):
+        recorded = record_scenario(scenario("OrbitDB-1"))
+        engine = recorded.engine
+        engine.enable_prefix_cache()
+        explorer = make_explorer(recorded, "erpi", memo=True)
+        result = explorer.explore(
+            engine, recorded.scenario.make_assertions(),
+            cap=40, stop_on_violation=False,
+        )
+        assert result.explored == 40
+        cluster = engine.cluster
+        assert cluster.digest_cache_enabled  # digest replays switched it on
+        assert cluster.digest_hits > 0, "digest cache never hit"
+        assert_digest_coherent(cluster)
+
+    @pytest.mark.parametrize("name", SUBJECT_SCENARIOS)
+    def test_memo_verdicts_match_uncached_hunt(self, name):
+        """Digest-memoised hunts reproduce the same bug as plain hunts."""
+        plain = hunt(record_scenario(scenario(name)), "erpi", cap=60)
+        memo = hunt(
+            record_scenario(scenario(name)), "erpi",
+            memo=True, prefix_cache=True, cap=60,
+        )
+        assert memo.found == plain.found
+        if plain.found:
+            # No violation can be memo-pruned before the first one is found
+            # (its state chain would have stopped the hunt already), so the
+            # reported witness must be the identical interleaving.
+            assert [e.event_id for e in memo.violating.interleaving] == [
+                e.event_id for e in plain.violating.interleaving
+            ]
+        assert memo.explored <= plain.explored
+
+    def test_digest_coherence_after_every_memo_replay(self):
+        """The per-replay property: after each digest replay the cluster's
+        caches equal a fresh canonical walk."""
+        recorded = record_scenario(scenario("Yorkie-1"))
+        engine = recorded.engine
+        engine.enable_prefix_cache()
+        explorer = make_explorer(recorded, "erpi", memo=True)
+        assertions = recorded.scenario.make_assertions()
+        for interleaving in itertools.islice(explorer.candidates(), 12):
+            engine.replay(interleaving, assertions)
+            if engine.cluster.digest_cache_enabled:
+                assert_digest_coherent(engine.cluster)
